@@ -1,0 +1,66 @@
+//! Figure 15: the stage sweep of Figure 2, on the CIFAR-like image task:
+//! throughput, weight + optimizer memory, best accuracy and
+//! time-to-target accuracy across stage counts for the three methods.
+
+use pipemare_bench::report::{banner, opt_fmt, table_header};
+use pipemare_bench::workloads::ImageWorkload;
+use pipemare_core::runners::run_image_training;
+use pipemare_core::stats::amortized_throughput;
+use pipemare_nn::TrainModel;
+use pipemare_pipeline::{gpipe_bubble_throughput, MemoryModel, Method, PipelineClock};
+
+fn main() {
+    banner(
+        "Figure 15",
+        "ResNet/CIFAR-like stage sweep: throughput, memory, best accuracy, time-to-target",
+    );
+    let w = ImageWorkload::cifar_like();
+    let stage_counts = [8usize, 24];
+    let param_mb = w.model.param_len() as f64 * 4.0 / 1e6;
+    let mm = MemoryModel { optimizer_copies: 3 }; // SGD + momentum
+    let tput_ref = gpipe_bubble_throughput(stage_counts[0], w.n_micro);
+
+    let mut histories = Vec::new();
+    let mut best_overall = f32::MIN;
+    for &p in &stage_counts {
+        for method in Method::ALL {
+            let (t1, t2) = (method == Method::PipeMare, method == Method::PipeMare);
+            let cfg = w.config_at(method, t1, t2, p);
+            let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+            best_overall = best_overall.max(h.best_metric());
+            histories.push((p, method, h));
+        }
+    }
+    let target = best_overall - 1.0;
+
+    table_header(&[
+        ("stages", 7),
+        ("method", 10),
+        ("norm tput", 10),
+        ("W+opt MB", 9),
+        ("best acc%", 10),
+        ("t-to-target", 12),
+    ]);
+    for (p, method, h) in &histories {
+        let clk = PipelineClock::new(*p, w.n_micro);
+        // Use the trainer's actual stage weight distribution proxy
+        // (uniform here; the ResNet's real distribution is back-loaded,
+        // which the end-to-end Table 2 bench accounts for).
+        let fracs = vec![1.0 / *p as f64; *p];
+        let tput = match method {
+            Method::GPipe => gpipe_bubble_throughput(*p, w.n_micro) / tput_ref,
+            _ => amortized_throughput(*method, 0, w.epochs) / tput_ref,
+        };
+        let mem =
+            mm.weight_opt_copies(*method, &clk, &fracs, *method == Method::PipeMare) * param_mb;
+        println!(
+            "{p:>7} {:>10} {tput:>10.2} {mem:>9.2} {:>10.1} {:>12}",
+            method.name(),
+            h.best_metric(),
+            opt_fmt(h.time_to_target(target), 1)
+        );
+    }
+    println!("\n(target acc = best - 1.0% = {target:.1}%)");
+    println!("Paper shape: as Figure 2, on the image task — PipeMare keeps full throughput");
+    println!("and flat memory with stage count, at competitive best accuracy.");
+}

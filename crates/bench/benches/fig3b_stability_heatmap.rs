@@ -1,0 +1,103 @@
+//! Figure 3(b): the stability heatmap of pipeline-parallel SGD on a
+//! 12-dimensional linear-regression problem (cpusmall stand-in): final
+//! training loss as a function of step size α and uniform delay τ, with
+//! the Lemma 1 boundary `α = (2/λ_max)·sin(π/(4τ+2))` overlaid.
+//!
+//! The paper runs T = 10⁶ iterations; this harness runs a reduced
+//! T = 20 000, which already separates convergent/divergent regions.
+
+use pipemare_bench::report::{ascii_heatmap, banner, table_header};
+use pipemare_data::cpusmall_like;
+use pipemare_theory::lemma1_max_alpha;
+
+/// Uniform-delay full-batch SGD on the regression objective
+/// `mean((x·w − y)²)` — all coordinates delayed by the same τ, matching
+/// the figure's single-delay axis.
+fn run_uniform_delay(
+    x: &[f32],
+    y: &[f32],
+    n: usize,
+    d: usize,
+    alpha: f32,
+    tau: usize,
+    steps: usize,
+) -> f64 {
+    let mut history: Vec<Vec<f32>> = vec![vec![0.0; d + 1]; tau + 1];
+    let mut w = vec![0.0f32; d + 1]; // weights + bias
+    for t in 0..steps {
+        let delayed = if t >= tau { history[(t - tau) % (tau + 1)].clone() } else { vec![0.0; d + 1] };
+        // grad of mean squared error at `delayed`.
+        let mut grad = vec![0.0f32; d + 1];
+        for i in 0..n {
+            let row = &x[i * d..(i + 1) * d];
+            let pred: f32 =
+                row.iter().zip(delayed.iter()).map(|(&a, &b)| a * b).sum::<f32>() + delayed[d];
+            let err = 2.0 * (pred - y[i]) / n as f32;
+            for j in 0..d {
+                grad[j] += err * row[j];
+            }
+            grad[d] += err;
+        }
+        for j in 0..=d {
+            w[j] -= alpha * grad[j];
+        }
+        if !w.iter().all(|v| v.is_finite()) || w.iter().any(|v| v.abs() > 1e20) {
+            return f64::INFINITY;
+        }
+        history[(t + 1) % (tau + 1)] = w.clone();
+    }
+    // Final loss.
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &x[i * d..(i + 1) * d];
+        let pred: f32 = row.iter().zip(w.iter()).map(|(&a, &b)| a * b).sum::<f32>() + w[d];
+        loss += ((pred - y[i]) as f64).powi(2);
+    }
+    loss / n as f64
+}
+
+fn main() {
+    banner(
+        "Figure 3(b)",
+        "Stability heatmap: loss vs (alpha, tau) for linear regression (cpusmall-like)",
+    );
+    let ds = cpusmall_like(128, 2);
+    let (n, d) = (128usize, 12usize);
+    let lambda = ds.max_curvature as f64;
+    println!("dataset: n = {n}, d = {d}, largest curvature λ = {lambda:.2}\n");
+
+    let taus = [1usize, 4, 16, 64, 256, 1024];
+    let alphas: Vec<f32> = (2..=12).rev().map(|e| 2f32.powi(-e)).collect();
+    let steps = 20_000;
+
+    table_header(&[("tau \\ alpha", 12), ("row: loss per alpha (X = diverged)", 40)]);
+    let mut grid: Vec<Vec<f64>> = Vec::new();
+    for &tau in &taus {
+        let mut row = Vec::new();
+        let mut cells = Vec::new();
+        for &alpha in &alphas {
+            let loss = run_uniform_delay(ds.x.data(), ds.y.data(), n, d, alpha, tau, steps);
+            row.push(if loss.is_finite() { loss.ln() } else { f64::INFINITY });
+            cells.push(if loss.is_finite() { format!("{loss:<9.3}") } else { "X        ".to_string() });
+        }
+        println!("{:>12} {}", format!("tau={tau}"), cells.join(" "));
+        grid.push(row);
+    }
+    println!("\nascii heatmap (log-loss; ' '=low, '@'=high, X=diverged):");
+    println!("    alpha: {} (left=2^-12 .. right=2^-2)", alphas.len());
+    ascii_heatmap(&grid, -6.0, 8.0);
+
+    println!("\nLemma 1 boundary alpha_max(tau) = (2/λ)·sin(π/(4τ+2)):");
+    table_header(&[("tau", 6), ("bound", 12), ("first divergent alpha", 22)]);
+    for (k, &tau) in taus.iter().enumerate() {
+        let bound = lemma1_max_alpha(lambda, tau);
+        let first_div = alphas
+            .iter()
+            .zip(grid[k].iter())
+            .find(|(_, &l)| !l.is_finite())
+            .map(|(&a, _)| format!("{a:.6}"))
+            .unwrap_or_else(|| "-".into());
+        println!("{tau:>6} {bound:>12.6} {first_div:>22}");
+    }
+    println!("\nPaper shape: the divergence boundary follows alpha ∝ 1/tau, matching Lemma 1.");
+}

@@ -1,0 +1,34 @@
+//! Figure 6: per-stage activation memory footprint of PipeMare Recompute,
+//! on the paper's example of 16 stages split into 4 segments: without
+//! recompute each stage caches `2(P−i)+1` microbatch activations; with
+//! recompute only each segment's first stage keeps its full window while
+//! later stages keep short recompute buffers.
+
+use pipemare_bench::report::{banner, table_header};
+use pipemare_pipeline::ActivationModel;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "Activation memory per pipeline stage, P = 16, 4 segments",
+    );
+    let am = ActivationModel { p: 16 };
+    let without = am.profile_no_recompute();
+    let with = am.profile_recompute(4);
+    table_header(&[("stage", 6), ("w/o recompute", 14), ("w/ recompute", 13)]);
+    for s in 0..16 {
+        let bar_w = "#".repeat(without[s]);
+        let bar_r = "#".repeat(with[s]);
+        println!("{s:>6} {:>14} {:>13}   | {bar_r}", without[s], with[s]);
+        let _ = bar_w;
+    }
+    println!(
+        "\ntotals: {} microbatch activations without recompute vs {} with \
+         ({}x reduction); optimal segment size = {} (~sqrt(P) = 4)",
+        am.total_no_recompute(),
+        am.total_recompute(4),
+        am.total_no_recompute() / am.total_recompute(4).max(1),
+        am.optimal_segment()
+    );
+    println!("Paper shape: tall first-of-segment bars with short descending ramps after each.");
+}

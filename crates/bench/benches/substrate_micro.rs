@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the substrate: tensor GEMM, convolution
+//! forward/backward, attention forward/backward, polynomial root
+//! finding, and a full trainer step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare_nn::{AttnMask, Conv2d, Layer, MultiHeadAttention};
+use pipemare_tensor::Tensor;
+use pipemare_theory::char_poly_basic;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = StdRng::seed_from_u64(2);
+    let conv = Conv2d::new_no_bias(8, 8, 3, 1, 1);
+    let mut params = vec![0.0f32; conv.param_len()];
+    conv.init_params(&mut params, &mut rng);
+    let x = Tensor::randn(&[4, 8, 16, 16], &mut rng);
+    group.bench_function("forward_4x8x16x16", |bench| {
+        bench.iter(|| std::hint::black_box(conv.forward(&params, &x)));
+    });
+    let (y, cache) = conv.forward(&params, &x);
+    group.bench_function("backward_4x8x16x16", |bench| {
+        bench.iter(|| std::hint::black_box(conv.backward(&params, &cache, &y)));
+    });
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mha = MultiHeadAttention::new(32, 4);
+    let mut params = vec![0.0f32; mha.param_len()];
+    mha.init_params(&mut params, &mut rng);
+    let x = Tensor::randn(&[4, 16, 32], &mut rng);
+    group.bench_function("self_fwd_4x16x32", |bench| {
+        bench.iter(|| std::hint::black_box(mha.forward(&params, &x, &x, &AttnMask::Causal)));
+    });
+    let (y, cache) = mha.forward(&params, &x, &x, &AttnMask::Causal);
+    group.bench_function("self_bwd_4x16x32", |bench| {
+        bench.iter(|| std::hint::black_box(mha.backward(&params, &cache, &y)));
+    });
+    group.finish();
+}
+
+fn bench_roots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_roots");
+    for &tau in &[10usize, 40, 100] {
+        let p = char_poly_basic(1.0, 0.01, tau);
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |bench, _| {
+            bench.iter(|| std::hint::black_box(p.roots()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_conv, bench_attention, bench_roots
+}
+criterion_main!(benches);

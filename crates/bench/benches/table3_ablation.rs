@@ -1,0 +1,85 @@
+//! Table 3: the technique ablation — T1 only, T2 only, T1+T2 (and
+//! +T3 on the translation task) — with best metric, speedup/epochs to
+//! target, throughput, and weight+optimizer memory.
+
+use pipemare_bench::report::{banner, opt_fmt, speedup_fmt, table_header};
+use pipemare_bench::workloads::{ImageWorkload, TranslationWorkload};
+use pipemare_core::runners::{run_image_training, run_translation_training};
+use pipemare_core::stats::amortized_throughput;
+use pipemare_core::RunHistory;
+use pipemare_pipeline::Method;
+
+fn print_rows(
+    task: &str,
+    rows: &[(&str, usize, RunHistory)],
+    target_gap: f32,
+    base_copies: f64,
+    total_epochs: usize,
+) {
+    let best = rows.iter().map(|(_, _, h)| h.best_metric()).fold(f32::MIN, f32::max);
+    let target = best - target_gap;
+    // Speedups are against the GPipe-throughput baseline reaching the
+    // target in the same epochs as the fastest sync-equivalent run; the
+    // paper anchors on GPipe — here we anchor on a hypothetical GPipe run
+    // with the best per-epoch curve among the ablations.
+    let gpipe_time = rows
+        .iter()
+        .filter_map(|(_, _, h)| h.epochs_to_target(target))
+        .min()
+        .map(|e| e as f64 / 0.3);
+    println!("\n--- {task} (target = {target:.1}) ---");
+    table_header(&[
+        ("variant", 16),
+        ("best", 7),
+        ("speedup", 8),
+        ("ep-to-tgt", 10),
+        ("tput", 6),
+        ("W+opt", 7),
+    ]);
+    for (label, warm, h) in rows {
+        let t2_mem = if label.contains("T2") { 1.0 } else { 0.0 };
+        let mem = (base_copies + t2_mem) / base_copies;
+        println!(
+            "{:>16} {:>7.1} {:>8} {:>10} {:>6.2} {:>6.2}X",
+            label,
+            h.best_metric(),
+            speedup_fmt(gpipe_time, h.time_to_target(target)),
+            opt_fmt(h.epochs_to_target(target).map(|e| e as f64), 0),
+            amortized_throughput(Method::PipeMare, *warm, total_epochs),
+            mem,
+        );
+    }
+}
+
+fn main() {
+    banner("Table 3", "Ablation of PipeMare's techniques (T1 / T2 / T1+T2 / +T3)");
+
+    let w = ImageWorkload::cifar_like();
+    let mut rows = Vec::new();
+    for (label, t1, t2) in [("T1 Only", true, false), ("T2 Only", false, true), ("T1+T2", true, true)] {
+        let cfg = w.config(Method::PipeMare, t1, t2);
+        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        rows.push((label, 0usize, h));
+    }
+    print_rows("CIFAR10-like", &rows, 1.0, 3.0, w.epochs);
+
+    let w = TranslationWorkload::iwslt_like();
+    let mut rows = Vec::new();
+    for (label, t1, t2, warm) in [
+        ("T1 Only", true, false, 0usize),
+        ("T2 Only", false, true, 0),
+        ("T1+T2 Only", true, true, 0),
+        ("T1+T2+T3", true, true, w.t3_epochs),
+    ] {
+        let cfg = w.config(Method::PipeMare, t1, t2);
+        let h = run_translation_training(
+            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+        );
+        rows.push((label, warm, h));
+    }
+    print_rows("IWSLT14-like", &rows, 0.4, 4.0, w.epochs);
+
+    println!("\nPaper shape: T1 is the workhorse (large speedups alone); T2-only fails the");
+    println!("Transformer (BLEU ~0) but helps the CNN; T1+T2 is at least as good as T1; T3");
+    println!("closes the remaining BLEU gap at some throughput cost.");
+}

@@ -1,0 +1,37 @@
+//! Table 4: activation-memory requirements of GPipe and
+//! PipeDream/PipeMare with and without PipeMare Recompute, in the
+//! fine-grained setting P = L (asymptotic, constant-free units of M):
+//!
+//! |              | w/o recompute | w/ recompute |
+//! | GPipe        |      MPN      |    MPN^0.5   |
+//! | PipeMare/PD  |      MP^2     |    MP^1.5    |
+
+use pipemare_bench::report::{banner, table_header};
+use pipemare_pipeline::ActivationModel;
+
+fn main() {
+    banner(
+        "Table 4",
+        "Activation memory (units of M, fine-grained P = L), asymptotic model",
+    );
+    let n = 16usize;
+    table_header(&[("P", 6), ("GPipe", 12), ("GPipe+rc", 12), ("Async", 12), ("Async+rc", 12)]);
+    for p in [16usize, 64, 107, 256] {
+        let am = ActivationModel { p };
+        let (g, grc) = am.gpipe_totals(n);
+        let a = (p * p) as f64;
+        let arc = (p as f64).powf(1.5);
+        println!("{p:>6} {g:>12.0} {grc:>12.0} {a:>12.0} {arc:>12.0}");
+    }
+    println!("\nExact profile sums (with the leading constants, optimal segment):");
+    table_header(&[("P", 6), ("exact P^2", 12), ("exact w/ rc", 12), ("ratio", 8)]);
+    for p in [16usize, 64, 107, 256] {
+        let am = ActivationModel { p };
+        let no_rc = am.total_no_recompute();
+        let seg = am.optimal_segment();
+        let rc = am.total_recompute(seg);
+        println!("{p:>6} {no_rc:>12} {rc:>12} {:>8.3}", rc as f64 / no_rc as f64);
+    }
+    println!("\nPaper shape: recompute reduces the quadratic P^2 dependence to P^1.5");
+    println!("(GPipe: MPN -> MP*sqrt(N)); N = {n} used for the GPipe column.");
+}

@@ -1,0 +1,44 @@
+//! Table 5: PipeMare's activation memory with recompute relative to
+//! without, for the stage counts of the four tasks (107 stages for
+//! CIFAR10/ImageNet, 93 for IWSLT14, 91 for WMT17). The paper reports
+//! ratios 0.097 / 0.097 / 0.104 / 0.105 — i.e. `1/√P`.
+
+use pipemare_bench::report::{banner, table_header};
+use pipemare_pipeline::ActivationModel;
+
+fn main() {
+    banner(
+        "Table 5",
+        "Activation memory of PipeMare with recompute (relative to without)",
+    );
+    table_header(&[
+        ("dataset", 10),
+        ("stages", 8),
+        ("w/o rc", 8),
+        ("w/ rc (paper)", 14),
+        ("w/ rc (ours)", 13),
+    ]);
+    for (task, p, paper) in [
+        ("CIFAR10", 107usize, 0.097),
+        ("ImageNet", 107, 0.097),
+        ("IWSLT14", 93, 0.104),
+        ("WMT17", 91, 0.105),
+    ] {
+        let am = ActivationModel { p };
+        println!(
+            "{task:>10} {p:>8} {:>8} {paper:>14.3} {:>13.3}",
+            "1X",
+            am.table5_ratio()
+        );
+    }
+    println!("\nExact (with constants, optimal segment) for comparison:");
+    for (task, p) in [("CIFAR10", 107usize), ("IWSLT14", 93), ("WMT17", 91)] {
+        let am = ActivationModel { p };
+        let seg = am.optimal_segment();
+        println!(
+            "  {task}: segment {} -> exact ratio {:.3}",
+            seg,
+            am.total_recompute(seg) as f64 / am.total_no_recompute() as f64
+        );
+    }
+}

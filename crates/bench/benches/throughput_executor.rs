@@ -1,0 +1,28 @@
+//! Criterion wall-clock validation of the throughput model (App. A.3 /
+//! Table 1): the threaded pipeline executor measures GPipe's bubble
+//! penalty against bubble-free PipeMare injection on real threads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemare_pipeline::{run_threaded_pipeline, Method};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_pipeline");
+    group.sample_size(10);
+    let work = Duration::from_millis(1);
+    for &(p, n) in &[(4usize, 2usize), (4, 8)] {
+        for method in [Method::GPipe, Method::PipeMare] {
+            let id = format!("{}_P{p}_N{n}", method.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(p, n), |bench, &(p, n)| {
+                bench.iter(|| {
+                    std::hint::black_box(run_threaded_pipeline(method, p, n, 4, work))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

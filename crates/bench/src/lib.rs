@@ -1,0 +1,11 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every table and figure of the paper has a `[[bench]]` target (with
+//! `harness = false`) under `benches/`; the workload builders, standard
+//! configurations and report formatting they share live here so that the
+//! same model/dataset/hyperparameters are used consistently across
+//! experiments (as in the paper, where e.g. Figure 4 and Table 3 share
+//! setups).
+
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,117 @@
+//! Report formatting: tables and series in the paper's shape, plus JSON
+//! experiment logs for mechanical regeneration of EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// A machine-readable record of one experiment run, written alongside the
+/// printed tables so results can be post-processed.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ExperimentLog {
+    /// Paper artifact id, e.g. `"fig4"`.
+    pub artifact: String,
+    /// Named numeric series (curves, table columns).
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Named scalar results.
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl ExperimentLog {
+    /// Creates an empty log for `artifact`.
+    pub fn new(artifact: &str) -> Self {
+        ExperimentLog { artifact: artifact.to_string(), ..Default::default() }
+    }
+
+    /// Records a named series.
+    pub fn push_series(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
+        self.series.push((name.to_string(), values.into_iter().collect()));
+    }
+
+    /// Records a named scalar.
+    pub fn push_scalar(&mut self, name: &str, value: f64) {
+        self.scalars.push((name.to_string(), value));
+    }
+
+    /// Writes the log as JSON under `target/experiments/<artifact>.json`.
+    /// I/O failures are reported to stderr but do not abort the run.
+    pub fn save(&self) {
+        let dir = std::path::Path::new("target/experiments");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("experiment log: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.artifact));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("experiment log: cannot write {path:?}: {e}");
+                }
+            }
+            Err(e) => eprintln!("experiment log: serialization failed: {e}"),
+        }
+    }
+}
+
+/// Prints a section banner naming the paper artifact being regenerated.
+pub fn banner(artifact: &str, description: &str) {
+    println!("\n================================================================");
+    println!("{artifact}: {description}");
+    println!("================================================================");
+}
+
+/// Prints a table header row followed by a separator.
+pub fn table_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Formats an optional value, rendering `None` as the paper's `-`/`inf`.
+pub fn opt_fmt(v: Option<f64>, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a speedup relative to a baseline time (`None` → `-`).
+pub fn speedup_fmt(baseline: Option<f64>, this: Option<f64>) -> String {
+    match (baseline, this) {
+        (Some(b), Some(t)) if t > 0.0 => format!("{:.1}X", b / t),
+        _ => "-".to_string(),
+    }
+}
+
+/// Prints a labelled numeric series as `label: v0 v1 v2 ...` rows in
+/// fixed precision — the textual form of a figure's curve.
+pub fn series(label: &str, values: &[f32], precision: usize) {
+    let joined: Vec<String> = values.iter().map(|v| format!("{v:.precision$}")).collect();
+    println!("{label:>28}: {}", joined.join(" "));
+}
+
+/// Prints a series of f64 values.
+pub fn series64(label: &str, values: &[f64], precision: usize) {
+    let joined: Vec<String> = values.iter().map(|v| format!("{v:.precision$}")).collect();
+    println!("{label:>28}: {}", joined.join(" "));
+}
+
+/// Renders a small ASCII heatmap: rows × cols of single characters from
+/// ` .:-=+*#%@` scaled between `lo` and `hi`; non-finite cells are `X`.
+pub fn ascii_heatmap(rows: &[Vec<f64>], lo: f64, hi: f64) {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    for row in rows {
+        let mut line = String::new();
+        for &v in row {
+            if !v.is_finite() {
+                line.push('X');
+            } else {
+                let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                line.push(RAMP[idx] as char);
+            }
+        }
+        println!("    {line}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Parameter checkpointing: save/load flat parameter vectors.
+//!
+//! A minimal binary format (magic + length + little-endian f32s) with no
+//! external dependencies, for persisting trained weights between runs or
+//! handing them from a warmup phase to a separate process.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PIPEMARE";
+
+/// Errors produced by checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a pipemare checkpoint.
+    BadMagic,
+    /// The file is truncated or has trailing bytes.
+    BadLength {
+        /// Parameters the header declared.
+        declared: usize,
+        /// Parameters actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a pipemare checkpoint (bad magic)"),
+            CheckpointError::BadLength { declared, actual } => {
+                write!(f, "checkpoint declares {declared} params but contains {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes a parameter vector to `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn save_params(path: &Path, params: &[f32]) -> Result<(), CheckpointError> {
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&(params.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(params.len() * 4);
+    for &p in params {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a parameter vector from `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or length mismatch.
+pub fn load_params(path: &Path) -> Result<Vec<f32>, CheckpointError> {
+    let mut f = File::open(path)?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut len_bytes = [0u8; 8];
+    f.read_exact(&mut len_bytes)?;
+    let declared = u64::from_le_bytes(len_bytes) as usize;
+    let mut rest = Vec::new();
+    f.read_to_end(&mut rest)?;
+    if rest.len() != declared * 4 {
+        return Err(CheckpointError::BadLength { declared, actual: rest.len() / 4 });
+    }
+    let params = rest
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pipemare_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let params: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        save_params(&path, &params).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(params, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let path = tmp("empty");
+        save_params(&path, &[]).unwrap();
+        assert_eq!(load_params(&path).unwrap(), Vec::<f32>::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTMAGIC\0\0\0\0\0\0\0\0").unwrap();
+        assert!(matches!(load_params(&path), Err(CheckpointError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let path = tmp("trunc");
+        let params = vec![1.0f32; 10];
+        save_params(&path, &params).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(load_params(&path), Err(CheckpointError::BadLength { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::BadLength { declared: 10, actual: 9 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("9"));
+    }
+}

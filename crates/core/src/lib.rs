@@ -1,0 +1,31 @@
+//! The PipeMare training system: asynchronous pipeline-parallel trainers.
+//!
+//! This crate ties the substrates together: a [`PipelineTrainer`] takes
+//! any [`pipemare_nn::TrainModel`], partitions its weight units into `P`
+//! stages, and trains it under the delay semantics of GPipe, PipeDream,
+//! PipeMare, or Hogwild!-style stochastic asynchrony — with PipeMare's
+//! three techniques available à la carte:
+//!
+//! * **T1** learning-rate rescheduling ([`pipemare_optim::T1Rescheduler`]),
+//! * **T2** discrepancy correction (the per-stage δ velocity buffer),
+//! * **T3** synchronous warmup epochs,
+//!
+//! plus the App. D recompute delay model (delayed recomputed activations
+//! with T2-for-recompute).
+//!
+//! [`runners`] provides end-to-end training loops with per-epoch
+//! evaluation for the three task families (image classification,
+//! translation, regression), and [`stats`] the run histories and the
+//! normalized time model used for time-to-accuracy numbers.
+
+pub mod checkpoint;
+pub mod config;
+pub mod runners;
+pub mod stats;
+pub mod trainer;
+
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use config::{RecomputeCfg, TrainConfig, TrainMode};
+pub use stats::{EpochRecord, RunHistory, StepStats};
+pub use runners::{run_image_training, run_regression_training, run_translation_training, ClassifierModel};
+pub use trainer::{PipelineTrainer, StageInfo};

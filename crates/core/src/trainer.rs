@@ -1,0 +1,634 @@
+//! The pipeline-parallel trainer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare_nn::TrainModel;
+use pipemare_optim::{clip_grad_norm, Optimizer};
+use pipemare_pipeline::{Method, PipelineClock, StagePartition, WeightHistory};
+use pipemare_theory::gamma_from_d;
+
+use crate::config::{TrainConfig, TrainMode};
+use crate::stats::StepStats;
+
+/// Per-stage diagnostic record returned by
+/// [`PipelineTrainer::stage_report`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageInfo {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Parameters assigned to the stage.
+    pub params: usize,
+    /// Nominal forward delay in optimizer steps.
+    pub tau_fwd: f64,
+    /// Nominal backward delay in optimizer steps.
+    pub tau_bkwd: f64,
+    /// T2 decay γ for this stage (0 when T2 is off).
+    pub gamma: f64,
+}
+
+/// Trains a [`TrainModel`] under pipeline-parallel delay semantics.
+///
+/// The trainer owns the weight-version history and, per microbatch,
+/// assembles the forward parameter vector from each stage's delayed
+/// version, runs the model's forward pass on it, assembles the (possibly
+/// T2-corrected) backward parameter vector, and accumulates the
+/// two-argument gradient `∇f(u_fwd, u_bkwd)` — exactly the simulation
+/// strategy the paper describes in App. C.4.
+pub struct PipelineTrainer<'m, M: TrainModel> {
+    model: &'m M,
+    cfg: TrainConfig,
+    partition: StagePartition,
+    clock: PipelineClock,
+    history: WeightHistory,
+    opt: Optimizer,
+    /// T2 velocity buffer δ (one entry per parameter).
+    delta: Vec<f32>,
+    /// Per-stage T2 decay γ_i = D^{1/(τ_fwd,i − τ_bkwd,i)}.
+    gammas: Vec<f64>,
+    /// Per-stage recompute delay slots (when recompute is simulated).
+    recomp_slots: Vec<usize>,
+    step: usize,
+    diverged: bool,
+    hogwild_rng: StdRng,
+}
+
+impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
+    /// Creates a trainer with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent with the model (e.g.
+    /// more stages than parameters).
+    pub fn new(model: &'m M, cfg: TrainConfig, init_seed: u64) -> Self {
+        let units: Vec<(usize, usize)> = model
+            .weight_units()
+            .iter()
+            .map(|u| (u.offset, u.len))
+            .collect();
+        let total = model.param_len();
+        let partition = if cfg.partition_by_elements {
+            StagePartition::by_elements(total, cfg.stages)
+        } else {
+            StagePartition::from_units(&units, total, cfg.stages)
+        };
+        let clock = PipelineClock::new(cfg.stages, cfg.n_micro);
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let mut params = vec![0.0f32; total];
+        model.init_params(&mut params, &mut rng);
+        let history = WeightHistory::new(clock.history_depth() + 1, params);
+        let opt = Optimizer::new(cfg.optimizer, total);
+        // Per-stage T2 decay from the nominal fractional delay gap.
+        let gammas: Vec<f64> = (0..cfg.stages)
+            .map(|s| {
+                let gap = match &cfg.mode {
+                    TrainMode::Pipeline(Method::PipeMare) => clock.nominal_tau_fwd(s),
+                    TrainMode::Pipeline(_) => 0.0,
+                    TrainMode::Hogwild(_) => 0.0,
+                };
+                cfg.t2_decay.map_or(0.0, |d| gamma_from_d(d, gap))
+            })
+            .collect();
+        // Recompute delay slots: stages grouped into segments; stage j
+        // within a segment has its activations recomputed 2(S−j) slots
+        // before its backward pass (App. A.2/D).
+        let recomp_slots: Vec<usize> = match cfg.recompute {
+            None => vec![0; cfg.stages],
+            Some(rc) => {
+                let seg = cfg.stages.div_ceil(rc.segments.max(1)).max(1);
+                (0..cfg.stages).map(|s| 2 * (seg - s % seg)).collect()
+            }
+        };
+        let hogwild_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+        PipelineTrainer {
+            model,
+            cfg,
+            partition,
+            clock,
+            history,
+            opt,
+            delta: vec![0.0; total],
+            gammas,
+            recomp_slots,
+            step: 0,
+            diverged: false,
+            hogwild_rng,
+        }
+    }
+
+    /// The latest (most up-to-date) parameter vector.
+    pub fn params(&self) -> &[f32] {
+        self.history.latest()
+    }
+
+    /// Optimizer steps completed.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Whether training has hit non-finite weights.
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// The stage partition in use.
+    pub fn partition(&self) -> &StagePartition {
+        &self.partition
+    }
+
+    /// The pipeline clock in use.
+    pub fn clock(&self) -> &PipelineClock {
+        &self.clock
+    }
+
+    /// Fraction of parameters on each stage (used by the memory model).
+    pub fn stage_fracs(&self) -> Vec<f64> {
+        let total = self.partition.total_params() as f64;
+        (0..self.cfg.stages)
+            .map(|s| self.partition.stage_len(s) as f64 / total)
+            .collect()
+    }
+
+    /// Whether step `t` is still in the synchronous (T3) warmup phase.
+    pub fn in_warmup(&self) -> bool {
+        self.step < self.cfg.warmup_steps
+    }
+
+    /// Per-stage diagnostics: `(params, τ_fwd, τ_bkwd, γ)` for each stage
+    /// under the configured method. Useful for inspecting a pipeline
+    /// before training.
+    pub fn stage_report(&self) -> Vec<StageInfo> {
+        (0..self.cfg.stages)
+            .map(|s| {
+                let (tau_fwd, tau_bkwd) = match &self.cfg.mode {
+                    TrainMode::Pipeline(m) => (
+                        match m {
+                            Method::GPipe => 0.0,
+                            _ => self.clock.nominal_tau_fwd(s),
+                        },
+                        self.clock.nominal_tau_bkwd(*m, s),
+                    ),
+                    TrainMode::Hogwild(h) => (h.means[s], h.means[s]),
+                };
+                StageInfo {
+                    stage: s,
+                    params: self.partition.stage_len(s),
+                    tau_fwd,
+                    tau_bkwd,
+                    gamma: self.gammas[s],
+                }
+            })
+            .collect()
+    }
+
+    fn assemble(&self, buf: &mut [f32], version_of: impl Fn(usize) -> usize) {
+        for s in 0..self.cfg.stages {
+            let (lo, hi) = self.partition.range(s);
+            let src = self.history.get(version_of(s));
+            buf[lo..hi].copy_from_slice(&src[lo..hi]);
+        }
+    }
+
+    /// Runs one optimizer step on a minibatch already split into
+    /// microbatches. `micro_weights[n]` is the fraction of minibatch
+    /// samples in microbatch `n` (the per-microbatch mean losses/gradients
+    /// are combined with these weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro.len()` differs from the configured `n_micro` or
+    /// the weights don't match.
+    pub fn train_minibatch(&mut self, micro: &[M::Batch], micro_weights: &[f32]) -> StepStats {
+        assert_eq!(
+            micro.len(),
+            self.cfg.n_micro,
+            "expected {} microbatches, got {}",
+            self.cfg.n_micro,
+            micro.len()
+        );
+        assert_eq!(micro.len(), micro_weights.len());
+        let t = self.step;
+        let sync_phase = t < self.cfg.warmup_steps;
+        let total = self.partition.total_params();
+
+        if self.diverged {
+            // Once diverged, report without updating (runners stop early).
+            self.step += 1;
+            return StepStats {
+                step: t,
+                loss: f32::NAN,
+                param_norm: f32::INFINITY,
+                base_lr: self.cfg.schedule.lr(t),
+                diverged: true,
+            };
+        }
+
+        // Hogwild: one sampled delay per stage per optimizer step.
+        let hog_delays: Option<Vec<usize>> = match (&self.cfg.mode, sync_phase) {
+            (TrainMode::Hogwild(h), false) => {
+                Some((0..self.cfg.stages).map(|s| h.sample(s, &mut self.hogwild_rng)).collect())
+            }
+            _ => None,
+        };
+
+        let mut fwd_buf = vec![0.0f32; total];
+        let mut bkwd_buf = vec![0.0f32; total];
+        let mut grad = vec![0.0f32; total];
+        let mut loss_acc = 0.0f32;
+        let method = self.cfg.mode.method();
+
+        for (n, batch) in micro.iter().enumerate() {
+            // Forward weight versions.
+            self.assemble(&mut fwd_buf, |s| {
+                if sync_phase {
+                    t
+                } else {
+                    match (&hog_delays, method) {
+                        (Some(d), _) => t.saturating_sub(d[s]),
+                        (None, Some(m)) => self.clock.fwd_version(m, t, n, s),
+                        (None, None) => t,
+                    }
+                }
+            });
+            let (loss, cache) = if let (Some(_rc), false, Some(Method::PipeMare)) =
+                (self.cfg.recompute, sync_phase, method)
+            {
+                // Recompute simulation: the loss comes from the true
+                // forward pass, but the activations the backward pass
+                // consumes are recomputed under a different (fresher)
+                // delayed version — optionally T2-corrected toward the
+                // forward version (App. D).
+                let (loss, _) = self.model.forward_loss(&fwd_buf, batch);
+                let mut recomp_buf = vec![0.0f32; total];
+                self.assemble(&mut recomp_buf, |s| {
+                    let m = (t * self.cfg.n_micro + n) as i64 - self.recomp_slots[s] as i64;
+                    m.div_euclid(self.cfg.n_micro as i64).clamp(0, t as i64) as usize
+                });
+                if self.cfg.recompute.unwrap().t2 && self.cfg.t2_decay.is_some() {
+                    // u_recomp ← u_recomp − (τ_fwd − τ_recomp)·δ.
+                    for s in 0..self.cfg.stages {
+                        let gap = self.clock.nominal_tau_fwd(s)
+                            - self.recomp_slots[s] as f64 / self.cfg.n_micro as f64;
+                        if gap > 0.0 {
+                            let (lo, hi) = self.partition.range(s);
+                            for i in lo..hi {
+                                recomp_buf[i] -= gap as f32 * self.delta[i];
+                            }
+                        }
+                    }
+                }
+                let (_, cache) = self.model.forward_loss(&recomp_buf, batch);
+                (loss, cache)
+            } else {
+                self.model.forward_loss(&fwd_buf, batch)
+            };
+            loss_acc += micro_weights[n] * loss;
+
+            // Backward weight versions.
+            self.assemble(&mut bkwd_buf, |s| {
+                if sync_phase {
+                    t
+                } else {
+                    match (&hog_delays, method) {
+                        (Some(d), _) => t.saturating_sub(d[s]),
+                        (None, Some(m)) => self.clock.bkwd_version(m, t, n, s),
+                        (None, None) => t,
+                    }
+                }
+            });
+            // T2: extrapolate the backward weights toward the forward
+            // version along the velocity estimate δ.
+            if !sync_phase && method == Some(Method::PipeMare) && self.cfg.t2_decay.is_some() {
+                for s in 0..self.cfg.stages {
+                    let gap = self.clock.nominal_tau_fwd(s); // τ_bkwd = 0
+                    let (lo, hi) = self.partition.range(s);
+                    for i in lo..hi {
+                        bkwd_buf[i] -= gap as f32 * self.delta[i];
+                    }
+                }
+            }
+            let g = self.model.backward(&bkwd_buf, &cache);
+            for (acc, &gi) in grad.iter_mut().zip(g.iter()) {
+                *acc += micro_weights[n] * gi;
+            }
+        }
+
+        if let Some(clip) = self.cfg.grad_clip {
+            clip_grad_norm(&mut grad, clip);
+        }
+
+        let base_lr = self.cfg.schedule.lr(t);
+        let w_old = self.history.latest().to_vec();
+        let mut w_new = w_old.clone();
+        let grad_finite = grad.iter().all(|g| g.is_finite());
+        if grad_finite {
+            self.opt.begin_step();
+            let t_async = t.saturating_sub(self.cfg.warmup_steps);
+            for s in 0..self.cfg.stages {
+                let (lo, hi) = self.partition.range(s);
+                let scale = match (&self.cfg.t1, sync_phase, method) {
+                    (Some(t1), false, Some(Method::PipeMare)) => {
+                        t1.scale(t_async, self.clock.nominal_tau_fwd(s))
+                    }
+                    (Some(t1), false, None) => {
+                        // Hogwild: rescale by the stage's mean delay.
+                        if let TrainMode::Hogwild(h) = &self.cfg.mode {
+                            t1.scale(t_async, h.means[s])
+                        } else {
+                            1.0
+                        }
+                    }
+                    _ => 1.0,
+                };
+                self.opt.step_range(&mut w_new, &grad, lo, hi, base_lr * scale);
+            }
+        }
+        let finite = w_new.iter().all(|w| w.is_finite());
+        if !finite || !grad_finite {
+            self.diverged = true;
+            // Keep the last finite weights in history.
+            w_new = w_old.clone();
+        }
+        // T2 velocity update: δ ← γδ + (1−γ)(w_new − w_old), per stage.
+        if self.cfg.t2_decay.is_some() {
+            for s in 0..self.cfg.stages {
+                let g = self.gammas[s] as f32;
+                let (lo, hi) = self.partition.range(s);
+                for i in lo..hi {
+                    self.delta[i] = g * self.delta[i] + (1.0 - g) * (w_new[i] - w_old[i]);
+                }
+            }
+        }
+        let param_norm = w_new.iter().map(|&w| w as f64 * w as f64).sum::<f64>().sqrt() as f32;
+        self.history.push(t + 1, w_new);
+        self.step += 1;
+        StepStats {
+            step: t,
+            loss: loss_acc,
+            param_norm,
+            base_lr,
+            diverged: self.diverged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemare_nn::{ImageBatch, Mlp};
+    use pipemare_optim::{ConstantLr, OptimizerKind, T1Rescheduler};
+    use pipemare_tensor::Tensor;
+
+    fn blob_micro(seed: u64, n_micro: usize, per_micro: usize) -> (Vec<ImageBatch>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut micro = Vec::new();
+        for _ in 0..n_micro {
+            let mut x = Tensor::randn(&[per_micro, 4], &mut rng);
+            let mut y = Vec::new();
+            for i in 0..per_micro {
+                let label = i % 2;
+                for j in 0..4 {
+                    x.data_mut()[i * 4 + j] += if label == 0 { 3.0 } else { -3.0 };
+                }
+                y.push(label);
+            }
+            micro.push(ImageBatch { x, y });
+        }
+        let w = vec![1.0 / n_micro as f32; n_micro];
+        (micro, w)
+    }
+
+    fn sgd() -> OptimizerKind {
+        OptimizerKind::Sgd { weight_decay: 0.0 }
+    }
+
+    #[test]
+    fn gpipe_matches_sequential_sgd_exactly() {
+        // GPipe is synchronous: training through the pipeline trainer must
+        // equal plain full-batch SGD step for step.
+        let model = Mlp::new(&[4, 6, 2]);
+        let cfg = TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05)));
+        let mut trainer = PipelineTrainer::new(&model, cfg, 7);
+        // Sequential reference with identical init.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ref_params = vec![0.0; model.param_len()];
+        model.init_params(&mut ref_params, &mut rng);
+        assert_eq!(trainer.params(), ref_params.as_slice());
+        let (micro, w) = blob_micro(1, 2, 4);
+        for _ in 0..5 {
+            trainer.train_minibatch(&micro, &w);
+            // Reference: weighted mean of per-microbatch gradients.
+            let mut grad = vec![0.0f32; model.param_len()];
+            for (b, &wn) in micro.iter().zip(w.iter()) {
+                let (_, cache) = model.forward_loss(&ref_params, b);
+                let g = model.backward(&ref_params, &cache);
+                for (acc, &gi) in grad.iter_mut().zip(g.iter()) {
+                    *acc += wn * gi;
+                }
+            }
+            for (p, g) in ref_params.iter_mut().zip(grad.iter()) {
+                *p -= 0.05 * g;
+            }
+        }
+        for (a, b) in trainer.params().iter().zip(ref_params.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pipemare_first_step_matches_sync_then_diverges_from_it() {
+        // At t = 0 all versions clamp to 0, so step 0 equals the sync
+        // step; afterwards delayed reads differ.
+        let model = Mlp::new(&[4, 6, 2]);
+        let mk = |method| {
+            let mut cfg = TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05)));
+            cfg.mode = TrainMode::Pipeline(method);
+            cfg
+        };
+        let mut sync = PipelineTrainer::new(&model, mk(Method::GPipe), 3);
+        let mut asyn = PipelineTrainer::new(&model, mk(Method::PipeMare), 3);
+        let (micro, w) = blob_micro(2, 2, 4);
+        sync.train_minibatch(&micro, &w);
+        asyn.train_minibatch(&micro, &w);
+        assert_eq!(sync.params(), asyn.params(), "step 0 must coincide");
+        for _ in 0..4 {
+            sync.train_minibatch(&micro, &w);
+            asyn.train_minibatch(&micro, &w);
+        }
+        assert_ne!(sync.params(), asyn.params(), "delayed reads must change training");
+    }
+
+    #[test]
+    fn pipedream_differs_from_both_gpipe_and_pipemare() {
+        let model = Mlp::new(&[4, 6, 2]);
+        let mk = |method| {
+            let mut cfg = TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05)));
+            cfg.mode = TrainMode::Pipeline(method);
+            cfg
+        };
+        let run = |method| {
+            let mut tr = PipelineTrainer::new(&model, mk(method), 3);
+            let (micro, w) = blob_micro(2, 2, 4);
+            for _ in 0..6 {
+                tr.train_minibatch(&micro, &w);
+            }
+            tr.params().to_vec()
+        };
+        let g = run(Method::GPipe);
+        let d = run(Method::PipeDream);
+        let m = run(Method::PipeMare);
+        assert_ne!(g, d);
+        assert_ne!(d, m);
+    }
+
+    #[test]
+    fn warmup_steps_run_synchronously() {
+        // With warmup covering the whole run, PipeMare equals GPipe.
+        let model = Mlp::new(&[4, 6, 2]);
+        let mut cfg = TrainConfig::pipemare(
+            3,
+            2,
+            sgd(),
+            Box::new(ConstantLr(0.05)),
+            T1Rescheduler::new(10),
+            0.135,
+        );
+        cfg.warmup_steps = 100;
+        let mut pm = PipelineTrainer::new(&model, cfg, 5);
+        let mut gp =
+            PipelineTrainer::new(&model, TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05))), 5);
+        let (micro, w) = blob_micro(4, 2, 4);
+        for _ in 0..8 {
+            pm.train_minibatch(&micro, &w);
+            gp.train_minibatch(&micro, &w);
+        }
+        assert_eq!(pm.params(), gp.params());
+        assert!(pm.in_warmup());
+    }
+
+    #[test]
+    fn t1_shrinks_early_steps() {
+        // With T1, early async steps move early-stage weights less.
+        let model = Mlp::new(&[4, 6, 2]);
+        let base = |t1| {
+            let mut cfg = TrainConfig::gpipe(3, 1, sgd(), Box::new(ConstantLr(0.1)));
+            cfg.mode = TrainMode::Pipeline(Method::PipeMare);
+            cfg.t1 = t1;
+            cfg
+        };
+        let (micro, w) = blob_micro(5, 1, 8);
+        let step_of = |cfg| {
+            let mut tr = PipelineTrainer::new(&model, cfg, 9);
+            let before = tr.params().to_vec();
+            tr.train_minibatch(&micro, &w);
+            let after = tr.params().to_vec();
+            // Stage 0 range:
+            let (lo, hi) = tr.partition().range(0);
+            before[lo..hi]
+                .iter()
+                .zip(after[lo..hi].iter())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+        };
+        let plain = step_of(base(None));
+        let rescheduled = step_of(base(Some(T1Rescheduler::new(100))));
+        // τ_fwd of stage 0 with P = 3, N = 1 is 5 → first step / 5.
+        assert!(
+            rescheduled < plain * 0.5,
+            "T1 should shrink the first step: {rescheduled} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn t2_changes_training_trajectory() {
+        let model = Mlp::new(&[4, 6, 2]);
+        let run = |t2: Option<f64>| {
+            let mut cfg = TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05)));
+            cfg.mode = TrainMode::Pipeline(Method::PipeMare);
+            cfg.t2_decay = t2;
+            let mut tr = PipelineTrainer::new(&model, cfg, 3);
+            let (micro, w) = blob_micro(2, 2, 4);
+            for _ in 0..6 {
+                tr.train_minibatch(&micro, &w);
+            }
+            tr.params().to_vec()
+        };
+        assert_ne!(run(None), run(Some(0.5)));
+    }
+
+    #[test]
+    fn divergence_is_detected_and_latched() {
+        // An absurd learning rate blows up the weights; the trainer must
+        // flag it and stop updating.
+        let model = Mlp::new(&[4, 6, 2]);
+        let cfg = TrainConfig::naive_async(3, 1, sgd(), Box::new(ConstantLr(1e8)));
+        let mut tr = PipelineTrainer::new(&model, cfg, 3);
+        let (micro, w) = blob_micro(2, 1, 4);
+        let mut saw_divergence = false;
+        for _ in 0..20 {
+            let stats = tr.train_minibatch(&micro, &w);
+            if stats.diverged {
+                saw_divergence = true;
+                break;
+            }
+        }
+        assert!(saw_divergence, "expected divergence under lr = 1e8");
+        assert!(tr.diverged());
+        // Parameters stay finite (last good version preserved).
+        assert!(tr.params().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn stage_report_reflects_configuration() {
+        let model = Mlp::new(&[4, 6, 2]);
+        let cfg = TrainConfig::pipemare(
+            2,
+            2,
+            sgd(),
+            Box::new(ConstantLr(0.05)),
+            T1Rescheduler::new(10),
+            0.135,
+        );
+        let tr = PipelineTrainer::new(&model, cfg, 1);
+        let report = tr.stage_report();
+        assert_eq!(report.len(), 2);
+        // P = 2, N = 2: τ_fwd = 1.5 and 0.5; PipeMare τ_bkwd = 0.
+        assert!((report[0].tau_fwd - 1.5).abs() < 1e-12);
+        assert!((report[1].tau_fwd - 0.5).abs() < 1e-12);
+        assert_eq!(report[0].tau_bkwd, 0.0);
+        // T2 active: γ = D^{1/τ}.
+        assert!((report[0].gamma - 0.135f64.powf(1.0 / 1.5)).abs() < 1e-9);
+        // Params cover the model.
+        let total: usize = report.iter().map(|r| r.params).sum();
+        assert_eq!(total, model.param_len());
+        // GPipe report shows zero delays.
+        let g = PipelineTrainer::new(
+            &model,
+            TrainConfig::gpipe(2, 2, sgd(), Box::new(ConstantLr(0.05))),
+            1,
+        );
+        assert!(g.stage_report().iter().all(|r| r.tau_fwd == 0.0 && r.tau_bkwd == 0.0));
+    }
+
+    #[test]
+    fn hogwild_mode_trains() {
+        use pipemare_pipeline::HogwildDelays;
+        let model = Mlp::new(&[4, 6, 2]);
+        let mut cfg = TrainConfig::gpipe(3, 1, sgd(), Box::new(ConstantLr(0.02)));
+        cfg.mode = TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(3, 1));
+        let mut tr = PipelineTrainer::new(&model, cfg, 11);
+        let (micro, w) = blob_micro(6, 1, 8);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let stats = tr.train_minibatch(&micro, &w);
+            first_loss.get_or_insert(stats.loss);
+            last_loss = stats.loss;
+        }
+        assert!(!tr.diverged());
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "hogwild failed to learn: {first_loss:?} -> {last_loss}"
+        );
+    }
+}

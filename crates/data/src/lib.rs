@@ -1,0 +1,27 @@
+//! Synthetic datasets and evaluation metrics for the PipeMare reproduction.
+//!
+//! The paper evaluates on CIFAR10, ImageNet, IWSLT14 and WMT17 — none of
+//! which can be shipped here — so this crate provides *synthetic stand-ins*
+//! that exercise the same code paths and optimization phenomenology (see
+//! DESIGN.md §4 for the substitution rationale):
+//!
+//! * [`SyntheticImages`]: Gaussian-prototype image classification
+//!   (CIFAR-like and ImageNet-like variants).
+//! * [`SyntheticTranslation`]: deterministic token-transduction tasks
+//!   (vocabulary remap + reversal) scored with real corpus BLEU.
+//! * [`cpusmall_like`]: the 12-dimensional regression problem behind the
+//!   Figure 3(b) stability heatmap, with a matched condition number.
+//! * Metrics: top-1 accuracy, corpus BLEU-4 with brevity penalty,
+//!   perplexity.
+
+pub mod batcher;
+pub mod images;
+pub mod metrics;
+pub mod regression;
+pub mod translation;
+
+pub use batcher::{split_microbatches, MinibatchIter};
+pub use images::{ImageDataset, SyntheticImages};
+pub use metrics::{accuracy, corpus_bleu, perplexity};
+pub use regression::{cpusmall_like, RegressionDataset};
+pub use translation::{batch_by_tokens, batch_pairs, SyntheticTranslation, TranslationDataset};

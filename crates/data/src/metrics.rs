@@ -1,0 +1,156 @@
+//! Evaluation metrics: accuracy, corpus BLEU, perplexity.
+
+use std::collections::HashMap;
+
+/// Top-1 accuracy of predicted vs. true labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+    correct as f32 / pred.len() as f32
+}
+
+/// Corpus-level BLEU-4 with brevity penalty (Papineni et al. 2002),
+/// returned on the usual 0–100 scale.
+///
+/// Uses modified (clipped) n-gram precision up to 4-grams, aggregated over
+/// the whole corpus, with +0 smoothing: if any n-gram order has zero
+/// matches the score is 0 (standard corpus BLEU behaviour).
+pub fn corpus_bleu(hypotheses: &[Vec<usize>], references: &[Vec<usize>]) -> f32 {
+    assert_eq!(
+        hypotheses.len(),
+        references.len(),
+        "corpus_bleu: {} hypotheses for {} references",
+        hypotheses.len(),
+        references.len()
+    );
+    if hypotheses.is_empty() {
+        return 0.0;
+    }
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matches = [0usize; 4];
+    let mut totals = [0usize; 4];
+    for (h, r) in hypotheses.iter().zip(references.iter()) {
+        hyp_len += h.len();
+        ref_len += r.len();
+        for n in 1..=4usize {
+            if h.len() < n {
+                continue;
+            }
+            let h_counts = ngram_counts(h, n);
+            let r_counts = ngram_counts(r, n);
+            let total = h.len() + 1 - n;
+            totals[n - 1] += total;
+            for (gram, &c) in &h_counts {
+                let clip = r_counts.get(gram).copied().unwrap_or(0);
+                matches[n - 1] += c.min(clip);
+            }
+        }
+    }
+    let mut log_prec = 0.0f64;
+    for n in 0..4 {
+        if totals[n] == 0 || matches[n] == 0 {
+            return 0.0;
+        }
+        log_prec += (matches[n] as f64 / totals[n] as f64).ln();
+    }
+    log_prec /= 4.0;
+    let bp = if hyp_len >= ref_len || hyp_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    (100.0 * bp * log_prec.exp()) as f32
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut counts = HashMap::new();
+    for w in seq.windows(n) {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Perplexity from a mean cross-entropy loss in nats.
+pub fn perplexity(mean_nll: f32) -> f32 {
+    mean_nll.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_hypothesis_scores_100() {
+        let refs = vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9]];
+        let bleu = corpus_bleu(&refs, &refs);
+        assert!((bleu - 100.0).abs() < 1e-3, "bleu {bleu}");
+    }
+
+    #[test]
+    fn disjoint_hypothesis_scores_0() {
+        let hyp = vec![vec![1, 2, 3, 4, 5]];
+        let refs = vec![vec![6, 7, 8, 9, 10]];
+        assert_eq!(corpus_bleu(&hyp, &refs), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let hyp = vec![vec![1, 2, 3, 4, 5, 9, 9, 9]];
+        let refs = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let bleu = corpus_bleu(&hyp, &refs);
+        assert!(bleu > 0.0 && bleu < 100.0, "bleu {bleu}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_hypotheses() {
+        // Same matched prefix, shorter hypothesis -> lower BLEU.
+        let refs = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let long_hyp = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let short_hyp = vec![vec![1, 2, 3, 4, 5]];
+        let b_long = corpus_bleu(&long_hyp, &refs);
+        let b_short = corpus_bleu(&short_hyp, &refs);
+        assert!(b_short < b_long, "{b_short} !< {b_long}");
+        // Short hypothesis has perfect precision; its score equals BP*100.
+        let bp = (1.0f64 - 8.0 / 5.0).exp() as f32 * 100.0;
+        assert!((b_short - bp).abs() < 1e-2, "{b_short} vs {bp}");
+    }
+
+    #[test]
+    fn clipping_prevents_repetition_gaming() {
+        // Repeating a matched token should not inflate precision.
+        let refs = vec![vec![1, 2, 3, 4]];
+        let spam = vec![vec![1, 1, 1, 1]];
+        let honest = vec![vec![1, 2, 3, 4]];
+        assert!(corpus_bleu(&spam, &refs) < corpus_bleu(&honest, &refs));
+    }
+
+    #[test]
+    fn corpus_aggregation_differs_from_mean_of_sentences() {
+        // Corpus BLEU pools counts; one perfect and one disjoint sentence
+        // yields a nonzero corpus score.
+        let hyp = vec![vec![1, 2, 3, 4, 5], vec![9, 9, 9, 9, 9]];
+        let refs = vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 10, 11]];
+        let bleu = corpus_bleu(&hyp, &refs);
+        assert!(bleu > 0.0 && bleu < 100.0);
+    }
+
+    #[test]
+    fn perplexity_of_uniform() {
+        let v = 8.0f32;
+        assert!((perplexity(v.ln()) - 8.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,180 @@
+//! The `cpusmall`-like regression problem (Figure 3(b)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pipemare_tensor::Tensor;
+
+/// A linear-regression dataset with precomputed curvature.
+#[derive(Clone, Debug)]
+pub struct RegressionDataset {
+    /// Features `(N, D)`.
+    pub x: Tensor,
+    /// Targets `(N,)`.
+    pub y: Tensor,
+    /// Largest eigenvalue of the empirical Hessian `2/N · XᵀX` of the MSE
+    /// objective — the `λ` used to overlay the Lemma 1 bound on the
+    /// Figure 3(b) heatmap.
+    pub max_curvature: f32,
+}
+
+impl RegressionDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generates a dataset shaped like LIBSVM's `cpusmall`: 12 features with
+/// heterogeneous scales (condition number in the hundreds), targets from a
+/// fixed linear model plus noise.
+///
+/// The paper's Figure 3(b) uses the real `cpusmall` file; what matters for
+/// the heatmap is only the curvature spectrum of `XᵀX`, which sets the
+/// divergence boundary `α ∝ 1/(λ_max τ)`. The feature scales are chosen
+/// to give a comparable spread.
+pub fn cpusmall_like(n: usize, seed: u64) -> RegressionDataset {
+    let d = 12;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Geometric spread of feature scales: condition number ~ 4^(11) in
+    // variance terms would be too extreme; use per-feature std in
+    // [0.1, 3.0] log-spaced.
+    let scales: Vec<f32> = (0..d)
+        .map(|j| 0.1 * (30.0f32).powf(j as f32 / (d - 1) as f32))
+        .collect();
+    let mut x = Tensor::zeros(&[n, d]);
+    for i in 0..n {
+        for j in 0..d {
+            x.data_mut()[i * d + j] = scales[j] * crate_randn(&mut rng);
+        }
+    }
+    let true_w: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let mut y = Tensor::zeros(&[n]);
+    for i in 0..n {
+        let mut acc = 0.0f32;
+        for j in 0..d {
+            acc += x.data()[i * d + j] * true_w[j];
+        }
+        y.data_mut()[i] = acc + 0.1 * crate_randn(&mut rng);
+    }
+    let max_curvature = largest_hessian_eigenvalue(&x);
+    RegressionDataset { x, y, max_curvature }
+}
+
+fn crate_randn(rng: &mut StdRng) -> f32 {
+    // Box–Muller (shared with pipemare-tensor's init, re-derived here to
+    // keep the data crate self-contained for scalar draws).
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Largest eigenvalue of `2/N · XᵀX` (the Hessian of mean squared error)
+/// by power iteration.
+pub fn largest_hessian_eigenvalue(x: &Tensor) -> f32 {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    let mut v = vec![1.0f32 / (d as f32).sqrt(); d];
+    let mut lambda = 0.0f32;
+    for _ in 0..200 {
+        // u = X v; w = Xᵀ u * 2/N
+        let mut u = vec![0.0f32; n];
+        for i in 0..n {
+            let row = &x.data()[i * d..(i + 1) * d];
+            u[i] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+        }
+        let mut w = vec![0.0f32; d];
+        for i in 0..n {
+            let row = &x.data()[i * d..(i + 1) * d];
+            for j in 0..d {
+                w[j] += row[j] * u[i];
+            }
+        }
+        let scale = 2.0 / n as f32;
+        for wj in &mut w {
+            *wj *= scale;
+        }
+        let norm = w.iter().map(|&a| a * a).sum::<f32>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        lambda = norm;
+        for (vj, &wj) in v.iter_mut().zip(w.iter()) {
+            *vj = wj / norm;
+        }
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let a = cpusmall_like(100, 3);
+        let b = cpusmall_like(100, 3);
+        assert_eq!(a.x.shape(), &[100, 12]);
+        assert_eq!(a.y.shape(), &[100]);
+        assert_eq!(a.x, b.x);
+        assert!((a.max_curvature - b.max_curvature).abs() < 1e-6);
+    }
+
+    #[test]
+    fn curvature_is_positive_and_scale_dominated() {
+        let ds = cpusmall_like(500, 1);
+        // Largest feature scale is 3.0, so λ_max of 2/N XᵀX is at least
+        // ~2·3² (dominated by that feature's variance).
+        assert!(ds.max_curvature > 10.0, "curvature {}", ds.max_curvature);
+        assert!(ds.max_curvature < 100.0, "curvature {}", ds.max_curvature);
+    }
+
+    #[test]
+    fn power_iteration_matches_2x2_analytic() {
+        // X with orthogonal columns of known norms: XᵀX = diag(4, 1).
+        let x = Tensor::from_vec(vec![2.0, 0.0, 0.0, 1.0], &[2, 2]);
+        // Hessian = 2/2 * diag(4, 1) = diag(4, 1); λ_max = 4.
+        let l = largest_hessian_eigenvalue(&x);
+        assert!((l - 4.0).abs() < 1e-4, "λ = {l}");
+    }
+
+    #[test]
+    fn targets_follow_linear_model() {
+        // A least-squares fit on the generated data should achieve small
+        // residual relative to target variance.
+        let ds = cpusmall_like(400, 5);
+        // Gradient descent fit.
+        let d = 12;
+        let mut w = vec![0.0f32; d];
+        let n = ds.len();
+        let lr = 0.5 / ds.max_curvature;
+        for _ in 0..2000 {
+            let mut grad = vec![0.0f32; d];
+            for i in 0..n {
+                let row = &ds.x.data()[i * d..(i + 1) * d];
+                let pred: f32 = row.iter().zip(w.iter()).map(|(&a, &b)| a * b).sum();
+                let err = pred - ds.y.data()[i];
+                for j in 0..d {
+                    grad[j] += 2.0 * err * row[j] / n as f32;
+                }
+            }
+            for j in 0..d {
+                w[j] -= lr * grad[j];
+            }
+        }
+        let mut sse = 0.0f32;
+        let mut var = 0.0f32;
+        let mean = ds.y.mean();
+        for i in 0..n {
+            let row = &ds.x.data()[i * d..(i + 1) * d];
+            let pred: f32 = row.iter().zip(w.iter()).map(|(&a, &b)| a * b).sum();
+            sse += (pred - ds.y.data()[i]).powi(2);
+            var += (ds.y.data()[i] - mean).powi(2);
+        }
+        assert!(sse / var < 0.05, "R² too low: residual ratio {}", sse / var);
+    }
+}

@@ -1,0 +1,72 @@
+//! Forward-pass caches carried from `forward` to `backward`.
+
+use pipemare_tensor::Tensor;
+
+/// Activations and metadata saved by a layer's forward pass for use in its
+/// backward pass.
+///
+/// A `Cache` is a small tree: leaf tensors/scalars for a simple layer, plus
+/// child caches for composite layers ([`crate::Sequential`],
+/// [`crate::Residual`], attention blocks, whole models).
+#[derive(Clone, Debug, Default)]
+pub struct Cache {
+    /// Saved tensors (inputs, intermediate activations, masks, ...).
+    pub tensors: Vec<Tensor>,
+    /// Saved scalars (normalization statistics, lengths, ...).
+    pub scalars: Vec<f32>,
+    /// Saved index data (argmax positions, token ids, ...).
+    pub indices: Vec<usize>,
+    /// Child caches for composite layers, in forward order.
+    pub children: Vec<Cache>,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// Creates a cache holding the given tensors.
+    pub fn with_tensors(tensors: Vec<Tensor>) -> Self {
+        Cache { tensors, ..Default::default() }
+    }
+
+    /// Pushes a tensor and returns `self` for chaining.
+    pub fn push(mut self, t: Tensor) -> Self {
+        self.tensors.push(t);
+        self
+    }
+
+    /// Borrow the `i`-th saved tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn tensor(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Borrow the `i`-th child cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn child(&self, i: usize) -> &Cache {
+        &self.children[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read() {
+        let c = Cache::with_tensors(vec![Tensor::ones(&[2])]).push(Tensor::zeros(&[3]));
+        assert_eq!(c.tensor(0).len(), 2);
+        assert_eq!(c.tensor(1).len(), 3);
+        let mut parent = Cache::new();
+        parent.children.push(c);
+        assert_eq!(parent.child(0).tensors.len(), 2);
+    }
+}

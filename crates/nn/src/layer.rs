@@ -1,0 +1,180 @@
+//! The [`Layer`] trait, weight units, and parameter-layout helpers.
+
+use rand::rngs::StdRng;
+
+use pipemare_tensor::Tensor;
+
+use crate::cache::Cache;
+
+/// A named, contiguous span of the flat parameter vector.
+///
+/// Weight units are the granularity at which the pipeline partitioner
+/// assigns parameters to stages (§4.1 of the paper: weights are traversed
+/// in topological order, with each weight and its bias kept together, and
+/// divided evenly into `P` stages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightUnit {
+    /// Human-readable name, e.g. `"block2.conv1"`.
+    pub name: String,
+    /// Offset into the model's flat parameter vector.
+    pub offset: usize,
+    /// Number of parameters in the unit.
+    pub len: usize,
+}
+
+impl WeightUnit {
+    /// The half-open parameter range `offset..offset + len`.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// A differentiable module with *externally owned* parameters.
+///
+/// The layer itself is immutable configuration; the parameters live in a
+/// flat `&[f32]` owned by the caller, which is what lets asynchronous
+/// pipeline trainers run `forward` and `backward` with different weight
+/// versions. See the crate-level docs for the contract between the two
+/// passes.
+pub trait Layer: Send + Sync {
+    /// Total number of parameters.
+    fn param_len(&self) -> usize;
+
+    /// Writes freshly initialized parameters into `out`
+    /// (`out.len() == self.param_len()`).
+    fn init_params(&self, out: &mut [f32], rng: &mut StdRng);
+
+    /// Forward pass: computes the output and a cache for `backward`.
+    ///
+    /// `params.len()` must equal [`Layer::param_len`].
+    fn forward(&self, params: &[f32], x: &Tensor) -> (Tensor, Cache);
+
+    /// Backward pass: given the upstream gradient `dy` and the cache from
+    /// a previous `forward`, computes the input gradient and the parameter
+    /// gradient.
+    ///
+    /// `params` may legitimately differ from the slice used in `forward`
+    /// (asynchronous pipeline training); weight-dependent Jacobian products
+    /// use `params` while activation-dependent parameter gradients use the
+    /// cache.
+    fn backward(&self, params: &[f32], cache: &Cache, dy: &Tensor) -> (Tensor, Vec<f32>);
+
+    /// Weight units of this layer in topological order, with offsets
+    /// relative to the layer's own parameter slice. Parameterless layers
+    /// return an empty vec.
+    fn weight_units(&self) -> Vec<WeightUnit>;
+
+    /// Output shape for a given input shape (used to compose models and
+    /// validate chains). Layers that cannot infer it may panic.
+    fn output_shape(&self, input: &[usize]) -> Vec<usize>;
+}
+
+/// Builder assigning contiguous offsets to named parameter blocks; used by
+/// composite layers and models to lay out their flat parameter vector.
+#[derive(Debug, Default)]
+pub struct ParamAlloc {
+    len: usize,
+    units: Vec<WeightUnit>,
+}
+
+impl ParamAlloc {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `len` parameters under `name`, returning the offset.
+    pub fn alloc(&mut self, name: &str, len: usize) -> usize {
+        let offset = self.len;
+        if len > 0 {
+            self.units.push(WeightUnit { name: name.to_string(), offset, len });
+        }
+        self.len += len;
+        offset
+    }
+
+    /// Reserves space for a sub-layer, merging its (relative) weight units
+    /// under `prefix.` and returning the sub-layer's base offset.
+    pub fn alloc_layer(&mut self, prefix: &str, layer: &dyn Layer) -> usize {
+        let base = self.len;
+        for u in layer.weight_units() {
+            self.units.push(WeightUnit {
+                name: format!("{prefix}.{}", u.name),
+                offset: base + u.offset,
+                len: u.len,
+            });
+        }
+        self.len += layer.param_len();
+        base
+    }
+
+    /// Total parameters allocated so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finalizes the layout, returning `(total_len, units)`.
+    pub fn finish(self) -> (usize, Vec<WeightUnit>) {
+        (self.len, self.units)
+    }
+}
+
+/// Checks that `units` tile `0..total` contiguously without gaps/overlap.
+///
+/// Models use this as an internal invariant check; the pipeline partitioner
+/// relies on it.
+pub fn validate_units(units: &[WeightUnit], total: usize) -> Result<(), String> {
+    let mut cursor = 0usize;
+    for u in units {
+        if u.offset != cursor {
+            return Err(format!(
+                "unit {} starts at {} but expected {} (gap or overlap)",
+                u.name, u.offset, cursor
+            ));
+        }
+        cursor += u.len;
+    }
+    if cursor != total {
+        return Err(format!("units cover {cursor} params but model has {total}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_contiguous_offsets() {
+        let mut a = ParamAlloc::new();
+        assert_eq!(a.alloc("w1", 10), 0);
+        assert_eq!(a.alloc("w2", 5), 10);
+        assert_eq!(a.alloc("empty", 0), 15);
+        let (len, units) = a.finish();
+        assert_eq!(len, 15);
+        assert_eq!(units.len(), 2); // zero-length block not recorded
+        assert_eq!(units[1].range(), 10..15);
+        validate_units(&units, len).unwrap();
+    }
+
+    #[test]
+    fn validate_units_detects_gap() {
+        let units = vec![
+            WeightUnit { name: "a".into(), offset: 0, len: 3 },
+            WeightUnit { name: "b".into(), offset: 5, len: 2 },
+        ];
+        assert!(validate_units(&units, 7).is_err());
+    }
+
+    #[test]
+    fn validate_units_detects_wrong_total() {
+        let units = vec![WeightUnit { name: "a".into(), offset: 0, len: 3 }];
+        assert!(validate_units(&units, 4).is_err());
+        assert!(validate_units(&units, 3).is_ok());
+    }
+}

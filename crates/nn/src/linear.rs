@@ -1,0 +1,173 @@
+//! Fully connected layer.
+
+use rand::rngs::StdRng;
+
+use pipemare_tensor::Tensor;
+
+use crate::cache::Cache;
+use crate::layer::{Layer, WeightUnit};
+
+/// A fully connected layer: `y = x · W + b` with `W: (in, out)`.
+///
+/// Input may be `(batch, in)` or any `(..., in)` shape; leading dimensions
+/// are flattened for the matmul and restored afterwards.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Whether a bias is added.
+    pub bias: bool,
+}
+
+impl Linear {
+    /// Creates a linear layer with bias.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Linear { in_features, out_features, bias: true }
+    }
+
+    /// Creates a linear layer without bias.
+    pub fn new_no_bias(in_features: usize, out_features: usize) -> Self {
+        Linear { in_features, out_features, bias: false }
+    }
+
+    fn weight_len(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    fn split<'p>(&self, params: &'p [f32]) -> (&'p [f32], &'p [f32]) {
+        params.split_at(self.weight_len())
+    }
+
+    /// Flattens `(..., in)` to `(rows, in)`, returning rows.
+    fn rows_of(&self, x: &Tensor) -> usize {
+        assert_eq!(
+            *x.shape().last().expect("Linear input must have rank >= 1"),
+            self.in_features,
+            "Linear: input last dim {:?} != in_features {}",
+            x.shape(),
+            self.in_features
+        );
+        x.len() / self.in_features
+    }
+}
+
+impl Layer for Linear {
+    fn param_len(&self) -> usize {
+        self.weight_len() + if self.bias { self.out_features } else { 0 }
+    }
+
+    fn init_params(&self, out: &mut [f32], rng: &mut StdRng) {
+        let w = Tensor::kaiming(&[self.weight_len()], self.in_features, rng);
+        out[..self.weight_len()].copy_from_slice(w.data());
+        if self.bias {
+            out[self.weight_len()..].fill(0.0);
+        }
+    }
+
+    fn forward(&self, params: &[f32], x: &Tensor) -> (Tensor, Cache) {
+        let rows = self.rows_of(x);
+        let (w, b) = self.split(params);
+        let x2 = x.reshape(&[rows, self.in_features]);
+        let wt = Tensor::from_vec(w.to_vec(), &[self.in_features, self.out_features]);
+        let mut y = x2.matmul(&wt);
+        if self.bias {
+            let bt = Tensor::from_vec(b.to_vec(), &[self.out_features]);
+            y = y.add(&bt);
+        }
+        let mut out_shape = x.shape().to_vec();
+        *out_shape.last_mut().unwrap() = self.out_features;
+        (y.reshape(&out_shape), Cache::with_tensors(vec![x2]))
+    }
+
+    fn backward(&self, params: &[f32], cache: &Cache, dy: &Tensor) -> (Tensor, Vec<f32>) {
+        let x2 = cache.tensor(0); // (rows, in), computed under u_fwd
+        let rows = x2.shape()[0];
+        let dy2 = dy.reshape(&[rows, self.out_features]);
+        let (w, _) = self.split(params); // u_bkwd weights for the Jacobian
+        let wt = Tensor::from_vec(w.to_vec(), &[self.in_features, self.out_features]);
+        // dx = dy @ W^T  (uses backward-pass weights)
+        let dx2 = dy2.matmul_nt(&wt);
+        // dW = x^T @ dy  (uses forward-pass activations)
+        let dw = x2.matmul_tn(&dy2);
+        let mut grads = vec![0.0f32; self.param_len()];
+        grads[..self.weight_len()].copy_from_slice(dw.data());
+        if self.bias {
+            let db = dy2.sum_axis(0);
+            grads[self.weight_len()..].copy_from_slice(db.data());
+        }
+        let mut in_shape: Vec<usize> = dy.shape().to_vec();
+        *in_shape.last_mut().unwrap() = self.in_features;
+        (dx2.reshape(&in_shape), grads)
+    }
+
+    fn weight_units(&self) -> Vec<WeightUnit> {
+        // Weight and bias stay in one unit (paper §4.1).
+        vec![WeightUnit { name: "linear".into(), offset: 0, len: self.param_len() }]
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let mut out = input.to_vec();
+        *out.last_mut().expect("rank >= 1") = self.out_features;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_layer_gradients, init_layer};
+    use pipemare_tensor::assert_close;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_hand_example() {
+        let l = Linear::new(2, 3);
+        // W = [[1,2,3],[4,5,6]], b = [0.1, 0.2, 0.3]
+        let params = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.1, 0.2, 0.3];
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let (y, _) = l.forward(&params, &x);
+        assert_close(y.data(), &[5.1, 7.2, 9.3], 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn preserves_leading_dims() {
+        let l = Linear::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let params = init_layer(&l, &mut rng);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        let (y, cache) = l.forward(&params, &x);
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        let (dx, _) = l.backward(&params, &cache, &Tensor::ones(&[2, 3, 2]));
+        assert_eq!(dx.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let l = Linear::new(3, 4);
+        check_layer_gradients(&l, &[2, 3], 42, 2e-2);
+    }
+
+    #[test]
+    fn gradients_no_bias() {
+        let l = Linear::new_no_bias(3, 2);
+        check_layer_gradients(&l, &[4, 3], 7, 2e-2);
+    }
+
+    #[test]
+    fn backward_uses_given_params_for_dx() {
+        // dx must be computed with the params passed to backward (u_bkwd),
+        // not the ones used in forward — the core asynchronous semantics.
+        let l = Linear::new_no_bias(2, 2);
+        let fwd = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let bkwd = vec![2.0, 0.0, 0.0, 2.0]; // 2 * identity
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let (_, cache) = l.forward(&fwd, &x);
+        let dy = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let (dx, dw) = l.backward(&bkwd, &cache, &dy);
+        assert_eq!(dx.data(), &[2.0, 2.0]); // dy @ (2I)^T
+        // dW = x^T dy uses forward activations regardless of bkwd params.
+        assert_eq!(dw, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+}

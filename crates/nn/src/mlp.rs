@@ -1,0 +1,157 @@
+//! A configurable multi-layer perceptron classifier.
+
+use rand::rngs::StdRng;
+
+use pipemare_tensor::Tensor;
+
+use crate::activation::Activation;
+use crate::cache::Cache;
+use crate::layer::{Layer, WeightUnit};
+use crate::linear::Linear;
+use crate::loss::{cross_entropy_logits, CrossEntropyCfg};
+use crate::model::{ImageBatch, TrainModel};
+use crate::sequential::Sequential;
+
+/// A ReLU MLP classifier over flattened inputs.
+///
+/// Used by the quickstart example and as a fast model in tests; the input
+/// batch is [`ImageBatch`] with images flattened internally.
+pub struct Mlp {
+    chain: Sequential,
+    in_features: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g.
+    /// `Mlp::new(&[784, 128, 64, 10])` for a 2-hidden-layer classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
+        let mut chain = Sequential::new();
+        for i in 0..widths.len() - 1 {
+            chain = chain.push_named(&format!("fc{i}"), Linear::new(widths[i], widths[i + 1]));
+            if i + 2 < widths.len() {
+                chain = chain.push(Activation::relu());
+            }
+        }
+        Mlp { chain, in_features: widths[0] }
+    }
+
+    /// Computes class logits for a `(B, in)` or `(B, C, H, W)` input.
+    pub fn logits(&self, params: &[f32], x: &Tensor) -> Tensor {
+        let b = x.shape()[0];
+        let flat = x.reshape(&[b, x.len() / b]);
+        self.chain.forward(params, &flat).0
+    }
+
+    /// Top-1 accuracy on a labelled batch.
+    pub fn accuracy(&self, params: &[f32], batch: &ImageBatch) -> f32 {
+        let preds = self.logits(params, &batch.x).argmax_rows();
+        let correct = preds.iter().zip(batch.y.iter()).filter(|(p, y)| p == y).count();
+        correct as f32 / batch.y.len() as f32
+    }
+}
+
+impl TrainModel for Mlp {
+    type Batch = ImageBatch;
+
+    fn param_len(&self) -> usize {
+        self.chain.param_len()
+    }
+
+    fn init_params(&self, out: &mut [f32], rng: &mut StdRng) {
+        self.chain.init_params(out, rng);
+    }
+
+    fn weight_units(&self) -> Vec<WeightUnit> {
+        self.chain.weight_units()
+    }
+
+    fn forward_loss(&self, params: &[f32], batch: &ImageBatch) -> (f32, Cache) {
+        let b = batch.x.shape()[0];
+        let flat = batch.x.reshape(&[b, batch.x.len() / b]);
+        assert_eq!(flat.shape()[1], self.in_features, "Mlp: input feature mismatch");
+        let (logits, chain_cache) = self.chain.forward(params, &flat);
+        let (loss, dlogits) = cross_entropy_logits(&logits, &batch.y, CrossEntropyCfg::default());
+        let mut cache = Cache::new();
+        cache.children.push(chain_cache);
+        cache.tensors.push(dlogits);
+        (loss, cache)
+    }
+
+    fn backward(&self, params: &[f32], cache: &Cache) -> Vec<f32> {
+        let dlogits = cache.tensor(0);
+        let (_, grads) = self.chain.backward(params, cache.child(0), dlogits);
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy_batch(rng: &mut StdRng) -> ImageBatch {
+        // Two well-separated Gaussian blobs in 4-D.
+        let mut x = Tensor::randn(&[16, 4], rng);
+        let mut y = Vec::new();
+        for i in 0..16 {
+            let label = i % 2;
+            for j in 0..4 {
+                x.data_mut()[i * 4 + j] += if label == 0 { 3.0 } else { -3.0 };
+            }
+            y.push(label);
+        }
+        ImageBatch { x, y }
+    }
+
+    #[test]
+    fn sgd_learns_separable_blobs() {
+        let model = Mlp::new(&[4, 8, 2]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = vec![0.0; model.param_len()];
+        model.init_params(&mut params, &mut rng);
+        let batch = toy_batch(&mut rng);
+        let (loss0, _) = model.forward_loss(&params, &batch);
+        for _ in 0..100 {
+            let (_, cache) = model.forward_loss(&params, &batch);
+            let grads = model.backward(&params, &cache);
+            for (p, g) in params.iter_mut().zip(grads.iter()) {
+                *p -= 0.1 * g;
+            }
+        }
+        let (loss1, _) = model.forward_loss(&params, &batch);
+        assert!(loss1 < loss0 * 0.2, "loss did not drop: {loss0} -> {loss1}");
+        assert!(model.accuracy(&params, &batch) > 0.95);
+    }
+
+    #[test]
+    fn units_tile_params() {
+        let model = Mlp::new(&[10, 20, 5]);
+        crate::layer::validate_units(&model.weight_units(), model.param_len()).unwrap();
+        assert_eq!(model.weight_units().len(), 2);
+    }
+
+    #[test]
+    fn model_gradcheck() {
+        use crate::gradcheck::check_scalar_fn_gradient;
+        let model = Mlp::new(&[3, 5, 2]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = vec![0.0; model.param_len()];
+        model.init_params(&mut params, &mut rng);
+        let batch = ImageBatch { x: Tensor::randn(&[4, 3], &mut rng), y: vec![0, 1, 1, 0] };
+        let (_, cache) = model.forward_loss(&params, &batch);
+        let grads = model.backward(&params, &cache);
+        check_scalar_fn_gradient(
+            &mut |p| model.forward_loss(p, &batch).0,
+            &params,
+            &grads,
+            1e-3,
+            5e-2,
+            24,
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Chain combinators: [`Sequential`] and [`Residual`].
+
+use rand::rngs::StdRng;
+
+use pipemare_tensor::Tensor;
+
+use crate::cache::Cache;
+use crate::layer::{Layer, ParamAlloc, WeightUnit};
+
+/// A chain of layers applied in order; parameters are concatenated.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    names: Vec<String>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new(), names: Vec::new() }
+    }
+
+    /// Appends a layer under an auto-generated name.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        let name = format!("l{}", self.layers.len());
+        self.names.push(name);
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a layer under an explicit name (used in weight-unit names).
+    pub fn push_named(mut self, name: &str, layer: impl Layer + 'static) -> Self {
+        self.names.push(name.to_string());
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Parameter offset of each layer within the chain's flat vector.
+    fn offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for l in &self.layers {
+            offsets.push(acc);
+            acc += l.param_len();
+        }
+        offsets
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn param_len(&self) -> usize {
+        self.layers.iter().map(|l| l.param_len()).sum()
+    }
+
+    fn init_params(&self, out: &mut [f32], rng: &mut StdRng) {
+        let offsets = self.offsets();
+        for (l, &off) in self.layers.iter().zip(offsets.iter()) {
+            l.init_params(&mut out[off..off + l.param_len()], rng);
+        }
+    }
+
+    fn forward(&self, params: &[f32], x: &Tensor) -> (Tensor, Cache) {
+        let offsets = self.offsets();
+        let mut cache = Cache::new();
+        let mut cur = x.clone();
+        for (l, &off) in self.layers.iter().zip(offsets.iter()) {
+            let (y, c) = l.forward(&params[off..off + l.param_len()], &cur);
+            cache.children.push(c);
+            cur = y;
+        }
+        (cur, cache)
+    }
+
+    fn backward(&self, params: &[f32], cache: &Cache, dy: &Tensor) -> (Tensor, Vec<f32>) {
+        let offsets = self.offsets();
+        let mut grads = vec![0.0f32; self.param_len()];
+        let mut cur = dy.clone();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let off = offsets[i];
+            let (dx, dp) = l.backward(&params[off..off + l.param_len()], cache.child(i), &cur);
+            grads[off..off + l.param_len()].copy_from_slice(&dp);
+            cur = dx;
+        }
+        (cur, grads)
+    }
+
+    fn weight_units(&self) -> Vec<WeightUnit> {
+        let mut alloc = ParamAlloc::new();
+        for (l, name) in self.layers.iter().zip(self.names.iter()) {
+            alloc.alloc_layer(name, l.as_ref());
+        }
+        alloc.finish().1
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let mut shape = input.to_vec();
+        for l in &self.layers {
+            shape = l.output_shape(&shape);
+        }
+        shape
+    }
+}
+
+/// A residual wrapper: `y = x + f(x)` (requires `f` shape-preserving).
+pub struct Residual {
+    inner: Box<dyn Layer>,
+}
+
+impl Residual {
+    /// Wraps a layer in a skip connection.
+    pub fn new(inner: impl Layer + 'static) -> Self {
+        Residual { inner: Box::new(inner) }
+    }
+}
+
+impl Layer for Residual {
+    fn param_len(&self) -> usize {
+        self.inner.param_len()
+    }
+
+    fn init_params(&self, out: &mut [f32], rng: &mut StdRng) {
+        self.inner.init_params(out, rng);
+    }
+
+    fn forward(&self, params: &[f32], x: &Tensor) -> (Tensor, Cache) {
+        let (y, c) = self.inner.forward(params, x);
+        assert_eq!(y.shape(), x.shape(), "Residual inner layer must preserve shape");
+        let mut cache = Cache::new();
+        cache.children.push(c);
+        (y.add(x), cache)
+    }
+
+    fn backward(&self, params: &[f32], cache: &Cache, dy: &Tensor) -> (Tensor, Vec<f32>) {
+        let (dx_inner, grads) = self.inner.backward(params, cache.child(0), dy);
+        (dx_inner.add(dy), grads)
+    }
+
+    fn weight_units(&self) -> Vec<WeightUnit> {
+        self.inner.weight_units()
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::linear::Linear;
+
+    #[test]
+    fn chain_forward_matches_manual_composition() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new().push(Linear::new(3, 4)).push(Activation::relu()).push(Linear::new(4, 2));
+        let mut rng = StdRng::seed_from_u64(17);
+        let params = init_layer(&chain, &mut rng);
+        let x = Tensor::randn(&[5, 3], &mut rng);
+        let (y, _) = chain.forward(&params, &x);
+        // Manual composition with the same parameter slices.
+        let l1 = Linear::new(3, 4);
+        let l2 = Linear::new(4, 2);
+        let (h, _) = l1.forward(&params[..l1.param_len()], &x);
+        let (y2, _) = l2.forward(&params[l1.param_len()..], &h.relu());
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn chain_gradcheck() {
+        let chain = Sequential::new().push(Linear::new(3, 5)).push(Activation::tanh()).push(Linear::new(5, 2));
+        check_layer_gradients(&chain, &[4, 3], 51, 5e-2);
+    }
+
+    #[test]
+    fn residual_gradcheck() {
+        let block = Residual::new(
+            Sequential::new().push(Linear::new(4, 4)).push(Activation::tanh()).push(Linear::new(4, 4)),
+        );
+        check_layer_gradients(&block, &[3, 4], 52, 5e-2);
+    }
+
+    #[test]
+    fn weight_units_are_contiguous() {
+        let chain = Sequential::new()
+            .push_named("fc1", Linear::new(3, 4))
+            .push(Activation::relu())
+            .push_named("fc2", Linear::new(4, 2));
+        let units = chain.weight_units();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].name, "fc1.linear");
+        assert_eq!(units[0].range(), 0..16);
+        assert_eq!(units[1].range(), 16..16 + 10);
+        crate::layer::validate_units(&units, chain.param_len()).unwrap();
+    }
+
+    #[test]
+    fn residual_identity_when_inner_is_zero() {
+        let block = Residual::new(Linear::new_no_bias(3, 3));
+        let params = vec![0.0f32; block.param_len()];
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let (y, _) = block.forward(&params, &x);
+        assert_eq!(y, x);
+    }
+}

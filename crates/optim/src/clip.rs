@@ -1,0 +1,54 @@
+//! Gradient clipping.
+
+/// Clips the gradient to a maximum global L2 norm, returning the norm
+/// before clipping (the Transformer recipe clips at 25 on IWSLT;
+/// Table 7).
+///
+/// A non-finite norm zeroes the gradient (skip-step behaviour) and
+/// returns infinity.
+pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f32 {
+    let norm = (grads.iter().map(|&g| g as f64 * g as f64).sum::<f64>()).sqrt() as f32;
+    if !norm.is_finite() {
+        grads.fill(0.0);
+        return f32::INFINITY;
+    }
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_untouched() {
+        let mut g = vec![0.3f32, 0.4];
+        let n = clip_grad_norm(&mut g, 1.0);
+        assert!((n - 0.5).abs() < 1e-6);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn above_threshold_rescaled_to_max() {
+        let mut g = vec![3.0f32, 4.0];
+        let n = clip_grad_norm(&mut g, 1.0);
+        assert!((n - 5.0).abs() < 1e-6);
+        let new_norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_zeroes_gradient() {
+        let mut g = vec![1.0f32, f32::NAN];
+        let n = clip_grad_norm(&mut g, 1.0);
+        assert!(n.is_infinite());
+        assert_eq!(g, vec![0.0, 0.0]);
+    }
+}

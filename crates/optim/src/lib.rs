@@ -1,0 +1,24 @@
+//! Optimizers and learning-rate schedules for the PipeMare reproduction.
+//!
+//! * [`Optimizer`]: SGD, SGD + momentum, Adam, AdamW — all supporting
+//!   **per-range steps** so a pipeline trainer can apply a different
+//!   learning rate to each pipeline stage (required by PipeMare's T1
+//!   learning-rate rescheduling, which divides the step size of stage `i`
+//!   by `τ_i^{p_k}`).
+//! * [`LrSchedule`]: constant, step decay (ResNet recipe), and linear
+//!   warmup + inverse square root (Transformer recipe).
+//! * [`T1Rescheduler`]: the paper's Technique 1,
+//!   `α_{k,i} = α_base,k / τ_i^{p_k}` with `p_k = 1 − min(k/K, 1)`.
+//! * [`clip_grad_norm`]: global gradient-norm clipping.
+//! * Optimizer-state memory accounting used by the paper's
+//!   "weight + optimizer memory" columns.
+
+pub mod clip;
+pub mod optimizer;
+pub mod schedule;
+pub mod t1;
+
+pub use clip::clip_grad_norm;
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use schedule::{ConstantLr, InverseSqrtLr, LrSchedule, StepDecayLr};
+pub use t1::T1Rescheduler;

@@ -1,0 +1,115 @@
+//! Base learning-rate schedules.
+
+/// A learning-rate schedule: maps an optimizer-step index to a rate.
+pub trait LrSchedule: Send + Sync {
+    /// The learning rate at optimizer step `step` (0-based).
+    fn lr(&self, step: usize) -> f32;
+}
+
+impl<F> LrSchedule for F
+where
+    F: Fn(usize) -> f32 + Send + Sync,
+{
+    fn lr(&self, step: usize) -> f32 {
+        self(step)
+    }
+}
+
+/// A constant learning rate.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _step: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: `base * factor^(step / drop_every)` — the ResNet recipe
+/// (drop by 10× every fixed number of epochs; Table 6).
+#[derive(Clone, Copy, Debug)]
+pub struct StepDecayLr {
+    /// Initial rate.
+    pub base: f32,
+    /// Steps between drops.
+    pub drop_every: usize,
+    /// Multiplicative factor at each drop (e.g. `0.1`).
+    pub factor: f32,
+}
+
+impl LrSchedule for StepDecayLr {
+    fn lr(&self, step: usize) -> f32 {
+        let drops = (step / self.drop_every) as i32;
+        self.base * self.factor.powi(drops)
+    }
+}
+
+/// Linear warmup to `peak` over `warmup` steps, then inverse-square-root
+/// decay — the Transformer recipe (Table 7).
+#[derive(Clone, Copy, Debug)]
+pub struct InverseSqrtLr {
+    /// Peak rate reached at the end of warmup.
+    pub peak: f32,
+    /// Warmup steps.
+    pub warmup: usize,
+    /// Rate at step 0 (the paper uses 1e-7).
+    pub init: f32,
+}
+
+impl LrSchedule for InverseSqrtLr {
+    fn lr(&self, step: usize) -> f32 {
+        if step < self.warmup {
+            let frac = step as f32 / self.warmup.max(1) as f32;
+            self.init + (self.peak - self.init) * frac
+        } else {
+            self.peak * (self.warmup.max(1) as f32 / step.max(1) as f32).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.3);
+        assert_eq!(s.lr(0), 0.3);
+        assert_eq!(s.lr(10_000), 0.3);
+    }
+
+    #[test]
+    fn step_decay_drops_by_factor() {
+        let s = StepDecayLr { base: 0.1, drop_every: 100, factor: 0.1 };
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(99), 0.1);
+        assert!((s.lr(100) - 0.01).abs() < 1e-9);
+        assert!((s.lr(250) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closures_are_schedules() {
+        let custom = |step: usize| 0.1 / (1.0 + step as f32);
+        assert_eq!(custom.lr(0), 0.1);
+        assert_eq!(custom.lr(9), 0.01);
+        // Usable behind the trait object the trainer stores.
+        let boxed: Box<dyn LrSchedule> = Box::new(custom);
+        assert_eq!(boxed.lr(1), 0.05);
+    }
+
+    #[test]
+    fn inverse_sqrt_warmup_and_decay() {
+        let s = InverseSqrtLr { peak: 5e-4, warmup: 100, init: 1e-7 };
+        assert!((s.lr(0) - 1e-7).abs() < 1e-10);
+        // Halfway through warmup: halfway between init and peak.
+        let mid = s.lr(50);
+        assert!((mid - (1e-7 + (5e-4 - 1e-7) * 0.5)).abs() < 1e-9);
+        // At warmup end: peak.
+        assert!((s.lr(100) - 5e-4).abs() < 1e-9);
+        // 4x warmup: half the peak.
+        assert!((s.lr(400) - 2.5e-4).abs() < 1e-8);
+        // Monotone decreasing after warmup.
+        assert!(s.lr(101) < s.lr(100));
+        assert!(s.lr(1000) < s.lr(500));
+    }
+}

@@ -1,0 +1,113 @@
+//! Technique 1: learning-rate rescheduling (paper §3.1, Eq. 5).
+
+/// PipeMare's T1 learning-rate rescheduler.
+///
+/// At optimizer step `k`, stage `i` with forward delay `τ_i` uses
+///
+/// ```text
+/// α_{k,i} = α_base,k / τ_i^{p_k},   p_k = 1 − min(k / K, 1)
+/// ```
+///
+/// so early steps are divided by the full delay (the `O(1/τ)` stability
+/// requirement of Lemma 1) and the division anneals away over `K` steps,
+/// recovering the base schedule once the base rate has itself decayed.
+///
+/// Delays below 1 are clamped to 1 (dividing by `τ < 1` would *increase*
+/// the rate).
+///
+/// # Example
+///
+/// ```
+/// use pipemare_optim::T1Rescheduler;
+///
+/// let t1 = T1Rescheduler::new(100);
+/// // Step 0: the full 1/τ division (Lemma 1's stability requirement).
+/// assert!((t1.scale(0, 8.0) - 0.125).abs() < 1e-6);
+/// // After the annealing horizon: back to the base schedule.
+/// assert_eq!(t1.scale(100, 8.0), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct T1Rescheduler {
+    /// Annealing horizon `K` in optimizer steps. The paper suggests
+    /// one quarter of the first fixed-LR phase for step-decay schedules
+    /// and 5× the warmup for linear-warmup schedules.
+    pub anneal_steps: usize,
+}
+
+impl T1Rescheduler {
+    /// Creates a rescheduler annealing over `anneal_steps` steps.
+    pub fn new(anneal_steps: usize) -> Self {
+        T1Rescheduler { anneal_steps }
+    }
+
+    /// The paper's suggestion for step-decay schedules: `K` = one quarter
+    /// of the first phase.
+    pub fn for_step_decay(first_phase_steps: usize) -> Self {
+        T1Rescheduler::new((first_phase_steps / 4).max(1) )
+    }
+
+    /// The paper's suggestion for linear-warmup schedules: `K` = 5× the
+    /// warmup steps.
+    pub fn for_warmup_schedule(warmup_steps: usize) -> Self {
+        T1Rescheduler::new((5 * warmup_steps).max(1))
+    }
+
+    /// The annealing exponent `p_k = 1 − min(k/K, 1)`.
+    pub fn exponent(&self, step: usize) -> f32 {
+        1.0 - (step as f32 / self.anneal_steps.max(1) as f32).min(1.0)
+    }
+
+    /// The multiplicative scale `1 / max(τ, 1)^{p_k}` applied to the base
+    /// rate for a stage with forward delay `tau_fwd`.
+    pub fn scale(&self, step: usize, tau_fwd: f64) -> f32 {
+        let tau = tau_fwd.max(1.0) as f32;
+        1.0 / tau.powf(self.exponent(step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_division_at_step_zero() {
+        let t1 = T1Rescheduler::new(100);
+        assert!((t1.scale(0, 8.0) - 1.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_division_after_anneal() {
+        let t1 = T1Rescheduler::new(100);
+        assert!((t1.scale(100, 8.0) - 1.0).abs() < 1e-6);
+        assert!((t1.scale(10_000, 8.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn halfway_is_sqrt() {
+        let t1 = T1Rescheduler::new(100);
+        // p = 0.5 → divide by sqrt(τ).
+        assert!((t1.scale(50, 16.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_delays_clamp_to_one() {
+        let t1 = T1Rescheduler::new(100);
+        assert_eq!(t1.scale(0, 0.25), 1.0);
+        assert_eq!(t1.scale(0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn scale_is_monotone_in_step_and_delay() {
+        let t1 = T1Rescheduler::new(1000);
+        // Larger delay → smaller scale (more division) at a given step.
+        assert!(t1.scale(10, 32.0) < t1.scale(10, 4.0));
+        // Later step → larger scale (less division) at a given delay.
+        assert!(t1.scale(500, 32.0) > t1.scale(10, 32.0));
+    }
+
+    #[test]
+    fn paper_defaults() {
+        assert_eq!(T1Rescheduler::for_step_decay(8000).anneal_steps, 2000);
+        assert_eq!(T1Rescheduler::for_warmup_schedule(8000).anneal_steps, 40_000);
+    }
+}

@@ -1,0 +1,217 @@
+//! A real multi-threaded pipeline used to validate the throughput model.
+//!
+//! Each stage runs on its own thread connected by crossbeam channels;
+//! microbatch tokens flow forward down the chain, turn around at the last
+//! stage, and flow backward (backward work costs 2× forward work, matching
+//! the paper's compute split). GPipe mode drains the pipeline at every
+//! minibatch boundary (the bubble); PipeDream/PipeMare inject
+//! continuously. Measured wall-clock throughputs reproduce the
+//! `N/(N+P−1)` bubble penalty of Table 1.
+//!
+//! Per-stage work is modeled as *latency* (sleep) rather than CPU
+//! spinning, so pipeline overlap is observable even on single-core hosts:
+//! concurrent sleeps overlap in wall-clock time exactly like concurrent
+//! accelerator stages, while spins would serialize on one CPU.
+//!
+//! Every stage knows the total token count up front and exits after its
+//! last backward, so shutdown never depends on channel-disconnection
+//! ordering (which is cyclic in a bidirectional pipeline).
+
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, select, unbounded};
+
+use crate::delay::Method;
+
+/// Result of a threaded pipeline run.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedPipelineReport {
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Microbatches fully processed (forward + backward).
+    pub microbatches: usize,
+    /// Microbatches per second.
+    pub throughput: f64,
+}
+
+fn work_for(d: Duration) {
+    std::thread::sleep(d);
+}
+
+/// Runs `minibatches` minibatches of `n_micro` microbatches through a
+/// `stages`-thread pipeline where each stage's forward work takes
+/// `work_per_stage` (backward takes 2×). Returns the measured throughput.
+///
+/// `method` controls injection: [`Method::GPipe`] waits for the previous
+/// minibatch to fully drain before injecting the next (synchronous
+/// flush); the other methods keep the pipeline full.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn run_threaded_pipeline(
+    method: Method,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+) -> ThreadedPipelineReport {
+    assert!(stages > 0 && n_micro > 0 && minibatches > 0);
+    let total = n_micro * minibatches;
+    // Forward channels are bounded (capacity 1) to model the pipeline's
+    // limited slots; backward channels are unbounded so backward sends
+    // never block (which would otherwise create a send-cycle deadlock
+    // with the bounded forward sends).
+    let mut fwd_tx = Vec::new();
+    let mut fwd_rx = Vec::new();
+    let mut bwd_tx = Vec::new();
+    let mut bwd_rx = Vec::new();
+    for _ in 0..stages {
+        let (tx, rx) = bounded::<usize>(1);
+        fwd_tx.push(tx);
+        fwd_rx.push(rx);
+        let (tx, rx) = unbounded::<usize>();
+        bwd_tx.push(tx);
+        bwd_rx.push(rx);
+    }
+    let (done_tx, done_rx) = bounded::<usize>(total);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..stages {
+            let my_fwd_rx = fwd_rx[s].clone();
+            let my_bwd_rx = bwd_rx[s].clone();
+            let next_fwd_tx = if s + 1 < stages { Some(fwd_tx[s + 1].clone()) } else { None };
+            let prev_bwd_tx = if s > 0 { Some(bwd_tx[s - 1].clone()) } else { None };
+            let my_done_tx = done_tx.clone();
+            scope.spawn(move || {
+                let emit_bwd = |id: usize| match &prev_bwd_tx {
+                    Some(tx) => tx.send(id).expect("upstream stage alive"),
+                    None => my_done_tx.send(id).expect("driver alive"),
+                };
+                let mut fwd_seen = 0usize;
+                let mut bwd_seen = 0usize;
+                let is_last = next_fwd_tx.is_none();
+                while bwd_seen < total {
+                    if is_last {
+                        // The last stage turns each forward straight into
+                        // its backward; its own backward channel is unused.
+                        let id = my_fwd_rx.recv().expect("pipeline alive");
+                        work_for(work_per_stage);
+                        work_for(2 * work_per_stage);
+                        emit_bwd(id);
+                        fwd_seen += 1;
+                        bwd_seen += 1;
+                    } else if fwd_seen == total {
+                        // Only backwards remain: plain blocking receive.
+                        let id = my_bwd_rx.recv().expect("downstream stage alive");
+                        work_for(2 * work_per_stage);
+                        emit_bwd(id);
+                        bwd_seen += 1;
+                    } else {
+                        select! {
+                            recv(my_bwd_rx) -> msg => {
+                                let id = msg.expect("downstream stage alive");
+                                work_for(2 * work_per_stage);
+                                emit_bwd(id);
+                                bwd_seen += 1;
+                            }
+                            recv(my_fwd_rx) -> msg => {
+                                let id = msg.expect("pipeline alive");
+                                work_for(work_per_stage);
+                                next_fwd_tx
+                                    .as_ref()
+                                    .expect("non-last stage")
+                                    .send(id)
+                                    .expect("downstream stage alive");
+                                fwd_seen += 1;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        // Driver: inject microbatch tokens.
+        let inject = fwd_tx[0].clone();
+        drop(fwd_tx);
+        drop(bwd_tx);
+        drop(fwd_rx);
+        drop(bwd_rx);
+        let mut completed = 0usize;
+        for mb in 0..minibatches {
+            for n in 0..n_micro {
+                inject.send(mb * n_micro + n).expect("pipeline alive");
+            }
+            if method == Method::GPipe {
+                // Synchronous flush: wait for this minibatch to drain.
+                while completed < (mb + 1) * n_micro {
+                    done_rx.recv().expect("pipeline alive");
+                    completed += 1;
+                }
+            }
+        }
+        drop(inject);
+        while completed < total {
+            done_rx.recv().expect("pipeline alive");
+            completed += 1;
+        }
+    });
+    let elapsed = start.elapsed();
+    ThreadedPipelineReport {
+        elapsed,
+        microbatches: total,
+        throughput: total as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::gpipe_bubble_throughput;
+
+    #[test]
+    fn completes_all_microbatches() {
+        let r = run_threaded_pipeline(Method::PipeMare, 3, 4, 2, Duration::from_micros(50));
+        assert_eq!(r.microbatches, 8);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn gpipe_flush_slows_deep_pipelines() {
+        // P = 4, N = 2: bubble model predicts GPipe at N/(N+P−1) = 0.4 of
+        // PipeMare. Generous margins for scheduler noise.
+        let work = Duration::from_millis(2);
+        let async_r = run_threaded_pipeline(Method::PipeMare, 4, 2, 8, work);
+        let gpipe_r = run_threaded_pipeline(Method::GPipe, 4, 2, 8, work);
+        let ratio = gpipe_r.throughput / async_r.throughput;
+        let predicted = gpipe_bubble_throughput(4, 2);
+        assert!(
+            ratio < 0.9,
+            "GPipe should be visibly slower: measured ratio {ratio} (predicted {predicted})"
+        );
+        assert!(
+            ratio > predicted * 0.4,
+            "GPipe unreasonably slow: ratio {ratio} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn more_microbatches_shrink_the_bubble() {
+        // As N grows the relative GPipe penalty shrinks.
+        let work = Duration::from_millis(1);
+        let base = run_threaded_pipeline(Method::PipeMare, 4, 8, 5, work).throughput;
+        let small_n = run_threaded_pipeline(Method::GPipe, 4, 2, 20, work).throughput / base;
+        let large_n = run_threaded_pipeline(Method::GPipe, 4, 8, 5, work).throughput / base;
+        assert!(
+            large_n > small_n,
+            "bubble should shrink with N: N=2 ratio {small_n}, N=8 ratio {large_n}"
+        );
+    }
+
+    #[test]
+    fn single_stage_degenerate_case() {
+        let r = run_threaded_pipeline(Method::GPipe, 1, 2, 3, Duration::from_micros(20));
+        assert_eq!(r.microbatches, 6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Ring buffer of recent weight versions.
+
+use std::collections::VecDeque;
+
+/// Stores the most recent weight versions, addressed by version number.
+///
+/// This mirrors the queue-of-weights the paper's simulator keeps per
+/// stage (App. C.4); here one buffer holds full parameter vectors and the
+/// trainer slices out per-stage ranges, which is equivalent and simpler.
+/// Requests older than the retained window clamp to the oldest version
+/// (which only happens in the first few minibatches, where the delay
+/// formulas clamp to version 0 anyway).
+#[derive(Clone, Debug)]
+pub struct WeightHistory {
+    versions: VecDeque<(usize, Vec<f32>)>,
+    capacity: usize,
+}
+
+impl WeightHistory {
+    /// Creates a history retaining `capacity` versions, seeded with
+    /// version 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, initial: Vec<f32>) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        let mut versions = VecDeque::with_capacity(capacity + 1);
+        versions.push_back((0, initial));
+        WeightHistory { versions, capacity }
+    }
+
+    /// Records a new version. Versions must be pushed in increasing
+    /// consecutive order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is not `latest + 1`.
+    pub fn push(&mut self, version: usize, params: Vec<f32>) {
+        let latest = self.latest_version();
+        assert_eq!(version, latest + 1, "pushed version {version}, expected {}", latest + 1);
+        self.versions.push_back((version, params));
+        while self.versions.len() > self.capacity {
+            self.versions.pop_front();
+        }
+    }
+
+    /// The newest recorded version number.
+    pub fn latest_version(&self) -> usize {
+        self.versions.back().expect("history never empty").0
+    }
+
+    /// The newest parameter vector.
+    pub fn latest(&self) -> &[f32] {
+        &self.versions.back().expect("history never empty").1
+    }
+
+    /// The parameter vector at `version`, clamped to the retained window.
+    pub fn get(&self, version: usize) -> &[f32] {
+        let oldest = self.versions.front().expect("history never empty").0;
+        let v = version.clamp(oldest, self.latest_version());
+        let idx = v - oldest;
+        &self.versions[idx].1
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether only the initial version is present.
+    pub fn is_empty(&self) -> bool {
+        false // never empty by construction; kept for API symmetry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut h = WeightHistory::new(3, vec![0.0]);
+        h.push(1, vec![1.0]);
+        h.push(2, vec![2.0]);
+        assert_eq!(h.get(0), &[0.0]);
+        assert_eq!(h.get(1), &[1.0]);
+        assert_eq!(h.get(2), &[2.0]);
+        assert_eq!(h.latest(), &[2.0]);
+        assert_eq!(h.latest_version(), 2);
+    }
+
+    #[test]
+    fn eviction_clamps_to_oldest() {
+        let mut h = WeightHistory::new(2, vec![0.0]);
+        h.push(1, vec![1.0]);
+        h.push(2, vec![2.0]); // evicts version 0
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(0), &[1.0], "evicted request clamps to oldest");
+        assert_eq!(h.get(99), &[2.0], "future request clamps to latest");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1")]
+    fn non_consecutive_push_rejected() {
+        let mut h = WeightHistory::new(3, vec![0.0]);
+        h.push(2, vec![2.0]);
+    }
+}

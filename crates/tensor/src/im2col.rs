@@ -1,0 +1,194 @@
+//! `im2col` / `col2im` transforms for convolution layers.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: input/kernel sizes, stride, padding.
+///
+/// Input layout is `(batch, channels, height, width)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height/width (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on all sides.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of rows of the im2col matrix per batch element
+    /// (`out_h * out_w`).
+    pub fn patches(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Number of columns of the im2col matrix (`in_channels * kernel^2`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds an input batch `(B, C, H, W)` into a matrix
+/// `(B * out_h * out_w, C * k * k)` whose rows are flattened receptive
+/// fields; convolution then becomes a single matmul against the flattened
+/// kernel `(C * k * k, out_channels)`.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or its channel/height/width extents do not
+/// match `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(input.ndim(), 4, "im2col: input must be (B,C,H,W), got {:?}", input.shape());
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert_eq!(c, geom.in_channels, "im2col: channel mismatch");
+    assert_eq!(h, geom.in_h, "im2col: height mismatch");
+    assert_eq!(w, geom.in_w, "im2col: width mismatch");
+    let (oh, ow, k, s, p) = (geom.out_h(), geom.out_w(), geom.kernel, geom.stride, geom.padding);
+    let cols = geom.patch_len();
+    let mut out = Tensor::zeros(&[b * oh * ow, cols]);
+    let data = input.data();
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((bi * oh + oy) * ow + ox) * cols;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            let col = (ci * k + ky) * k + kx;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out.data_mut()[row + col] =
+                                    data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Folds a patch-gradient matrix `(B * out_h * out_w, C * k * k)` back into
+/// an input-shaped gradient `(B, C, H, W)`, accumulating overlapping
+/// contributions. This is the adjoint of [`im2col`].
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape implied by `geom` and `batch`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
+    let (oh, ow, k, s, p) = (geom.out_h(), geom.out_w(), geom.kernel, geom.stride, geom.padding);
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let patch_len = geom.patch_len();
+    assert_eq!(
+        cols.shape(),
+        &[batch * oh * ow, patch_len],
+        "col2im: shape mismatch"
+    );
+    let mut out = Tensor::zeros(&[batch, c, h, w]);
+    let src = cols.data();
+    for bi in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((bi * oh + oy) * ow + ox) * patch_len;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                let col = (ci * k + ky) * k + kx;
+                                out.data_mut()
+                                    [((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                    src[row + col];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry { in_channels: c, in_h: h, in_w: w, kernel: k, stride: s, padding: p }
+    }
+
+    #[test]
+    fn output_sizes() {
+        let g = geom(3, 32, 32, 3, 1, 1);
+        assert_eq!(g.out_h(), 32);
+        assert_eq!(g.out_w(), 32);
+        let g2 = geom(3, 32, 32, 3, 2, 1);
+        assert_eq!(g2.out_h(), 16);
+        let g3 = geom(1, 5, 5, 3, 1, 0);
+        assert_eq!(g3.out_h(), 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // A 1x1 kernel with stride 1 and no padding is a pure reshape.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let input = Tensor::from_vec((0..18).map(|x| x as f32).collect(), &[1, 2, 3, 3]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape(), &[9, 2]);
+        // Patch (y=0,x=0) should contain channel values at position (0,0).
+        assert_eq!(cols.at(&[0, 0]), input.at(&[0, 0, 0, 0]));
+        assert_eq!(cols.at(&[0, 1]), input.at(&[0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn im2col_3x3_hand_checked() {
+        let g = geom(1, 3, 3, 3, 1, 1);
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape(), &[9, 9]);
+        // Center patch (oy=1, ox=1) covers the entire image.
+        let center = &cols.data()[4 * 9..5 * 9];
+        assert_eq!(center, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // Corner patch (oy=0, ox=0) has zero padding on top/left.
+        let corner = &cols.data()[0..9];
+        assert_eq!(corner, &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = geom(2, 5, 4, 3, 2, 1);
+        let x = Tensor::randn(&[2, 2, 5, 4], &mut rng);
+        let cols = im2col(&x, &g);
+        let y = Tensor::randn(cols.shape(), &mut rng);
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(&y, &g, 2));
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Random tensor constructors with explicit RNGs for reproducibility.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Standard-normal random tensor (Box–Muller over the provided RNG).
+    pub fn randn(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        for x in t.data_mut() {
+            *x = sample_standard_normal(rng);
+        }
+        t
+    }
+
+    /// Uniform random tensor over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(lo < hi, "rand_uniform: empty range {lo}..{hi}");
+        let mut t = Tensor::zeros(shape);
+        for x in t.data_mut() {
+            *x = rng.gen_range(lo..hi);
+        }
+        t
+    }
+
+    /// Kaiming (He) normal initialization for a weight of `fan_in` inputs:
+    /// `N(0, sqrt(2 / fan_in))`. Standard for ReLU networks.
+    pub fn kaiming(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(shape, rng).scale(std)
+    }
+
+    /// Xavier/Glorot uniform initialization:
+    /// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Tensor::rand_uniform(shape, -a, a, rng)
+    }
+}
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid u1 == 0 so ln is finite.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&[10_000], &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(Tensor::randn(&[16], &mut r1), Tensor::randn(&[16], &mut r2));
+    }
+
+    #[test]
+    fn kaiming_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = Tensor::kaiming(&[4096], 64, &mut rng);
+        let std = t.sq_norm() / t.len() as f32;
+        let expected = 2.0 / 64.0;
+        assert!((std - expected).abs() / expected < 0.2, "std^2 {std} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = (6.0f32 / 20.0).sqrt();
+        let t = Tensor::xavier(&[200], 8, 12, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+}

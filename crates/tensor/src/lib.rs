@@ -1,0 +1,57 @@
+//! Dense `f32` tensor substrate for the PipeMare reproduction.
+//!
+//! This crate provides the minimal-but-complete numerical foundation the
+//! rest of the workspace builds on: a contiguous row-major [`Tensor`],
+//! NumPy-style broadcasting for elementwise arithmetic, (batched) matrix
+//! multiplication, axis reductions, softmax / log-softmax, and the
+//! `im2col`/`col2im` transforms used by convolution layers.
+//!
+//! # Conventions
+//!
+//! * All tensors are contiguous and row-major ("C order").
+//! * Shape errors are programming errors and **panic** with a descriptive
+//!   message (as in `ndarray`); there is no fallible shape API.
+//! * Randomized constructors take an explicit [`rand::Rng`] so every
+//!   experiment in the workspace is reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use pipemare_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod im2col;
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Asserts that two floating-point slices are elementwise close.
+///
+/// Intended for tests across the workspace; tolerance is absolute plus
+/// relative: `|a - b| <= atol + rtol * |b|`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any element pair is not close.
+pub fn assert_close(a: &[f32], b: &[f32], atol: f32, rtol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        let tol = atol + rtol * y.abs();
+        assert!(
+            (x - y).abs() <= tol,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Matrix multiplication: 2-D and batched 3-D, with transposed variants.
+
+use crate::tensor::Tensor;
+
+/// Computes `C = A @ B` for row-major slices: `a` is `m×k`, `b` is `k×n`,
+/// result written into `c` (`m×n`, preinitialized to zero by the caller).
+///
+/// Uses an `i-k-j` loop order so the inner loop streams contiguously over
+/// `b` and `c`.
+pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `(m×k) @ (k×n) -> (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul: lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul: rhs must be 2-D, got {:?}", other.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul: inner dims differ: {:?} @ {:?}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+
+    /// `self @ other^T` for 2-D tensors: `(m×k) @ (n×k)^T -> (m×n)`.
+    ///
+    /// Avoids materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_nt: lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_nt: rhs must be 2-D");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_nt: inner dims differ: {:?} @ {:?}^T", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` for 2-D tensors: `(k×m)^T @ (k×n) -> (m×n)`.
+    ///
+    /// Avoids materializing the transpose. This is the shape of the
+    /// weight-gradient product `x^T @ dy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_tn: lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_tn: rhs must be 2-D");
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_tn: inner dims differ: {:?}^T @ {:?}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out.data[i * n..(i + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_ij += a_pi * b_pj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched matrix product of two 3-D tensors:
+    /// `(b×m×k) @ (b×k×n) -> (b×m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank, batch, or inner-dimension mismatch.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm: lhs must be 3-D, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 3, "bmm: rhs must be 3-D, got {:?}", other.shape());
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm: batch dims differ: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm: inner dims differ: {:?} @ {:?}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            gemm(
+                &self.data[bi * m * k..(bi + 1) * m * k],
+                &other.data[bi * k * n..(bi + 1) * k * n],
+                &mut out.data[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
+    /// Batched `self @ other^T`: `(b×m×k) @ (b×n×k)^T -> (b×m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank, batch, or inner-dimension mismatch.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm_nt: lhs must be 3-D");
+        assert_eq!(other.ndim(), 3, "bmm_nt: rhs must be 3-D");
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, n, k2) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm_nt: batch dims differ");
+        assert_eq!(k, k2, "bmm_nt: inner dims differ: {:?} @ {:?}^T", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            let a = &self.data[bi * m * k..(bi + 1) * m * k];
+            let bb = &other.data[bi * n * k..(bi + 1) * n * k];
+            let c = &mut out.data[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &bb[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                        acc += x * y;
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched `self^T @ other`: `(b×k×m)^T @ (b×k×n) -> (b×m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank, batch, or inner-dimension mismatch.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm_tn: lhs must be 3-D");
+        assert_eq!(other.ndim(), 3, "bmm_tn: rhs must be 3-D");
+        let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm_tn: batch dims differ");
+        assert_eq!(k, k2, "bmm_tn: inner dims differ: {:?}^T @ {:?}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            let a = &self.data[bi * k * m..(bi + 1) * k * m];
+            let bb = &other.data[bi * k * n..(bi + 1) * k * n];
+            let c = &mut out.data[bi * m * n..(bi + 1) * m * n];
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &bb[p * n..(p + 1) * n];
+                for (i, &a_pi) in a_row.iter().enumerate() {
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_ij += a_pi * b_pj;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product: `(m×n) @ (n,) -> (m,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matvec: matrix must be 2-D");
+        assert_eq!(v.ndim(), 1, "matvec: vector must be 1-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(n, v.len(), "matvec: dims differ: {:?} @ {:?}", self.shape(), v.shape());
+        let mut out = Tensor::zeros(&[m]);
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            out.data[i] = row.iter().zip(v.data.iter()).map(|(&a, &b)| a * b).sum();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        assert_eq!(Tensor::eye(3).matmul(&a), a);
+        assert_eq!(a.matmul(&Tensor::eye(4)), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 4, 8), (5, 7, 3)] {
+            let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[m, k]);
+            let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
+            assert_close(a.matmul(&b).data(), naive_matmul(&a, &b).data(), 1e-5, 1e-5);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = Tensor::from_vec((0..12).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[5, 4]);
+        assert_close(a.matmul_nt(&b).data(), a.matmul(&b.transpose()).data(), 1e-5, 1e-5);
+        let c = Tensor::from_vec((0..15).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[3, 5]);
+        assert_close(a.matmul_tn(&c).data(), a.transpose().matmul(&c).data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Tensor::from_vec((0..2 * 3 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 3, 4]);
+        let b = Tensor::from_vec((0..2 * 4 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 4, 5]);
+        let c = a.bmm(&b);
+        for bi in 0..2 {
+            let ai = a.slice0(bi, 1).reshape(&[3, 4]);
+            let bi_t = b.slice0(bi, 1).reshape(&[4, 5]);
+            let expected = ai.matmul(&bi_t);
+            assert_close(c.slice0(bi, 1).reshape(&[3, 5]).data(), expected.data(), 1e-5, 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_transposed_variants_match_permute() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let a = Tensor::randn(&[2, 3, 4], &mut rng);
+        let b = Tensor::randn(&[2, 5, 4], &mut rng);
+        assert_close(a.bmm_nt(&b).data(), a.bmm(&b.permute(&[0, 2, 1])).data(), 1e-5, 1e-5);
+        let c = Tensor::randn(&[2, 4, 6], &mut rng);
+        let d = Tensor::randn(&[2, 4, 3], &mut rng);
+        assert_close(c.bmm_tn(&d).data(), c.permute(&[0, 2, 1]).bmm(&d).data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[3, 1]));
+        assert_eq!(mv.data(), mm.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_shape_mismatch() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,258 @@
+//! Elementwise operations with NumPy-style broadcasting.
+
+use crate::shape::{broadcast_shapes, ravel_broadcast, unravel};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Applies a unary function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Applies a unary function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors elementwise with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor { data, shape: self.shape.clone() };
+        }
+        let out_dims = broadcast_shapes(self.shape(), other.shape());
+        let mut out = Tensor::zeros(&out_dims);
+        let mut idx = vec![0usize; out_dims.len()];
+        for (flat, slot) in out.data.iter_mut().enumerate() {
+            unravel(flat, &out_dims, &mut idx);
+            let a = self.data[ravel_broadcast(&idx, self.shape())];
+            let b = other.data[ravel_broadcast(&idx, other.shape())];
+            *slot = f(a, b);
+        }
+        out
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Accumulates `alpha * other` into `self` (`self += alpha * other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ (no broadcasting; this is the hot-loop
+    /// accumulation primitive).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy: shape mismatch {:?} vs {:?}", self.shape(), other.shape());
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64 * x as f64).sum::<f64>() as f32
+    }
+
+    /// Euclidean norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Dot product of two equally-shaped tensors (flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: size mismatch {} vs {}", self.len(), other.len());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum::<f64>() as f32
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise power with a scalar exponent.
+    pub fn powf(&self, p: f32) -> Tensor {
+        self.map(|x| x.powf(p))
+    }
+
+    /// Elementwise clamp.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Returns true if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl std::ops::Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs)
+    }
+}
+
+impl std::ops::Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let bias = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&bias);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let a = Tensor::ones(&[2, 3]);
+        let col = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let c = a.mul(&col);
+        assert_eq!(c.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_ops_and_norms() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.scale(2.0).data(), &[6.0, 8.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[4.0, 5.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.dot(&a), 25.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn relu_and_clamp() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(a.relu().data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(a.clamp(-0.5, 1.0).data(), &[-0.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let a = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]);
+        assert_close(a.exp().ln().data(), a.data(), 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Tensor::ones(&[2]).all_finite());
+        let bad = Tensor::from_vec(vec![1.0, f32::NAN], &[2]);
+        assert!(!bad.all_finite());
+        let inf = Tensor::from_vec(vec![f32::INFINITY], &[1]);
+        assert!(!inf.all_finite());
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!((&a + &b).data(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 2.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 8.0]);
+        assert_eq!((&a * 3.0).data(), &[3.0, 6.0]);
+    }
+}

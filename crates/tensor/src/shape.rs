@@ -1,0 +1,158 @@
+//! Shape arithmetic: size computation, stride derivation, broadcasting.
+
+/// A tensor shape: a list of dimension extents, outermost first.
+///
+/// `Shape` is a thin newtype over `Vec<usize>` providing size/stride
+/// helpers used throughout the crate.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    pub fn size(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major ("C") strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Computes the broadcast shape of two shapes under NumPy trailing-dimension
+/// rules.
+///
+/// Dimensions are aligned from the right; each pair must be equal or one of
+/// them must be `1`.
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0usize; n];
+    for i in 0..n {
+        let da = if i < n - a.len() { 1 } else { a[i - (n - a.len())] };
+        let db = if i < n - b.len() { 1 } else { b[i - (n - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            panic!("shapes {a:?} and {b:?} are not broadcast-compatible (dims {da} vs {db})");
+        };
+    }
+    out
+}
+
+/// Converts a flat index into a multi-index for `shape`.
+pub(crate) fn unravel(mut flat: usize, shape: &[usize], out: &mut [usize]) {
+    for i in (0..shape.len()).rev() {
+        out[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+}
+
+/// Converts a multi-index into a flat index for a tensor of shape `shape`,
+/// treating size-1 dimensions as broadcast (index clamped to 0).
+pub(crate) fn ravel_broadcast(idx: &[usize], shape: &[usize]) -> usize {
+    // `idx` is aligned to the *right* of `shape`s broadcast target; `shape`
+    // may be shorter than `idx`.
+    let offset = idx.len() - shape.len();
+    let mut flat = 0usize;
+    let mut stride = 1usize;
+    for i in (0..shape.len()).rev() {
+        let j = if shape[i] == 1 { 0 } else { idx[i + offset] };
+        flat += j * stride;
+        stride *= shape[i];
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn size_and_ndim() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(Shape::new(&[]).size(), 1);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4, 5]), vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn broadcast_incompatible() {
+        broadcast_shapes(&[2, 3], &[4, 3]);
+    }
+
+    #[test]
+    fn unravel_ravel_roundtrip() {
+        let shape = [2usize, 3, 4];
+        let mut idx = [0usize; 3];
+        for flat in 0..24 {
+            unravel(flat, &shape, &mut idx);
+            assert_eq!(ravel_broadcast(&idx, &shape), flat);
+        }
+    }
+
+    #[test]
+    fn ravel_broadcast_clamps_unit_dims() {
+        // shape [1, 4] broadcast against index space [3, 4]
+        let idx = [2usize, 3];
+        assert_eq!(ravel_broadcast(&idx, &[1, 4]), 3);
+        // trailing alignment: shape [4] against index [2, 3]
+        assert_eq!(ravel_broadcast(&idx, &[4]), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests of the tensor algebra: ring laws, broadcasting
+//! consistency, matmul identities, softmax invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use pipemare_tensor::{broadcast_shapes, Tensor};
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..4).prop_flat_map(move |(r, c)| {
+        let n = (r * c).min(max_elems);
+        prop::collection::vec(-5.0f32..5.0, n..=n)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes_and_associates(
+        a in tensor_strategy(16),
+    ) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let c = a.map(|x| -x + 2.0);
+        prop_assert!(close(&a.add(&b), &b.add(&a), 1e-6));
+        prop_assert!(close(&a.add(&b).add(&c), &a.add(&b.add(&c)), 1e-5));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in tensor_strategy(16)) {
+        let b = a.map(|x| x + 1.0);
+        let c = a.map(|x| 2.0 * x - 0.5);
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn broadcast_shape_is_commutative_and_idempotent(
+        a in prop::collection::vec(1usize..5, 1..4),
+        b in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        // Only test compatible pairs: make b compatible by copying a's
+        // trailing dims or 1s.
+        let mut b2 = b.clone();
+        let n = a.len().min(b2.len());
+        for i in 0..n {
+            let ai = a[a.len() - 1 - i];
+            let slot = b2.len() - 1 - i;
+            if b2[slot] != 1 && b2[slot] != ai {
+                b2[slot] = if i % 2 == 0 { ai } else { 1 };
+            }
+        }
+        let ab = broadcast_shapes(&a, &b2);
+        let ba = broadcast_shapes(&b2, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(broadcast_shapes(&ab, &a), ab.clone());
+    }
+
+    #[test]
+    fn matmul_is_associative(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 2], &mut rng);
+        let c = Tensor::randn(&[2, 5], &mut rng);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000) {
+        // (A B)^T == B^T A^T
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 2], &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&lhs, &rhs, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(16)) {
+        let s = a.softmax_last();
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let cols = *a.shape().last().unwrap();
+        for r in 0..a.len() / cols {
+            let sum: f32 = s.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(a in tensor_strategy(16), shift in -50.0f32..50.0) {
+        let s1 = a.softmax_last();
+        let s2 = a.add_scalar(shift).softmax_last();
+        prop_assert!(close(&s1, &s2, 1e-4));
+    }
+
+    #[test]
+    fn reshape_permute_preserve_multiset(a in tensor_strategy(16)) {
+        let flat = a.reshape(&[a.len()]);
+        let mut x: Vec<f32> = a.data().to_vec();
+        let mut y: Vec<f32> = flat.data().to_vec();
+        x.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        y.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        prop_assert_eq!(x, y);
+        let p = a.permute(&[1, 0]);
+        prop_assert_eq!(p.permute(&[1, 0]), a);
+    }
+
+    #[test]
+    fn sum_axis_consistent_with_total(a in tensor_strategy(16)) {
+        let total = a.sum();
+        let via0 = a.sum_axis(0).sum();
+        let via1 = a.sum_axis(1).sum();
+        prop_assert!((total - via0).abs() < 1e-3);
+        prop_assert!((total - via1).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Closed-form stability bounds (Lemmas 1–3) and T2 decay constants.
+
+use std::f64::consts::PI;
+
+/// Lemma 1: the largest step size for which fixed-delay SGD on
+/// `f(w) = λ/2·w²` with delay `τ` is stable:
+/// `α_max = (2/λ)·sin(π / (4τ + 2))`.
+///
+/// # Example
+///
+/// ```
+/// use pipemare_theory::lemma1_max_alpha;
+///
+/// // No delay: the classical 2/λ gradient-descent limit.
+/// assert!((lemma1_max_alpha(1.0, 0) - 2.0).abs() < 1e-12);
+/// // Large delay: α_max ≈ π/(2λτ) — the O(1/τ) law behind T1.
+/// let tau = 100;
+/// let approx = std::f64::consts::PI / (2.0 * tau as f64);
+/// assert!((lemma1_max_alpha(1.0, tau) - approx).abs() / approx < 0.01);
+/// ```
+pub fn lemma1_max_alpha(lambda: f64, tau: usize) -> f64 {
+    2.0 / lambda * (PI / (4.0 * tau as f64 + 2.0)).sin()
+}
+
+/// Lemma 1 (fractional-delay form) used when the pipeline delay
+/// `τ = (2(P−i)+1)/N` is not an integer.
+pub fn lemma1_max_alpha_frac(lambda: f64, tau: f64) -> f64 {
+    2.0 / lambda * (PI / (4.0 * tau + 2.0)).sin()
+}
+
+/// Lemma 2: with delay discrepancy sensitivity `Δ`, some step size
+/// `α ≤ min(2/(Δ(τf−τb)), (2/λ)·sin(π/(4τf+2)))` is already unstable;
+/// this returns that upper envelope.
+pub fn lemma2_max_alpha(lambda: f64, delta: f64, tau_fwd: usize, tau_bkwd: usize) -> f64 {
+    let base = lemma1_max_alpha(lambda, tau_fwd);
+    if delta <= 0.0 || tau_fwd == tau_bkwd {
+        return base;
+    }
+    base.min(2.0 / (delta * (tau_fwd - tau_bkwd) as f64))
+}
+
+/// Lemma 3: with any momentum `0 < β ≤ 1`, some step size
+/// `α ≤ (4/λ)·sin(π/(4τ+2))` is unstable — the `O(1/τ)` requirement is
+/// not escaped by momentum. Returns that bound.
+pub fn lemma3_max_alpha(lambda: f64, tau: usize) -> f64 {
+    4.0 / lambda * (PI / (4.0 * tau as f64 + 2.0)).sin()
+}
+
+/// The double-root step size of Lemma 1:
+/// `α = 1/(λ(τ+1)) · (τ/(τ+1))^τ`, where the basic characteristic
+/// polynomial has a root of multiplicity 2 at `ω = τ/(τ+1)`.
+pub fn lemma1_double_root_alpha(lambda: f64, tau: usize) -> f64 {
+    let t = tau as f64;
+    1.0 / (lambda * (t + 1.0)) * (t / (t + 1.0)).powi(tau as i32)
+}
+
+/// The T2 decay rate that removes `Δ` from the second-order Taylor
+/// expansion of the corrected characteristic polynomial at `ω = 1`
+/// (App. B.5): `γ* = 1 − 2/(τ_fwd − τ_bkwd + 1)`.
+///
+/// # Panics
+///
+/// Panics if `tau_fwd < tau_bkwd`.
+pub fn gamma_star(tau_fwd: usize, tau_bkwd: usize) -> f64 {
+    assert!(tau_fwd >= tau_bkwd, "gamma_star: τ_fwd < τ_bkwd");
+    1.0 - 2.0 / ((tau_fwd - tau_bkwd) as f64 + 1.0)
+}
+
+/// The large-τ limit of `γ*^{τf−τb}`: `D = e⁻² ≈ 0.135`, the paper's
+/// recommended default for the global decay hyperparameter.
+pub fn d_default() -> f64 {
+    (-2.0f64).exp()
+}
+
+/// Converts the global decay hyperparameter `D` into the per-stage decay
+/// `γ_i = D^{1/(τ_fwd,i − τ_bkwd,i)}` (§3.2, T2). Delay gaps below a small
+/// epsilon return `γ = 0` (no history averaging needed when the gap is
+/// negligible).
+pub fn gamma_from_d(d: f64, delay_gap: f64) -> f64 {
+    if delay_gap <= 1e-9 || d <= 0.0 {
+        return 0.0;
+    }
+    d.powf(1.0 / delay_gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_known_values() {
+        // τ = 0: α_max = 2 sin(π/2)/λ = 2/λ (plain SGD).
+        assert!((lemma1_max_alpha(1.0, 0) - 2.0).abs() < 1e-12);
+        assert!((lemma1_max_alpha(4.0, 0) - 0.5).abs() < 1e-12);
+        // Large τ: α_max ≈ π/(2λτ) (O(1/τ)).
+        let tau = 1000;
+        let approx = PI / (2.0 * tau as f64);
+        assert!((lemma1_max_alpha(1.0, tau) - approx).abs() / approx < 1e-2);
+    }
+
+    #[test]
+    fn lemma1_decreases_in_tau() {
+        let mut prev = f64::INFINITY;
+        for tau in 0..50 {
+            let a = lemma1_max_alpha(1.0, tau);
+            assert!(a < prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn frac_form_matches_integer_form() {
+        for tau in [1usize, 7, 20] {
+            assert!(
+                (lemma1_max_alpha(2.0, tau) - lemma1_max_alpha_frac(2.0, tau as f64)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_envelope() {
+        // Small Δ: Lemma 1 term dominates. Large Δ: discrepancy term.
+        let base = lemma1_max_alpha(1.0, 10);
+        assert_eq!(lemma2_max_alpha(1.0, 0.0, 10, 6), base);
+        let big = lemma2_max_alpha(1.0, 100.0, 10, 6);
+        assert!((big - 2.0 / (100.0 * 4.0)).abs() < 1e-12);
+        assert!(big < base);
+    }
+
+    #[test]
+    fn lemma3_is_twice_lemma1() {
+        for tau in [1usize, 5, 12] {
+            assert!(
+                (lemma3_max_alpha(1.5, tau) - 2.0 * lemma1_max_alpha(1.5, tau)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn double_root_alpha_within_stable_range() {
+        // The double-root α lies inside (0, α_max] for every τ ≥ 1.
+        for tau in 1..40usize {
+            let a = lemma1_double_root_alpha(1.0, tau);
+            let amax = lemma1_max_alpha(1.0, tau);
+            assert!(a > 0.0 && a <= amax * 1.001, "τ = {tau}: {a} vs max {amax}");
+        }
+    }
+
+    #[test]
+    fn double_root_is_actually_double() {
+        // At α = double-root value, both p and p' vanish at ω = τ/(τ+1).
+        use crate::companion::char_poly_basic;
+        let tau = 6;
+        let alpha = lemma1_double_root_alpha(1.0, tau);
+        let p = char_poly_basic(1.0, alpha, tau);
+        let w = tau as f64 / (tau as f64 + 1.0);
+        assert!(p.eval_real(w).abs() < 1e-12);
+        assert!(p.derivative().eval_real(w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_star_limit_is_d_default() {
+        // γ*^{τf−τb} → e⁻² as the gap grows.
+        let g = gamma_star(1000, 0);
+        let d = g.powi(1000);
+        assert!((d - d_default()).abs() < 1e-3, "{d} vs {}", d_default());
+    }
+
+    #[test]
+    fn gamma_from_d_roundtrip() {
+        let gap = 7.0;
+        let g = gamma_from_d(0.135, gap);
+        assert!((g.powf(gap) - 0.135).abs() < 1e-9);
+        assert_eq!(gamma_from_d(0.135, 0.0), 0.0);
+        assert_eq!(gamma_from_d(0.0, 5.0), 0.0);
+    }
+}

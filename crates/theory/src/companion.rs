@@ -1,0 +1,268 @@
+//! Characteristic polynomials of the delayed-SGD companion matrices.
+//!
+//! Each recurrence analyzed in the paper is a linear system
+//! `W_{t+1} = C·W_t + noise`; stability is equivalent to all eigenvalues
+//! of `C` (the roots of these polynomials) lying inside the unit disk.
+
+use crate::poly::Polynomial;
+
+/// Basic fixed-delay SGD (Eq. 4): `p(ω) = ω^{τ+1} − ω^τ + αλ`.
+pub fn char_poly_basic(lambda: f64, alpha: f64, tau: usize) -> Polynomial {
+    Polynomial::from_terms(&[(tau + 1, 1.0), (tau, -1.0), (0, alpha * lambda)])
+}
+
+/// Forward/backward delay discrepancy (Eq. 6):
+/// `p(ω) = ω^{τf}(ω − 1) − αΔ·ω^{τf−τb} + α(λ+Δ)`.
+///
+/// # Panics
+///
+/// Panics if `tau_fwd < tau_bkwd`.
+pub fn char_poly_discrepancy(
+    lambda: f64,
+    delta: f64,
+    alpha: f64,
+    tau_fwd: usize,
+    tau_bkwd: usize,
+) -> Polynomial {
+    assert!(tau_fwd >= tau_bkwd, "char_poly_discrepancy: τ_fwd < τ_bkwd");
+    Polynomial::from_terms(&[
+        (tau_fwd + 1, 1.0),
+        (tau_fwd, -1.0),
+        (tau_fwd - tau_bkwd, -alpha * delta),
+        (0, alpha * (lambda + delta)),
+    ])
+}
+
+/// SGD with momentum (Eq. 13/14):
+/// `p(ω) = ω^{τ+1} − (1+β)ω^τ + βω^{τ−1} + αλ`.
+///
+/// # Panics
+///
+/// Panics if `tau == 0` (the paper's momentum analysis assumes `τ ≥ 1`).
+pub fn char_poly_momentum(lambda: f64, alpha: f64, beta: f64, tau: usize) -> Polynomial {
+    assert!(tau >= 1, "char_poly_momentum requires τ >= 1");
+    Polynomial::from_terms(&[
+        (tau + 1, 1.0),
+        (tau, -(1.0 + beta)),
+        (tau - 1, beta),
+        (0, alpha * lambda),
+    ])
+}
+
+/// T2 discrepancy-corrected system (App. B.5):
+///
+/// ```text
+/// p(ω) = (ω−1)(ω−γ)ω^{τf}
+///      + α(λ+Δ)(ω−γ)
+///      − αΔ·ω^{τf−τb}(ω−γ)
+///      + αΔ·ω^{τf−τb}(τf−τb)(1−γ)(ω−1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tau_fwd < tau_bkwd`.
+pub fn char_poly_t2(
+    lambda: f64,
+    delta: f64,
+    alpha: f64,
+    tau_fwd: usize,
+    tau_bkwd: usize,
+    gamma: f64,
+) -> Polynomial {
+    assert!(tau_fwd >= tau_bkwd, "char_poly_t2: τ_fwd < τ_bkwd");
+    let d = (tau_fwd - tau_bkwd) as f64;
+    let k = tau_fwd - tau_bkwd;
+    let mut terms: Vec<(usize, f64)> = Vec::new();
+    // (ω−1)(ω−γ)ω^{τf} = ω^{τf+2} − (1+γ)ω^{τf+1} + γω^{τf}
+    terms.push((tau_fwd + 2, 1.0));
+    terms.push((tau_fwd + 1, -(1.0 + gamma)));
+    terms.push((tau_fwd, gamma));
+    // α(λ+Δ)(ω−γ)
+    terms.push((1, alpha * (lambda + delta)));
+    terms.push((0, -gamma * alpha * (lambda + delta)));
+    // −αΔ ω^{k}(ω−γ)
+    terms.push((k + 1, -alpha * delta));
+    terms.push((k, gamma * alpha * delta));
+    // +αΔ ω^{k}(τf−τb)(1−γ)(ω−1)
+    let c = alpha * delta * d * (1.0 - gamma);
+    terms.push((k + 1, c));
+    terms.push((k, -c));
+    Polynomial::from_terms(&terms)
+}
+
+/// Recompute-extended T2 system (App. D.1): adds a third delayed weight
+/// path with sensitivity `Φ` and delay `τ_recomp`:
+///
+/// ```text
+/// p(ω) = (ω−1)(ω−γ)ω^{τf}
+///      + α(λ+Δ)(ω−γ)
+///      − α(Δ−Φ)ω^{τf−τb}(ω−γ) + α(Δ−Φ)ω^{τf−τb}(τf−τb)(1−γ)(ω−1)
+///      − αΦ·ω^{τf−τr}(ω−γ)   + αΦ·ω^{τf−τr}(τf−τr)(1−γ)(ω−1)
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `τ_fwd ≥ τ_recomp ≥ τ_bkwd`.
+#[allow(clippy::too_many_arguments)]
+pub fn char_poly_recompute(
+    lambda: f64,
+    delta: f64,
+    phi: f64,
+    alpha: f64,
+    tau_fwd: usize,
+    tau_bkwd: usize,
+    tau_recomp: usize,
+    gamma: f64,
+) -> Polynomial {
+    assert!(
+        tau_fwd >= tau_recomp && tau_recomp >= tau_bkwd,
+        "char_poly_recompute requires τ_fwd >= τ_recomp >= τ_bkwd"
+    );
+    let kb = tau_fwd - tau_bkwd;
+    let kr = tau_fwd - tau_recomp;
+    let mut terms: Vec<(usize, f64)> = vec![
+        (tau_fwd + 2, 1.0),
+        (tau_fwd + 1, -(1.0 + gamma)),
+        (tau_fwd, gamma),
+        (1, alpha * (lambda + delta)),
+        (0, -gamma * alpha * (lambda + delta)),
+    ];
+    // −α(Δ−Φ)ω^{kb}(ω−γ)
+    let db = delta - phi;
+    terms.push((kb + 1, -alpha * db));
+    terms.push((kb, gamma * alpha * db));
+    // +α(Δ−Φ)ω^{kb} kb (1−γ)(ω−1)
+    let cb = alpha * db * kb as f64 * (1.0 - gamma);
+    terms.push((kb + 1, cb));
+    terms.push((kb, -cb));
+    // −αΦ ω^{kr}(ω−γ)
+    terms.push((kr + 1, -alpha * phi));
+    terms.push((kr, gamma * alpha * phi));
+    // +αΦ ω^{kr} kr (1−γ)(ω−1)
+    let cr = alpha * phi * kr as f64 * (1.0 - gamma);
+    terms.push((kr + 1, cr));
+    terms.push((kr, -cr));
+    Polynomial::from_terms(&terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{gamma_star, lemma1_max_alpha};
+    use crate::poly::spectral_radius;
+
+    #[test]
+    fn basic_zero_alpha_has_radius_one() {
+        // p(ω) = ω^τ (ω − 1): roots {0...0, 1}.
+        let p = char_poly_basic(1.0, 0.0, 5);
+        assert!((spectral_radius(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn basic_stable_below_lemma1_bound() {
+        for tau in [1usize, 4, 10, 25] {
+            let lambda = 1.0;
+            let bound = lemma1_max_alpha(lambda, tau);
+            let p_in = char_poly_basic(lambda, 0.95 * bound, tau);
+            let p_out = char_poly_basic(lambda, 1.05 * bound, tau);
+            assert!(
+                spectral_radius(&p_in) < 1.0 + 1e-9,
+                "τ = {tau}: inside bound should be stable, radius {}",
+                spectral_radius(&p_in)
+            );
+            assert!(
+                spectral_radius(&p_out) > 1.0,
+                "τ = {tau}: outside bound should be unstable, radius {}",
+                spectral_radius(&p_out)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delay_reduces_to_plain_sgd() {
+        // τ = 0: p(ω) = ω − 1 + αλ, root 1 − αλ. Stable iff 0 < αλ < 2.
+        let p = char_poly_basic(2.0, 0.5, 0);
+        assert!((spectral_radius(&p) - 0.0).abs() < 1e-12); // root at 0
+        let p2 = char_poly_basic(2.0, 0.9, 0);
+        assert!((spectral_radius(&p2) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrepancy_with_zero_delta_matches_basic() {
+        let a = char_poly_discrepancy(1.0, 0.0, 0.05, 8, 3);
+        let b = char_poly_basic(1.0, 0.05, 8);
+        assert_eq!(a.coeffs(), b.coeffs());
+    }
+
+    #[test]
+    fn discrepancy_raises_spectral_radius() {
+        // Figure 5(b): at fixed α, Δ > 0 increases the largest eigenvalue.
+        let alpha = 0.1;
+        let r0 = spectral_radius(&char_poly_discrepancy(1.0, 0.0, alpha, 10, 6));
+        let r5 = spectral_radius(&char_poly_discrepancy(1.0, 5.0, alpha, 10, 6));
+        assert!(r5 > r0, "Δ=5 radius {r5} should exceed Δ=0 radius {r0}");
+    }
+
+    #[test]
+    fn t2_correction_reduces_radius_under_discrepancy() {
+        // Figure 5(b): with Δ = 5, D = 0.1, the corrected system has a
+        // smaller largest eigenvalue than the uncorrected one.
+        let (lambda, delta, tau_f, tau_b) = (1.0, 5.0, 10usize, 6usize);
+        let gamma = 0.1f64.powf(1.0 / (tau_f - tau_b) as f64); // D = 0.1
+        for &alpha in &[0.05, 0.1, 0.15] {
+            let plain = spectral_radius(&char_poly_discrepancy(lambda, delta, alpha, tau_f, tau_b));
+            let fixed = spectral_radius(&char_poly_t2(lambda, delta, alpha, tau_f, tau_b, gamma));
+            assert!(
+                fixed < plain + 1e-9,
+                "α={alpha}: T2 radius {fixed} should not exceed plain {plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn t2_with_gamma_star_second_order_delta_free() {
+        // App. B.5: with γ = γ*, p(1), p'(1), p''(1) are independent of Δ.
+        let (lambda, alpha, tau_f, tau_b) = (1.0, 0.01, 12usize, 4usize);
+        let g = gamma_star(tau_f, tau_b);
+        let eval_derivs = |delta: f64| {
+            let p = char_poly_t2(lambda, delta, alpha, tau_f, tau_b, g);
+            let dp = p.derivative();
+            let ddp = dp.derivative();
+            (p.eval_real(1.0), dp.eval_real(1.0), ddp.eval_real(1.0))
+        };
+        let (p0, d0, dd0) = eval_derivs(0.0);
+        let (p1, d1, dd1) = eval_derivs(7.0);
+        assert!((p0 - p1).abs() < 1e-9, "p(1) depends on Δ: {p0} vs {p1}");
+        assert!((d0 - d1).abs() < 1e-9, "p'(1) depends on Δ: {d0} vs {d1}");
+        assert!((dd0 - dd1).abs() < 1e-6, "p''(1) depends on Δ: {dd0} vs {dd1}");
+    }
+
+    #[test]
+    fn recompute_with_zero_phi_matches_t2() {
+        let a = char_poly_recompute(1.0, 3.0, 0.0, 0.05, 10, 1, 4, 0.5);
+        let b = char_poly_t2(1.0, 3.0, 0.05, 10, 1, 0.5);
+        // Same polynomial up to degree: compare coefficients.
+        assert_eq!(a.degree(), b.degree());
+        for (x, y) in a.coeffs().iter().zip(b.coeffs()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn momentum_zero_beta_matches_basic() {
+        let a = char_poly_momentum(1.0, 0.05, 0.0, 6);
+        let b = char_poly_basic(1.0, 0.05, 6);
+        assert_eq!(a.coeffs(), b.coeffs());
+    }
+
+    #[test]
+    fn momentum_tightens_stability() {
+        // With β = 0.9 the stable α range shrinks vs. β = 0 at the same τ.
+        let tau = 8;
+        let alpha = 0.9 * lemma1_max_alpha(1.0, tau);
+        let plain = spectral_radius(&char_poly_basic(1.0, alpha, tau));
+        let mom = spectral_radius(&char_poly_momentum(1.0, alpha, 0.9, tau));
+        assert!(plain < 1.0);
+        assert!(mom > plain, "momentum radius {mom} should exceed plain {plain}");
+    }
+}

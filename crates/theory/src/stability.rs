@@ -1,0 +1,115 @@
+//! Numerical stability-threshold search.
+
+use crate::poly::{spectral_radius, Polynomial};
+
+/// Finds the largest step size `α ∈ (0, alpha_hi]` for which the
+/// characteristic polynomial built by `poly_of_alpha` has spectral radius
+/// `≤ 1`, by bisection to relative precision `rel_tol`.
+///
+/// Assumes the standard structure of the paper's systems: stable for
+/// sufficiently small `α > 0` and unstable for large `α`. If even
+/// `alpha_hi` is stable, returns `alpha_hi`; if even a tiny `α` is
+/// unstable, returns `0.0`.
+pub fn max_stable_alpha(
+    poly_of_alpha: &dyn Fn(f64) -> Polynomial,
+    alpha_hi: f64,
+    rel_tol: f64,
+) -> f64 {
+    const MARGIN: f64 = 1e-9;
+    let stable = |alpha: f64| spectral_radius(&poly_of_alpha(alpha)) <= 1.0 + MARGIN;
+    let mut hi = alpha_hi;
+    if stable(hi) {
+        return hi;
+    }
+    let mut lo = alpha_hi * 1e-8;
+    if !stable(lo) {
+        return 0.0;
+    }
+    while (hi - lo) / hi.max(1e-300) > rel_tol {
+        let mid = 0.5 * (lo + hi);
+        if stable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{gamma_star, lemma1_max_alpha, lemma2_max_alpha};
+    use crate::companion::{char_poly_basic, char_poly_discrepancy, char_poly_t2};
+
+    #[test]
+    fn recovers_lemma1_threshold() {
+        for tau in [1usize, 5, 13, 30] {
+            let lambda = 1.0;
+            let found = max_stable_alpha(&|a| char_poly_basic(lambda, a, tau), 3.0, 1e-6);
+            let expected = lemma1_max_alpha(lambda, tau);
+            assert!(
+                (found - expected).abs() / expected < 1e-3,
+                "τ = {tau}: found {found} vs Lemma 1 {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_scales_inverse_in_lambda() {
+        let a1 = max_stable_alpha(&|a| char_poly_basic(1.0, a, 8), 3.0, 1e-6);
+        let a2 = max_stable_alpha(&|a| char_poly_basic(2.0, a, 8), 3.0, 1e-6);
+        assert!((a1 / a2 - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn discrepancy_threshold_below_lemma2_envelope() {
+        // Lemma 2 guarantees instability somewhere below the envelope;
+        // the *actual* threshold must therefore be ≤ the envelope.
+        for &delta in &[1.0, 5.0, 20.0] {
+            let (tau_f, tau_b) = (10usize, 6usize);
+            let found = max_stable_alpha(
+                &|a| char_poly_discrepancy(1.0, delta, a, tau_f, tau_b),
+                3.0,
+                1e-6,
+            );
+            let envelope = lemma2_max_alpha(1.0, delta, tau_f, tau_b);
+            assert!(
+                found <= envelope * 1.001,
+                "Δ = {delta}: threshold {found} exceeds Lemma 2 envelope {envelope}"
+            );
+            assert!(found > 0.0);
+        }
+    }
+
+    #[test]
+    fn t2_extends_stable_range_for_positive_delta() {
+        // App. B.5: for Δ > 0 the corrected threshold is at least the
+        // uncorrected one (checked exhaustively in the paper for
+        // τ_fwd ≤ 40; spot-check representative cases here).
+        for &(tau_f, tau_b, delta) in &[(40usize, 10usize, 10.0), (20, 5, 5.0), (12, 3, 30.0)] {
+            let g = gamma_star(tau_f, tau_b);
+            let plain = max_stable_alpha(
+                &|a| char_poly_discrepancy(1.0, delta, a, tau_f, tau_b),
+                3.0,
+                1e-5,
+            );
+            let fixed =
+                max_stable_alpha(&|a| char_poly_t2(1.0, delta, a, tau_f, tau_b, g), 3.0, 1e-5);
+            assert!(
+                fixed >= plain * 0.999,
+                "τf={tau_f}, τb={tau_b}, Δ={delta}: T2 threshold {fixed} < plain {plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // Always stable within range → returns hi.
+        let hi = max_stable_alpha(&|_a| Polynomial::new(vec![-0.5, 1.0]), 1.0, 1e-6);
+        assert_eq!(hi, 1.0);
+        // Never stable → returns 0.
+        let zero = max_stable_alpha(&|_a| Polynomial::new(vec![-2.0, 1.0]), 1.0, 1e-6);
+        assert_eq!(zero, 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests over the theory crate's stability machinery.
+
+use proptest::prelude::*;
+
+use pipemare_theory::{
+    char_poly_basic, char_poly_discrepancy, char_poly_momentum, gamma_star, lemma1_max_alpha,
+    lemma3_max_alpha, max_stable_alpha, spectral_radius, Complex, Polynomial,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn roots_satisfy_polynomial(coeffs in prop::collection::vec(-3.0f64..3.0, 2..8)) {
+        // Require a genuinely nonzero polynomial with nonzero lead.
+        let mut c = coeffs;
+        if c.iter().all(|&x| x.abs() < 1e-3) {
+            c[0] = 1.0;
+        }
+        if c.last().unwrap().abs() < 1e-3 {
+            *c.last_mut().unwrap() = 1.0;
+        }
+        let p = Polynomial::new(c);
+        for r in p.roots() {
+            let residual = p.eval(r).abs();
+            prop_assert!(residual < 1e-5, "residual {residual} at root {r:?}");
+        }
+    }
+
+    #[test]
+    fn root_count_equals_degree(coeffs in prop::collection::vec(-3.0f64..3.0, 3..8)) {
+        let mut c = coeffs;
+        if c.last().unwrap().abs() < 1e-3 {
+            *c.last_mut().unwrap() = 1.0;
+        }
+        if c.iter().all(|&x| x == 0.0) {
+            c[0] = 1.0;
+        }
+        let p = Polynomial::new(c);
+        prop_assert_eq!(p.roots().len(), p.degree());
+    }
+
+    #[test]
+    fn spectral_radius_monotone_in_alpha_at_instability(
+        tau in 1usize..16,
+        lambda in 0.5f64..2.0,
+    ) {
+        // Beyond the threshold, increasing alpha keeps the system unstable.
+        let a0 = lemma1_max_alpha(lambda, tau);
+        let r1 = spectral_radius(&char_poly_basic(lambda, 1.2 * a0, tau));
+        let r2 = spectral_radius(&char_poly_basic(lambda, 2.0 * a0, tau));
+        prop_assert!(r1 > 1.0);
+        prop_assert!(r2 > 1.0);
+    }
+
+    #[test]
+    fn threshold_decreases_with_delay(lambda in 0.5f64..2.0, tau in 1usize..12) {
+        let t1 = max_stable_alpha(&|a| char_poly_basic(lambda, a, tau), 4.0, 1e-5);
+        let t2 = max_stable_alpha(&|a| char_poly_basic(lambda, a, tau + 4), 4.0, 1e-5);
+        prop_assert!(t2 < t1, "threshold grew with delay: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn discrepancy_never_helps_stability(
+        tau_b in 0usize..6,
+        extra in 1usize..8,
+        delta in 0.5f64..20.0,
+    ) {
+        let tau_f = tau_b + extra;
+        let plain = max_stable_alpha(&|a| char_poly_discrepancy(1.0, 0.0, a, tau_f, tau_b), 4.0, 1e-5);
+        let disc = max_stable_alpha(&|a| char_poly_discrepancy(1.0, delta, a, tau_f, tau_b), 4.0, 1e-5);
+        prop_assert!(disc <= plain * 1.001, "Δ={delta} improved threshold {plain} -> {disc}");
+    }
+
+    #[test]
+    fn momentum_threshold_bounded_by_lemma3(
+        tau in 1usize..12,
+        beta in 0.05f64..0.95,
+        lambda in 0.5f64..2.0,
+    ) {
+        let thresh = max_stable_alpha(&|a| char_poly_momentum(lambda, a, beta, tau), 8.0, 1e-5);
+        let bound = lemma3_max_alpha(lambda, tau);
+        prop_assert!(
+            thresh <= bound * 1.01,
+            "β={beta}: threshold {thresh} exceeds Lemma 3 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn gamma_star_in_unit_interval(tau_b in 0usize..20, extra in 1usize..40) {
+        let g = gamma_star(tau_b + extra, tau_b);
+        prop_assert!((-1.0..1.0).contains(&g), "γ* = {g}");
+        // Monotone in the gap: larger gaps → γ* closer to 1.
+        let g2 = gamma_star(tau_b + extra + 5, tau_b);
+        prop_assert!(g2 > g);
+    }
+
+    #[test]
+    fn complex_field_axioms(re1 in -3.0f64..3.0, im1 in -3.0f64..3.0, re2 in -3.0f64..3.0, im2 in -3.0f64..3.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+        if b.abs() > 1e-6 {
+            prop_assert!((a * b / b - a).abs() < 1e-9);
+        }
+        // |ab| == |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+}

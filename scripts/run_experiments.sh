@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact, one bench target at a time, saving the
+# printed tables under target/experiment-output/. Equivalent to
+# `cargo bench --workspace` but with per-artifact logs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=target/experiment-output
+mkdir -p "$out"
+
+benches=(
+  fig1_pipeline_modes
+  table1_characterization
+  fig2_transformer_stage_sweep
+  fig3a_quadratic_divergence
+  fig3b_stability_heatmap
+  fig4_technique_ablation_curves
+  fig5a_discrepancy_divergence
+  fig5b_eigenvalue_correction
+  fig6_recompute_memory_profile
+  fig7_divergence_analysis
+  fig8_stable_stepsize_vs_delta
+  fig9_imagenet_wmt_curves
+  fig10_ablation_base_stages
+  fig11_resnet152_t2_necessity
+  fig12_annealing_sensitivity
+  fig13_decay_sensitivity
+  fig14_warmup_sensitivity
+  fig15_resnet_stage_sweep
+  fig16_recompute_eigenvalues
+  fig17_recompute_cifar
+  fig18_recompute_iwslt
+  fig19_hogwild
+  table2_end_to_end
+  table3_ablation
+  table4_activation_memory
+  table5_task_activation_memory
+  ablation_gamma_choice
+  ablation_partitioning
+)
+
+for b in "${benches[@]}"; do
+  echo "=== $b ==="
+  cargo bench -p pipemare-bench --bench "$b" 2>&1 | tee "$out/$b.txt"
+done
+
+echo "All artifact logs in $out/"

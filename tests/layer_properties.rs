@@ -1,0 +1,115 @@
+//! Property tests over the neural-network layers: gradient correctness
+//! across random configurations, mask invariants, normalization
+//! invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare::nn::gradcheck::{check_layer_gradients, init_layer};
+use pipemare::nn::{
+    Activation, AttnMask, BatchNorm2d, Conv2d, Layer, LayerNorm, Linear, MultiHeadAttention,
+    Sequential,
+};
+use pipemare::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn linear_gradcheck_random_configs(
+        in_f in 1usize..7,
+        out_f in 1usize..7,
+        batch in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        check_layer_gradients(&Linear::new(in_f, out_f), &[batch, in_f], seed, 5e-2);
+    }
+
+    #[test]
+    fn conv_gradcheck_random_configs(
+        in_c in 1usize..4,
+        out_c in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let conv = Conv2d::new(in_c, out_c, 3, stride, 1);
+        check_layer_gradients(&conv, &[2, in_c, 5, 5], seed, 8e-2);
+    }
+
+    #[test]
+    fn layernorm_gradcheck_random_dims(dim in 2usize..10, rows in 1usize..5, seed in 0u64..1000) {
+        check_layer_gradients(&LayerNorm::new(dim), &[rows, dim], seed, 8e-2);
+    }
+
+    #[test]
+    fn batchnorm_gradcheck_random_dims(c in 1usize..4, b in 2usize..5, seed in 0u64..1000) {
+        check_layer_gradients(&BatchNorm2d::new(c), &[b, c, 3, 3], seed, 8e-2);
+    }
+
+    #[test]
+    fn mixed_chain_gradcheck(seed in 0u64..1000, hidden in 2usize..8) {
+        let chain = Sequential::new()
+            .push(Linear::new(5, hidden))
+            .push(Activation::tanh())
+            .push(Linear::new(hidden, 3));
+        check_layer_gradients(&chain, &[3, 5], seed, 8e-2);
+    }
+
+    #[test]
+    fn attention_output_invariant_to_masked_keys(
+        seed in 0u64..1000,
+        keep in 1usize..4,
+    ) {
+        // Values at masked key positions never influence the output.
+        let mha = MultiHeadAttention::new(8, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = vec![0.0f32; mha.param_len()];
+        mha.init_params(&mut params, &mut rng);
+        let q = Tensor::randn(&[1, 2, 8], &mut rng);
+        let kv = Tensor::randn(&[1, 4, 8], &mut rng);
+        let mask = AttnMask::KeyLens(vec![keep]);
+        let (y1, _) = mha.forward(&params, &q, &kv, &mask);
+        let mut kv2 = kv.clone();
+        for t in keep..4 {
+            for d in 0..8 {
+                kv2.data_mut()[t * 8 + d] = 123.0;
+            }
+        }
+        let (y2, _) = mha.forward(&params, &q, &kv2, &mask);
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn attention_causal_prefix_stability(seed in 0u64..1000) {
+        // With a causal mask, truncating the sequence does not change the
+        // outputs of the surviving prefix.
+        let mha = MultiHeadAttention::new(4, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = vec![0.0f32; mha.param_len()];
+        mha.init_params(&mut params, &mut rng);
+        let x = Tensor::randn(&[1, 5, 4], &mut rng);
+        let (full, _) = mha.forward(&params, &x, &x, &AttnMask::Causal);
+        let x3 = x.reshape(&[5, 4]).slice0(0, 3).reshape(&[1, 3, 4]);
+        let (short, _) = mha.forward(&params, &x3, &x3, &AttnMask::Causal);
+        for i in 0..3 * 4 {
+            prop_assert!((full.data()[i] - short.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalization_is_shift_invariant(dim in 2usize..10, shift in -5.0f32..5.0, seed in 0u64..1000) {
+        // LayerNorm(x + c) == LayerNorm(x) for a constant shift.
+        let ln = LayerNorm::new(dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = init_layer(&ln, &mut rng);
+        let x = Tensor::randn(&[3, dim], &mut rng);
+        let (a, _) = ln.forward(&params, &x);
+        let (b, _) = ln.forward(&params, &x.add_scalar(shift));
+        for (u, v) in a.data().iter().zip(b.data().iter()) {
+            prop_assert!((u - v).abs() < 2e-3, "{u} vs {v}");
+        }
+    }
+}
