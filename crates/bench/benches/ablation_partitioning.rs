@@ -29,19 +29,19 @@ fn main() {
         cfg.partition_by_elements = by_elements;
         let trainer = PipelineTrainer::new(&w.model, cfg, w.seed);
         let fracs = trainer.stage_fracs();
-        let stash =
-            mm.weight_opt_copies(Method::PipeDream, &clk, &fracs, false) - 3.0;
+        let stash = mm.weight_opt_copies(Method::PipeDream, &clk, &fracs, false) - 3.0;
         let max_frac = fracs.iter().cloned().fold(0.0f64, f64::max);
         let mut cfg2 = w.config(Method::PipeMare, true, true);
         cfg2.partition_by_elements = by_elements;
-        let h = run_image_training(&w.model, &w.ds, cfg2, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg2, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         let scheme = if by_elements { "element-balanced" } else { "unit-count" };
-        println!(
-            "{scheme:>16} {stash:>14.2} {max_frac:>9.3} {:>10.1}",
-            h.best_metric()
-        );
+        println!("{scheme:>16} {stash:>14.2} {max_frac:>9.3} {:>10.1}", h.best_metric());
     }
     println!("\nExpected: unit-count partitioning concentrates the ResNet's late, large");
     println!("weights on low-delay stages, giving a much smaller PipeDream stash than the");
-    println!("uniform P/N = {:.1} estimate, at comparable accuracy.", w.stages as f64 / w.n_micro as f64);
+    println!(
+        "uniform P/N = {:.1} estimate, at comparable accuracy.",
+        w.stages as f64 / w.n_micro as f64
+    );
 }

@@ -22,7 +22,16 @@ fn main() {
     ];
     for (label, method, t1, t2, warm) in variants {
         let cfg = w.config(method, t1, t2);
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.eval_cap, w.seed);
+        let h = run_image_training(
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.eval_cap,
+            w.seed,
+        );
         series(&format!("{label} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
         series64(&format!("{label} time"), &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(), 1);
     }
@@ -38,7 +47,14 @@ fn main() {
     for (label, method, t1, t2, warm) in variants {
         let cfg = w.config(method, t1, t2);
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.bleu_eval_n,
+            w.seed,
         );
         series(&format!("{label} BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
         series64(&format!("{label} time"), &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(), 1);

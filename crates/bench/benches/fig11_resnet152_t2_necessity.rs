@@ -12,10 +12,7 @@ use pipemare_optim::{ConstantLr, OptimizerKind, T1Rescheduler};
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 11",
-        "Deep ResNet (152 stand-in): T1 alone vs T1+T2 (D = 0.5) vs synchronous",
-    );
+    banner("Figure 11", "Deep ResNet (152 stand-in): T1 alone vs T1+T2 (D = 0.5) vs synchronous");
     let ds = SyntheticImages::cifar_like(160, 80, 42).generate();
     let model = CifarResNet::new(ResNetConfig::resnet152_standin(10));
     let stages = model.weight_units().len(); // one weight unit per stage
@@ -45,12 +42,7 @@ fn main() {
     ] {
         let h = run_image_training(&model, &ds, cfg, epochs, minibatch, 0, 100, seed);
         series(&format!("{label} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
-        println!(
-            "{:>28}  diverged = {}, best = {:.1}%",
-            "",
-            h.diverged,
-            h.best_metric()
-        );
+        println!("{:>28}  diverged = {}, best = {:.1}%", "", h.diverged, h.best_metric());
     }
     println!("\nPaper shape: T1-only diverges on the deeper model at this granularity;");
     println!("T1+T2 converges and tracks the synchronous accuracy.");

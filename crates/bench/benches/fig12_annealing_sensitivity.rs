@@ -9,17 +9,15 @@ use pipemare_optim::T1Rescheduler;
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 12",
-        "Sensitivity to T1 annealing steps K (accuracy / BLEU per epoch)",
-    );
+    banner("Figure 12", "Sensitivity to T1 annealing steps K (accuracy / BLEU per epoch)");
 
     let w = ImageWorkload::cifar_like();
     println!("\n--- ResNet-style CNN, K sweep ---");
     for k in [5usize, 20, 160] {
         let mut cfg = w.config(Method::PipeMare, true, true);
         cfg.t1 = Some(T1Rescheduler::new(k));
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         series(&format!("K = {k} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
     }
 
@@ -29,7 +27,14 @@ fn main() {
         let mut cfg = w.config(Method::PipeMare, true, true);
         cfg.t1 = Some(T1Rescheduler::new(k));
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, w.t3_epochs, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            w.t3_epochs,
+            w.bleu_eval_n,
+            w.seed,
         );
         series(&format!("K = {k} BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
     }

@@ -15,7 +15,8 @@ fn main() {
     for d in [0.0f64, 0.2, 0.5, 0.7] {
         let mut cfg = w.config(Method::PipeMare, true, true);
         cfg.t2_decay = if d == 0.0 { None } else { Some(d) };
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         series(&format!("D = {d} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
     }
 
@@ -25,7 +26,14 @@ fn main() {
         let mut cfg = w.config(Method::PipeMare, true, true);
         cfg.t2_decay = if d == 0.0 { None } else { Some(d) };
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, w.t3_epochs, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            w.t3_epochs,
+            w.bleu_eval_n,
+            w.seed,
         );
         series(&format!("D = {d} BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
     }

@@ -9,25 +9,37 @@ use pipemare_core::runners::run_translation_training;
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 14",
-        "Sensitivity to T3 warmup epochs on the translation task",
-    );
+    banner("Figure 14", "Sensitivity to T3 warmup epochs on the translation task");
     let w = TranslationWorkload::iwslt_like();
     let mut best_overall = f32::MIN;
     let mut runs = Vec::new();
     for warm in [0usize, 1, 3, 5] {
         let cfg = w.config(Method::PipeMare, true, true);
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.bleu_eval_n,
+            w.seed,
         );
         best_overall = best_overall.max(h.best_metric());
         runs.push((warm, h));
     }
     let target = best_overall * 0.99; // ~1% relative, as in the appendix
     for (warm, h) in &runs {
-        series(&format!("{warm} warmup BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
-        series64(&format!("{warm} warmup time"), &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(), 1);
+        series(
+            &format!("{warm} warmup BLEU"),
+            &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+            1,
+        );
+        series64(
+            &format!("{warm} warmup time"),
+            &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(),
+            1,
+        );
         println!(
             "{:>28}  best = {:.1}, time-to-{target:.1} = {}",
             "",

@@ -26,7 +26,16 @@ fn main() {
         for method in Method::ALL {
             let (t1, t2) = (method == Method::PipeMare, method == Method::PipeMare);
             let cfg = w.config_at(method, t1, t2, p);
-            let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+            let h = run_image_training(
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                0,
+                w.eval_cap,
+                w.seed,
+            );
             best_overall = best_overall.max(h.best_metric());
             histories.push((p, method, h));
         }

@@ -5,15 +5,10 @@
 //! (iii) no recompute (Φ = 0), and (iv) the T2 correction with D = 0.1.
 
 use pipemare_bench::report::{banner, table_header};
-use pipemare_theory::{
-    char_poly_basic, char_poly_recompute, char_poly_t2, spectral_radius,
-};
+use pipemare_theory::{char_poly_basic, char_poly_recompute, char_poly_t2, spectral_radius};
 
 fn main() {
-    banner(
-        "Figure 16",
-        "Recompute quadratic model: largest eigenvalue vs alpha",
-    );
+    banner("Figure 16", "Recompute quadratic model: largest eigenvalue vs alpha");
     let (lambda, delta, phi) = (1.0f64, 10.0f64, -5.0f64);
     let (tau_f, tau_b, tau_r) = (10usize, 1usize, 4usize);
     // γ = 0 reproduces the uncorrected system in the recompute companion
@@ -32,8 +27,7 @@ fn main() {
             lambda, delta, phi, alpha, tau_f, tau_b, tau_r, 0.0,
         ));
         let no_disc = spectral_radius(&char_poly_basic(lambda, alpha, tau_f));
-        let no_recomp =
-            spectral_radius(&char_poly_t2(lambda, delta, alpha, tau_f, tau_b, 0.0));
+        let no_recomp = spectral_radius(&char_poly_t2(lambda, delta, alpha, tau_f, tau_b, 0.0));
         let corrected = spectral_radius(&char_poly_recompute(
             lambda, delta, phi, alpha, tau_f, tau_b, tau_r, d_corr,
         ));

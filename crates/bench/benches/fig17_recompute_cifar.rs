@@ -9,10 +9,7 @@ use pipemare_core::RecomputeCfg;
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 17",
-        "Recompute on the CIFAR-like task: checkpoints in {none, 2, 4}",
-    );
+    banner("Figure 17", "Recompute on the CIFAR-like task: checkpoints in {none, 2, 4}");
     let w = ImageWorkload::cifar_like();
     for t2 in [false, true] {
         println!("\n--- PipeMare T1{} ---", if t2 { "+T2" } else { "" });
@@ -21,9 +18,23 @@ fn main() {
             if ckpts > 0 {
                 cfg.recompute = Some(RecomputeCfg { segments: ckpts, t2 });
             }
-            let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
-            let label = if ckpts == 0 { "no recompute".to_string() } else { format!("{ckpts} ckpts") };
-            series(&format!("{label} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
+            let h = run_image_training(
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                0,
+                w.eval_cap,
+                w.seed,
+            );
+            let label =
+                if ckpts == 0 { "no recompute".to_string() } else { format!("{ckpts} ckpts") };
+            series(
+                &format!("{label} acc%"),
+                &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+                1,
+            );
             if h.diverged {
                 println!("{:>28}  (diverged)", "");
             }

@@ -10,10 +10,7 @@ use pipemare_core::RecomputeCfg;
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 18",
-        "Recompute on the IWSLT-like task: T1 vs T1+T2 vs T1+T2+T3",
-    );
+    banner("Figure 18", "Recompute on the IWSLT-like task: T1 vs T1+T2 vs T1+T2+T3");
     let w = TranslationWorkload::iwslt_like();
     let variants: [(&str, bool, usize); 3] = [
         ("PipeMare T1", false, 0),
@@ -28,10 +25,22 @@ fn main() {
                 cfg.recompute = Some(RecomputeCfg { segments: ckpts, t2 });
             }
             let h = run_translation_training(
-                &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                warm,
+                w.bleu_eval_n,
+                w.seed,
             );
-            let label = if ckpts == 0 { "no recompute".to_string() } else { format!("{ckpts} ckpts") };
-            series(&format!("{label} BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
+            let label =
+                if ckpts == 0 { "no recompute".to_string() } else { format!("{ckpts} ckpts") };
+            series(
+                &format!("{label} BLEU"),
+                &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+                1,
+            );
             if h.diverged {
                 println!("{:>28}  (diverged)", "");
             }

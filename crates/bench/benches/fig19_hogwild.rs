@@ -11,26 +11,38 @@ use pipemare_optim::T1Rescheduler;
 use pipemare_pipeline::{HogwildDelays, Method};
 
 fn main() {
-    banner(
-        "Figure 19",
-        "Hogwild!-style stochastic delays: Sync vs Hogwild vs Hogwild+T1",
-    );
+    banner("Figure 19", "Hogwild!-style stochastic delays: Sync vs Hogwild vs Hogwild+T1");
 
     let w = ImageWorkload::cifar_like();
     println!("\n--- ResNet-style CNN ---");
     {
         let sync = w.config(Method::GPipe, false, false);
-        let h = run_image_training(&w.model, &w.ds, sync, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, sync, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         series("Sync acc%", &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
         for t1 in [false, true] {
             let mut cfg = w.config(Method::PipeMare, t1, false);
-            cfg.mode = TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(w.stages, w.n_micro));
+            cfg.mode =
+                TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(w.stages, w.n_micro));
             if t1 {
                 cfg.t1 = Some(T1Rescheduler::new(w.t1_steps));
             }
-            let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+            let h = run_image_training(
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                0,
+                w.eval_cap,
+                w.seed,
+            );
             let label = if t1 { "Hogwild+T1" } else { "Hogwild" };
-            series(&format!("{label} acc%"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
+            series(
+                &format!("{label} acc%"),
+                &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+                1,
+            );
             if h.diverged {
                 println!("{:>28}  (diverged)", "");
             }
@@ -41,17 +53,40 @@ fn main() {
     println!("\n--- Transformer ---");
     {
         let sync = w.config(Method::GPipe, false, false);
-        let h = run_translation_training(&w.model, &w.ds, sync, w.epochs, w.minibatch, 0, w.bleu_eval_n, w.seed);
+        let h = run_translation_training(
+            &w.model,
+            &w.ds,
+            sync,
+            w.epochs,
+            w.minibatch,
+            0,
+            w.bleu_eval_n,
+            w.seed,
+        );
         series("Sync BLEU", &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
         for t1 in [false, true] {
             let mut cfg = w.config(Method::PipeMare, t1, false);
-            cfg.mode = TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(w.stages, w.n_micro));
+            cfg.mode =
+                TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(w.stages, w.n_micro));
             if t1 {
                 cfg.t1 = Some(T1Rescheduler::new(w.t1_steps));
             }
-            let h = run_translation_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.bleu_eval_n, w.seed);
+            let h = run_translation_training(
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                0,
+                w.bleu_eval_n,
+                w.seed,
+            );
             let label = if t1 { "Hogwild+T1" } else { "Hogwild" };
-            series(&format!("{label} BLEU"), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
+            series(
+                &format!("{label} BLEU"),
+                &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+                1,
+            );
             if h.diverged {
                 println!("{:>28}  (diverged)", "");
             }

@@ -13,10 +13,7 @@ use pipemare_nn::TrainModel;
 use pipemare_pipeline::{gpipe_bubble_throughput, MemoryModel, Method, PipelineClock};
 
 fn main() {
-    banner(
-        "Figure 2",
-        "Transformer stage sweep: throughput, memory, best BLEU, time-to-target",
-    );
+    banner("Figure 2", "Transformer stage sweep: throughput, memory, best BLEU, time-to-target");
     let w = TranslationWorkload::iwslt_like();
     let stage_counts = [6usize, 12, 24];
     let param_mb = w.model.param_len() as f64 * 4.0 / 1e6;
@@ -31,7 +28,9 @@ fn main() {
     // the paper's leftmost panel.
     let tput_ref = gpipe_bubble_throughput(stage_counts[0], w.n_micro);
 
-    let mut results: Vec<(usize, &str, f64, f64, f32, Option<f64>)> = Vec::new();
+    // (stages, method, throughput, memory, best metric, time-to-target).
+    type SweepRow = (usize, &'static str, f64, f64, f32, Option<f64>);
+    let mut results: Vec<SweepRow> = Vec::new();
     let mut best_overall = f32::MIN;
     let mut histories = Vec::new();
     for &p in &stage_counts {
@@ -42,7 +41,14 @@ fn main() {
             };
             let cfg = w.config_at(method, t1, t2, p);
             let h = run_translation_training(
-                &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                warm,
+                w.bleu_eval_n,
+                w.seed,
             );
             best_overall = best_overall.max(h.best_metric());
             histories.push((p, method, warm, h));
@@ -70,10 +76,7 @@ fn main() {
         ("t-to-target", 12),
     ]);
     for (p, name, tput, mem, bleu, ttt) in &results {
-        println!(
-            "{p:>7} {name:>10} {tput:>10.2} {mem:>9.2} {bleu:>10.1} {:>12}",
-            opt_fmt(*ttt, 1)
-        );
+        println!("{p:>7} {name:>10} {tput:>10.2} {mem:>9.2} {bleu:>10.1} {:>12}", opt_fmt(*ttt, 1));
     }
     println!("\n(target BLEU = best across methods - 0.4 = {target:.1})");
     println!("Paper shape: PipeMare/PipeDream throughput grows ~linearly in stages relative");

@@ -25,7 +25,8 @@ fn run_uniform_delay(
     let mut history: Vec<Vec<f32>> = vec![vec![0.0; d + 1]; tau + 1];
     let mut w = vec![0.0f32; d + 1]; // weights + bias
     for t in 0..steps {
-        let delayed = if t >= tau { history[(t - tau) % (tau + 1)].clone() } else { vec![0.0; d + 1] };
+        let delayed =
+            if t >= tau { history[(t - tau) % (tau + 1)].clone() } else { vec![0.0; d + 1] };
         // grad of mean squared error at `delayed`.
         let mut grad = vec![0.0f32; d + 1];
         for i in 0..n {
@@ -78,7 +79,11 @@ fn main() {
         for &alpha in &alphas {
             let loss = run_uniform_delay(ds.x.data(), ds.y.data(), n, d, alpha, tau, steps);
             row.push(if loss.is_finite() { loss.ln() } else { f64::INFINITY });
-            cells.push(if loss.is_finite() { format!("{loss:<9.3}") } else { "X        ".to_string() });
+            cells.push(if loss.is_finite() {
+                format!("{loss:<9.3}")
+            } else {
+                "X        ".to_string()
+            });
         }
         println!("{:>12} {}", format!("tau={tau}"), cells.join(" "));
         grid.push(row);

@@ -27,7 +27,16 @@ fn main() {
     ];
     for (label, method, t1, t2, warm) in variants {
         let cfg = w.config_at(method, t1, t2, stages);
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.eval_cap, w.seed);
+        let h = run_image_training(
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.eval_cap,
+            w.seed,
+        );
         let accs: Vec<f32> = h.epochs.iter().map(|e| e.metric).collect();
         let times: Vec<f64> = h.epochs.iter().map(|e| e.time).collect();
         series(&format!("{label} acc%"), &accs, 1);
@@ -50,7 +59,14 @@ fn main() {
     for (label, method, t1, t2, warm) in variants {
         let cfg = w.config_at(method, t1, t2, stages);
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.bleu_eval_n,
+            w.seed,
         );
         let bleus: Vec<f32> = h.epochs.iter().map(|e| e.metric).collect();
         let times: Vec<f64> = h.epochs.iter().map(|e| e.time).collect();

@@ -27,5 +27,7 @@ fn main() {
         series64(&format!("Delta = {delta} (loss)"), &sampled, 2);
         println!("{:>28}  diverged = {}", "", r.diverged);
     }
-    println!("\nPaper shape: Delta = 0 stays bounded; larger Delta diverges at the same alpha/tau.");
+    println!(
+        "\nPaper shape: Delta = 0 stays bounded; larger Delta diverges at the same alpha/tau."
+    );
 }

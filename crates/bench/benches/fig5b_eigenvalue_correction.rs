@@ -14,12 +14,7 @@ fn main() {
     );
     let (lambda, delta, tau_f, tau_b) = (1.0, 5.0, 10usize, 6usize);
     let gamma = 0.1f64.powf(1.0 / (tau_f - tau_b) as f64); // D = 0.1
-    table_header(&[
-        ("alpha", 8),
-        ("discrepancy", 12),
-        ("no-disc (D=0)", 14),
-        ("T2 (D=0.1)", 12),
-    ]);
+    table_header(&[("alpha", 8), ("discrepancy", 12), ("no-disc (D=0)", 14), ("T2 (D=0.1)", 12)]);
     let mut alpha = 0.01f64;
     while alpha <= 1.0 {
         let disc = spectral_radius(&char_poly_discrepancy(lambda, delta, alpha, tau_f, tau_b));

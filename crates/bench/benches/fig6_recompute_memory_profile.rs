@@ -8,10 +8,7 @@ use pipemare_bench::report::{banner, table_header};
 use pipemare_pipeline::ActivationModel;
 
 fn main() {
-    banner(
-        "Figure 6",
-        "Activation memory per pipeline stage, P = 16, 4 segments",
-    );
+    banner("Figure 6", "Activation memory per pipeline stage, P = 16, 4 segments");
     let am = ActivationModel { p: 16 };
     let without = am.profile_no_recompute();
     let with = am.profile_recompute(4);

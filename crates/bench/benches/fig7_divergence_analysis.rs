@@ -14,10 +14,7 @@ use pipemare_optim::ConstantLr;
 use pipemare_pipeline::Method;
 
 fn main() {
-    banner(
-        "Figure 7",
-        "Divergence analysis: parameter norms & accuracy of naive async training",
-    );
+    banner("Figure 7", "Divergence analysis: parameter norms & accuracy of naive async training");
     let w = ImageWorkload::cifar_like();
     // An aggressive fixed LR exposes the instability (the paper uses the
     // standard recipe, which its larger delays already break).
@@ -29,9 +26,11 @@ fn main() {
         ("async tf=tb, 4x stages", Method::PipeDream, 4 * w.stages),
     ];
     for (label, method, stages) in runs {
-        let mut cfg = TrainConfig::gpipe(stages, w.n_micro, w.optimizer(), Box::new(ConstantLr(lr)));
+        let mut cfg =
+            TrainConfig::gpipe(stages, w.n_micro, w.optimizer(), Box::new(ConstantLr(lr)));
         cfg.mode = pipemare_core::TrainMode::Pipeline(method);
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         let norms: Vec<f32> = h.epochs.iter().map(|e| e.param_norm.min(9.99e5)).collect();
         let accs: Vec<f32> = h.epochs.iter().map(|e| e.metric).collect();
         series(&format!("{label} |w|"), &norms, 0);

@@ -19,9 +19,18 @@ fn main() {
     for method in Method::ALL {
         let (t1, t2) = (method == Method::PipeMare, method == Method::PipeMare);
         let cfg = w.config(method, t1, t2);
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
-        series(&format!("{} acc%", method.name()), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
-        series64(&format!("{} time", method.name()), &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(), 1);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        series(
+            &format!("{} acc%", method.name()),
+            &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+            1,
+        );
+        series64(
+            &format!("{} time", method.name()),
+            &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(),
+            1,
+        );
     }
 
     let w = TranslationWorkload::wmt_like();
@@ -33,10 +42,25 @@ fn main() {
         };
         let cfg = w.config(method, t1, t2);
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.bleu_eval_n,
+            w.seed,
         );
-        series(&format!("{} BLEU", method.name()), &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(), 1);
-        series64(&format!("{} time", method.name()), &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(), 1);
+        series(
+            &format!("{} BLEU", method.name()),
+            &h.epochs.iter().map(|e| e.metric).collect::<Vec<_>>(),
+            1,
+        );
+        series64(
+            &format!("{} time", method.name()),
+            &h.epochs.iter().map(|e| e.time).collect::<Vec<_>>(),
+            1,
+        );
         if h.diverged {
             println!("{:>28}  (diverged)", "");
         }

@@ -45,16 +45,10 @@ fn main() {
     table_header(&[("stage i", 8), ("nominal", 10), ("measured", 10)]);
     let t = 50usize;
     for s in 0..p {
-        let mean_v: f64 = (0..n)
-            .map(|mb| clk.fwd_version(Method::PipeMare, t, mb, s) as f64)
-            .sum::<f64>()
-            / n as f64;
-        println!(
-            "{:>8} {:>10.3} {:>10.3}",
-            s + 1,
-            clk.nominal_tau_fwd(s),
-            t as f64 - mean_v
-        );
+        let mean_v: f64 =
+            (0..n).map(|mb| clk.fwd_version(Method::PipeMare, t, mb, s) as f64).sum::<f64>()
+                / n as f64;
+        println!("{:>8} {:>10.3} {:>10.3}", s + 1, clk.nominal_tau_fwd(s), t as f64 - mean_v);
     }
     println!("\nPipeDream backward delay equals its forward delay (weight stashing);");
     println!("PipeMare backward delay is 0 (reads current weights).");

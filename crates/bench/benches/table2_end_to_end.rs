@@ -20,6 +20,7 @@ struct Row {
     memory_rel: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rows_for(
     dataset: &'static str,
     histories: &[(Method, usize, RunHistory)],
@@ -54,22 +55,27 @@ fn rows_for(
 }
 
 fn main() {
-    banner(
-        "Table 2",
-        "End-to-end comparison on the four task stand-ins (3 methods each)",
-    );
+    banner("Table 2", "End-to-end comparison on the four task stand-ins (3 methods each)");
     let mut all_rows: Vec<Row> = Vec::new();
 
     // Image tasks (SGD + momentum -> 3 optimizer copies).
-    for (name, w) in [
-        ("CIFAR10*", ImageWorkload::cifar_like()),
-        ("ImageNet*", ImageWorkload::imagenet_like()),
-    ] {
+    for (name, w) in
+        [("CIFAR10*", ImageWorkload::cifar_like()), ("ImageNet*", ImageWorkload::imagenet_like())]
+    {
         let mut hs = Vec::new();
         for method in Method::ALL {
             let (t1, t2) = (method == Method::PipeMare, method == Method::PipeMare);
             let cfg = w.config(method, t1, t2);
-            let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+            let h = run_image_training(
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                0,
+                w.eval_cap,
+                w.seed,
+            );
             hs.push((method, 0usize, h));
         }
         let fracs = vec![1.0 / w.stages as f64; w.stages];
@@ -89,7 +95,14 @@ fn main() {
             };
             let cfg = w.config(method, t1, t2);
             let h = run_translation_training(
-                &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+                &w.model,
+                &w.ds,
+                cfg,
+                w.epochs,
+                w.minibatch,
+                warm,
+                w.bleu_eval_n,
+                w.seed,
             );
             hs.push((method, warm, h));
         }

@@ -56,9 +56,12 @@ fn main() {
 
     let w = ImageWorkload::cifar_like();
     let mut rows = Vec::new();
-    for (label, t1, t2) in [("T1 Only", true, false), ("T2 Only", false, true), ("T1+T2", true, true)] {
+    for (label, t1, t2) in
+        [("T1 Only", true, false), ("T2 Only", false, true), ("T1+T2", true, true)]
+    {
         let cfg = w.config(Method::PipeMare, t1, t2);
-        let h = run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
+        let h =
+            run_image_training(&w.model, &w.ds, cfg, w.epochs, w.minibatch, 0, w.eval_cap, w.seed);
         rows.push((label, 0usize, h));
     }
     print_rows("CIFAR10-like", &rows, 1.0, 3.0, w.epochs);
@@ -73,7 +76,14 @@ fn main() {
     ] {
         let cfg = w.config(Method::PipeMare, t1, t2);
         let h = run_translation_training(
-            &w.model, &w.ds, cfg, w.epochs, w.minibatch, warm, w.bleu_eval_n, w.seed,
+            &w.model,
+            &w.ds,
+            cfg,
+            w.epochs,
+            w.minibatch,
+            warm,
+            w.bleu_eval_n,
+            w.seed,
         );
         rows.push((label, warm, h));
     }

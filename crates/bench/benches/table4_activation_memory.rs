@@ -10,10 +10,7 @@ use pipemare_bench::report::{banner, table_header};
 use pipemare_pipeline::ActivationModel;
 
 fn main() {
-    banner(
-        "Table 4",
-        "Activation memory (units of M, fine-grained P = L), asymptotic model",
-    );
+    banner("Table 4", "Activation memory (units of M, fine-grained P = L), asymptotic model");
     let n = 16usize;
     table_header(&[("P", 6), ("GPipe", 12), ("GPipe+rc", 12), ("Async", 12), ("Async+rc", 12)]);
     for p in [16usize, 64, 107, 256] {

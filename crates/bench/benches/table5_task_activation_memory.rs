@@ -7,10 +7,7 @@ use pipemare_bench::report::{banner, table_header};
 use pipemare_pipeline::ActivationModel;
 
 fn main() {
-    banner(
-        "Table 5",
-        "Activation memory of PipeMare with recompute (relative to without)",
-    );
+    banner("Table 5", "Activation memory of PipeMare with recompute (relative to without)");
     table_header(&[
         ("dataset", 10),
         ("stages", 8),
@@ -25,11 +22,7 @@ fn main() {
         ("WMT17", 91, 0.105),
     ] {
         let am = ActivationModel { p };
-        println!(
-            "{task:>10} {p:>8} {:>8} {paper:>14.3} {:>13.3}",
-            "1X",
-            am.table5_ratio()
-        );
+        println!("{task:>10} {p:>8} {:>8} {paper:>14.3} {:>13.3}", "1X", am.table5_ratio());
     }
     println!("\nExact (with constants, optimal segment) for comparison:");
     for (task, p) in [("CIFAR10", 107usize), ("IWSLT14", 93), ("WMT17", 91)] {

@@ -1,11 +1,15 @@
 //! Report formatting: tables and series in the paper's shape, plus JSON
 //! experiment logs for mechanical regeneration of EXPERIMENTS.md.
 
-use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pipemare_telemetry::json::Value;
+use pipemare_telemetry::{MetricValue, MetricsSnapshot};
 
 /// A machine-readable record of one experiment run, written alongside the
 /// printed tables so results can be post-processed.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentLog {
     /// Paper artifact id, e.g. `"fig4"`.
     pub artifact: String,
@@ -31,23 +35,75 @@ impl ExperimentLog {
         self.scalars.push((name.to_string(), value));
     }
 
-    /// Writes the log as JSON under `target/experiments/<artifact>.json`.
-    /// I/O failures are reported to stderr but do not abort the run.
-    pub fn save(&self) {
-        let dir = std::path::Path::new("target/experiments");
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("experiment log: cannot create {dir:?}: {e}");
-            return;
-        }
-        let path = dir.join(format!("{}.json", self.artifact));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("experiment log: cannot write {path:?}: {e}");
+    /// Folds a metrics snapshot into the log: counters and gauges become
+    /// scalars (`metric.<name>`), histograms become scalar summary stats
+    /// (`metric.<name>.{count,mean,p50,p99}`).
+    pub fn fold_metrics(&mut self, snapshot: &MetricsSnapshot) {
+        for (name, value) in &snapshot.metrics {
+            match value {
+                MetricValue::Counter(c) => self.push_scalar(&format!("metric.{name}"), *c as f64),
+                MetricValue::Gauge(g) => self.push_scalar(&format!("metric.{name}"), *g),
+                MetricValue::Histogram(h) => {
+                    self.push_scalar(&format!("metric.{name}.count"), h.count as f64);
+                    self.push_scalar(&format!("metric.{name}.mean"), h.mean());
+                    self.push_scalar(&format!("metric.{name}.p50"), h.quantile(0.5));
+                    self.push_scalar(&format!("metric.{name}.p99"), h.quantile(0.99));
                 }
             }
-            Err(e) => eprintln!("experiment log: serialization failed: {e}"),
         }
+    }
+
+    /// The directory experiment logs are written to:
+    /// `$PIPEMARE_EXPERIMENTS_DIR` when set and non-empty, else
+    /// `target/experiments`.
+    pub fn experiments_dir() -> PathBuf {
+        std::env::var_os("PIPEMARE_EXPERIMENTS_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/experiments"))
+    }
+
+    /// JSON rendering of the log.
+    pub fn to_json(&self) -> Value {
+        let series = self
+            .series
+            .iter()
+            .map(|(name, values)| {
+                let vals: Vec<Value> = values.iter().map(|&v| Value::from(v)).collect();
+                Value::Arr(vec![Value::from(name.as_str()), Value::Arr(vals)])
+            })
+            .collect();
+        let scalars = self
+            .scalars
+            .iter()
+            .map(|(name, v)| Value::Arr(vec![Value::from(name.as_str()), Value::from(*v)]))
+            .collect();
+        Value::obj()
+            .set("artifact", self.artifact.as_str())
+            .set("series", Value::Arr(series))
+            .set("scalars", Value::Arr(scalars))
+    }
+
+    /// Writes the log as JSON to [`ExperimentLog::experiments_dir`]`/<artifact>.json`
+    /// and returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the directory is created if missing).
+    pub fn save(&self) -> io::Result<PathBuf> {
+        self.save_in(&Self::experiments_dir())
+    }
+
+    /// Writes the log as JSON under an explicit directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the directory is created if missing).
+    pub fn save_in(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.artifact));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
     }
 }
 

@@ -157,10 +157,8 @@ impl TranslationWorkload {
             seed: 17,
         }
         .generate();
-        let model = Transformer::new(TransformerConfig::iwslt_standin(
-            ds.total_vocab,
-            ds.total_vocab,
-        ));
+        let model =
+            Transformer::new(TransformerConfig::iwslt_standin(ds.total_vocab, ds.total_vocab));
         TranslationWorkload {
             ds,
             model,
@@ -189,10 +187,8 @@ impl TranslationWorkload {
             seed: 23,
         }
         .generate();
-        let model = Transformer::new(TransformerConfig::iwslt_standin(
-            ds.total_vocab,
-            ds.total_vocab,
-        ));
+        let model =
+            Transformer::new(TransformerConfig::iwslt_standin(ds.total_vocab, ds.total_vocab));
         TranslationWorkload {
             ds,
             model,

@@ -1,0 +1,67 @@
+//! ExperimentLog round-trip and environment-override behaviour.
+
+use pipemare_bench::report::ExperimentLog;
+use pipemare_telemetry::json;
+use pipemare_telemetry::MetricsRegistry;
+
+#[test]
+fn save_honors_experiments_dir_env_override() {
+    // Env vars are process-global; this is the only test that touches
+    // PIPEMARE_EXPERIMENTS_DIR, and it restores the prior value.
+    let dir = std::env::temp_dir().join("pipemare-experiment-log-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let prev = std::env::var_os("PIPEMARE_EXPERIMENTS_DIR");
+    std::env::set_var("PIPEMARE_EXPERIMENTS_DIR", &dir);
+
+    let mut log = ExperimentLog::new("envtest");
+    log.push_scalar("answer", 42.0);
+    let written = log.save().expect("save with override");
+
+    // An empty value must fall back to the default, not write into cwd.
+    std::env::set_var("PIPEMARE_EXPERIMENTS_DIR", "");
+    let fallback = ExperimentLog::experiments_dir();
+
+    match prev {
+        Some(v) => std::env::set_var("PIPEMARE_EXPERIMENTS_DIR", v),
+        None => std::env::remove_var("PIPEMARE_EXPERIMENTS_DIR"),
+    }
+    assert_eq!(fallback, std::path::PathBuf::from("target/experiments"));
+
+    assert_eq!(written, dir.join("envtest.json"));
+    let text = std::fs::read_to_string(&written).expect("written file readable");
+    let parsed = json::parse(&text).expect("valid JSON");
+    assert_eq!(parsed.get("artifact").and_then(|v| v.as_str()), Some("envtest"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn save_in_writes_series_scalars_and_metrics() {
+    let dir = std::env::temp_dir().join("pipemare-experiment-log-save-in");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let registry = MetricsRegistry::new();
+    registry.counter("widgets").add(3);
+    registry.gauge("temperature").set(21.5);
+    registry.histogram("latency", &[1.0, 10.0]).observe(5.0);
+
+    let mut log = ExperimentLog::new("roundtrip");
+    log.push_series("loss", [1.0, 0.5, 0.25]);
+    log.push_scalar("final_bleu", 33.1);
+    log.fold_metrics(&registry.snapshot());
+    let written = log.save_in(&dir).expect("save_in");
+
+    let parsed = json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+    let series = parsed.get("series").unwrap().as_arr().unwrap();
+    assert_eq!(series.len(), 1);
+    assert_eq!(series[0].as_arr().unwrap()[0].as_str(), Some("loss"));
+    assert_eq!(series[0].as_arr().unwrap()[1].as_arr().unwrap().len(), 3);
+
+    let scalars = parsed.get("scalars").unwrap().as_arr().unwrap();
+    let names: Vec<&str> =
+        scalars.iter().map(|s| s.as_arr().unwrap()[0].as_str().unwrap()).collect();
+    assert!(names.contains(&"final_bleu"));
+    assert!(names.contains(&"metric.widgets"));
+    assert!(names.contains(&"metric.temperature"));
+    assert!(names.contains(&"metric.latency.mean"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

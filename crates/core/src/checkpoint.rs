@@ -90,10 +90,8 @@ pub fn load_params(path: &Path) -> Result<Vec<f32>, CheckpointError> {
     if rest.len() != declared * 4 {
         return Err(CheckpointError::BadLength { declared, actual: rest.len() / 4 });
     }
-    let params = rest
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let params =
+        rest.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Ok(params)
 }
 

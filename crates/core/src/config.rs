@@ -70,7 +70,12 @@ pub struct TrainConfig {
 
 impl TrainConfig {
     /// A synchronous (GPipe) baseline configuration.
-    pub fn gpipe(stages: usize, n_micro: usize, optimizer: OptimizerKind, schedule: Box<dyn LrSchedule>) -> Self {
+    pub fn gpipe(
+        stages: usize,
+        n_micro: usize,
+        optimizer: OptimizerKind,
+        schedule: Box<dyn LrSchedule>,
+    ) -> Self {
         TrainConfig {
             mode: TrainMode::Pipeline(Method::GPipe),
             stages,
@@ -88,7 +93,12 @@ impl TrainConfig {
     }
 
     /// A PipeDream (weight-stashing) configuration.
-    pub fn pipedream(stages: usize, n_micro: usize, optimizer: OptimizerKind, schedule: Box<dyn LrSchedule>) -> Self {
+    pub fn pipedream(
+        stages: usize,
+        n_micro: usize,
+        optimizer: OptimizerKind,
+        schedule: Box<dyn LrSchedule>,
+    ) -> Self {
         TrainConfig {
             mode: TrainMode::Pipeline(Method::PipeDream),
             ..TrainConfig::gpipe(stages, n_micro, optimizer, schedule)
@@ -114,7 +124,12 @@ impl TrainConfig {
 
     /// Naive asynchronous training: PipeMare delays with none of the
     /// techniques (used by the divergence studies, Figure 7).
-    pub fn naive_async(stages: usize, n_micro: usize, optimizer: OptimizerKind, schedule: Box<dyn LrSchedule>) -> Self {
+    pub fn naive_async(
+        stages: usize,
+        n_micro: usize,
+        optimizer: OptimizerKind,
+        schedule: Box<dyn LrSchedule>,
+    ) -> Self {
         TrainConfig {
             mode: TrainMode::Pipeline(Method::PipeMare),
             ..TrainConfig::gpipe(stages, n_micro, optimizer, schedule)
@@ -129,7 +144,12 @@ mod tests {
 
     #[test]
     fn constructors_set_modes() {
-        let g = TrainConfig::gpipe(4, 2, OptimizerKind::Sgd { weight_decay: 0.0 }, Box::new(ConstantLr(0.1)));
+        let g = TrainConfig::gpipe(
+            4,
+            2,
+            OptimizerKind::Sgd { weight_decay: 0.0 },
+            Box::new(ConstantLr(0.1)),
+        );
         assert_eq!(g.mode.method(), Some(Method::GPipe));
         assert!(g.t1.is_none() && g.t2_decay.is_none());
         let p = TrainConfig::pipemare(
@@ -142,7 +162,12 @@ mod tests {
         );
         assert_eq!(p.mode.method(), Some(Method::PipeMare));
         assert!(p.t1.is_some() && p.t2_decay.is_some());
-        let d = TrainConfig::pipedream(4, 2, OptimizerKind::Sgd { weight_decay: 0.0 }, Box::new(ConstantLr(0.1)));
+        let d = TrainConfig::pipedream(
+            4,
+            2,
+            OptimizerKind::Sgd { weight_decay: 0.0 },
+            Box::new(ConstantLr(0.1)),
+        );
         assert_eq!(d.mode.method(), Some(Method::PipeDream));
         let h = TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(4, 2));
         assert_eq!(h.method(), None);

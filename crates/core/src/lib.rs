@@ -20,12 +20,17 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod metrics;
 pub mod runners;
 pub mod stats;
 pub mod trainer;
 
 pub use checkpoint::{load_params, save_params, CheckpointError};
 pub use config::{RecomputeCfg, TrainConfig, TrainMode};
+pub use metrics::TrainerMetrics;
+pub use runners::{
+    run_image_training, run_image_training_with_metrics, run_regression_training,
+    run_translation_training, ClassifierModel,
+};
 pub use stats::{EpochRecord, RunHistory, StepStats};
-pub use runners::{run_image_training, run_regression_training, run_translation_training, ClassifierModel};
 pub use trainer::{PipelineTrainer, StageInfo};

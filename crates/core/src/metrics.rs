@@ -1,0 +1,136 @@
+//! Per-step training metrics recorded through `pipemare-telemetry`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pipemare_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Handles to the trainer's instruments in a [`MetricsRegistry`].
+///
+/// Attach one to a [`crate::PipelineTrainer`] via
+/// [`crate::PipelineTrainer::set_metrics`]; every `train_minibatch` then
+/// updates the registry. Without one attached the trainer records
+/// nothing and pays nothing.
+#[derive(Clone)]
+pub struct TrainerMetrics {
+    /// Optimizer steps completed.
+    pub steps: Arc<Counter>,
+    /// Steps whose gradient norm exceeded the clip threshold.
+    pub grad_clips: Arc<Counter>,
+    /// Steps skipped or latched because of non-finite weights/gradients.
+    pub diverged_steps: Arc<Counter>,
+    /// Latest minibatch loss.
+    pub loss: Arc<Gauge>,
+    /// Latest scheduled (pre-T1) learning rate.
+    pub lr_base: Arc<Gauge>,
+    /// Latest stage-0 learning rate after T1 rescaling — the most-delayed
+    /// stage, so the one T1 shrinks hardest.
+    pub lr_stage0: Arc<Gauge>,
+    /// Latest L2 norm of the T2 velocity buffer δ.
+    pub t2_delta_norm: Arc<Gauge>,
+    /// Latest parameter L2 norm.
+    pub param_norm: Arc<Gauge>,
+    /// Distribution of minibatch losses.
+    pub loss_hist: Arc<Histogram>,
+    /// Distribution of `train_minibatch` wall-clock latencies (µs).
+    pub step_latency_us: Arc<Histogram>,
+}
+
+impl TrainerMetrics {
+    /// Gets-or-creates the trainer's instruments in `registry` under
+    /// `trainer.*` names.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        // Loss buckets span ~1e-3..1e2; latency buckets ~100µs..100ms.
+        let loss_bounds: Vec<f64> = (0..17).map(|i| 1e-3 * 2f64.powi(i)).collect();
+        let latency_bounds: Vec<f64> = (0..11).map(|i| 100.0 * 2f64.powi(i)).collect();
+        TrainerMetrics {
+            steps: registry.counter("trainer.steps"),
+            grad_clips: registry.counter("trainer.grad_clips"),
+            diverged_steps: registry.counter("trainer.diverged_steps"),
+            loss: registry.gauge("trainer.loss"),
+            lr_base: registry.gauge("trainer.lr_base"),
+            lr_stage0: registry.gauge("trainer.lr_stage0"),
+            t2_delta_norm: registry.gauge("trainer.t2_delta_norm"),
+            param_norm: registry.gauge("trainer.param_norm"),
+            loss_hist: registry.histogram("trainer.loss_hist", &loss_bounds),
+            step_latency_us: registry.histogram("trainer.step_latency_us", &latency_bounds),
+        }
+    }
+
+    /// Records one completed step. `lr_stage0` is the stage-0 rate after
+    /// T1; `delta_norm` the L2 norm of δ (0 when T2 is off).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_step(
+        &self,
+        started: Instant,
+        loss: f32,
+        lr_base: f32,
+        lr_stage0: f64,
+        delta_norm: f64,
+        param_norm: f32,
+        clipped: bool,
+        diverged: bool,
+    ) {
+        self.steps.inc();
+        if clipped {
+            self.grad_clips.inc();
+        }
+        if diverged {
+            self.diverged_steps.inc();
+        }
+        self.loss.set(loss as f64);
+        self.lr_base.set(lr_base as f64);
+        self.lr_stage0.set(lr_stage0);
+        self.t2_delta_norm.set(delta_norm);
+        self.param_norm.set(param_norm as f64);
+        if loss.is_finite() {
+            self.loss_hist.observe(loss as f64);
+        }
+        self.step_latency_us.observe(started.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        let a = TrainerMetrics::register(&reg);
+        let b = TrainerMetrics::register(&reg);
+        a.steps.inc();
+        b.steps.inc();
+        assert_eq!(a.steps.get(), 2, "both handles must hit the same counter");
+        // No duplicate registrations.
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn record_step_updates_everything() {
+        let reg = MetricsRegistry::new();
+        let m = TrainerMetrics::register(&reg);
+        m.record_step(Instant::now(), 1.5, 0.01, 0.002, 0.25, 3.0, true, false);
+        assert_eq!(m.steps.get(), 1);
+        assert_eq!(m.grad_clips.get(), 1);
+        assert_eq!(m.diverged_steps.get(), 0);
+        assert_eq!(m.loss.get(), 1.5);
+        assert_eq!(m.t2_delta_norm.get(), 0.25);
+        assert_eq!(m.loss_hist.snapshot().count, 1);
+        assert_eq!(m.step_latency_us.snapshot().count, 1);
+    }
+
+    #[test]
+    fn non_finite_loss_skips_histogram_only() {
+        let reg = MetricsRegistry::new();
+        let m = TrainerMetrics::register(&reg);
+        m.record_step(Instant::now(), f32::NAN, 0.01, 0.01, 0.0, 1.0, false, true);
+        assert_eq!(m.diverged_steps.get(), 1);
+        assert_eq!(m.loss_hist.snapshot().count, 0);
+        assert_eq!(m.step_latency_us.snapshot().count, 1);
+    }
+}

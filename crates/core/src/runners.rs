@@ -1,6 +1,8 @@
 //! End-to-end training loops with per-epoch evaluation.
 
-use pipemare_data::{corpus_bleu, ImageDataset, MinibatchIter, RegressionDataset, TranslationDataset};
+use pipemare_data::{
+    corpus_bleu, ImageDataset, MinibatchIter, RegressionDataset, TranslationDataset,
+};
 use pipemare_nn::{
     CifarResNet, ImageBatch, LinearRegression, Mlp, RegressionBatch, SeqBatch, TrainModel,
     Transformer,
@@ -8,6 +10,7 @@ use pipemare_nn::{
 use pipemare_tensor::Tensor;
 
 use crate::config::{TrainConfig, TrainMode};
+use crate::metrics::TrainerMetrics;
 use crate::stats::{epoch_time, EpochRecord, RunHistory};
 use crate::trainer::PipelineTrainer;
 
@@ -64,7 +67,34 @@ fn epoch_cost(mode: &TrainMode, in_warmup: bool) -> f64 {
 
 /// Trains an image classifier for `epochs` epochs, evaluating top-1 test
 /// accuracy (%) after each epoch. `eval_cap` bounds evaluation cost.
+#[allow(clippy::too_many_arguments)]
 pub fn run_image_training<M: ClassifierModel>(
+    model: &M,
+    ds: &ImageDataset,
+    cfg: TrainConfig,
+    epochs: usize,
+    minibatch: usize,
+    warmup_epochs: usize,
+    eval_cap: usize,
+    seed: u64,
+) -> RunHistory {
+    run_image_training_with_metrics(
+        model,
+        ds,
+        cfg,
+        epochs,
+        minibatch,
+        warmup_epochs,
+        eval_cap,
+        seed,
+        None,
+    )
+}
+
+/// [`run_image_training`] with optional [`TrainerMetrics`] instruments
+/// attached to the trainer for the whole run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_image_training_with_metrics<M: ClassifierModel>(
     model: &M,
     ds: &ImageDataset,
     mut cfg: TrainConfig,
@@ -73,6 +103,7 @@ pub fn run_image_training<M: ClassifierModel>(
     warmup_epochs: usize,
     eval_cap: usize,
     seed: u64,
+    metrics: Option<TrainerMetrics>,
 ) -> RunHistory {
     let mut it = MinibatchIter::new(ds.train_len(), minibatch, seed);
     let steps_per_epoch = it.batches_per_epoch();
@@ -80,6 +111,9 @@ pub fn run_image_training<M: ClassifierModel>(
     let label = run_label(&cfg);
     let mode = cfg.mode.clone();
     let mut trainer = PipelineTrainer::new(model, cfg, seed);
+    if let Some(m) = metrics {
+        trainer.set_metrics(m);
+    }
     let n_micro = trainer.clock().n_micro;
     let (test_x, test_y) = ds.test_batch();
     let cap = eval_cap.min(test_y.len());
@@ -273,11 +307,7 @@ mod tests {
         let cfg = TrainConfig::gpipe(4, 2, sgd(), Box::new(ConstantLr(0.02)));
         let h = run_image_training(&model, &ds, cfg, 6, 20, 0, 40, 3);
         assert!(!h.diverged);
-        assert!(
-            h.best_metric() > 50.0,
-            "accuracy too low: {} (chance = 10%)",
-            h.best_metric()
-        );
+        assert!(h.best_metric() > 50.0, "accuracy too low: {} (chance = 10%)", h.best_metric());
         // Time advances by the GPipe penalty each epoch.
         assert!(h.epochs[1].time > h.epochs[0].time);
     }

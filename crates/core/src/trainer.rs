@@ -9,6 +9,7 @@ use pipemare_pipeline::{Method, PipelineClock, StagePartition, WeightHistory};
 use pipemare_theory::gamma_from_d;
 
 use crate::config::{TrainConfig, TrainMode};
+use crate::metrics::TrainerMetrics;
 use crate::stats::StepStats;
 
 /// Per-stage diagnostic record returned by
@@ -51,6 +52,7 @@ pub struct PipelineTrainer<'m, M: TrainModel> {
     step: usize,
     diverged: bool,
     hogwild_rng: StdRng,
+    metrics: Option<TrainerMetrics>,
 }
 
 impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
@@ -61,11 +63,8 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
     /// Panics if the configuration is inconsistent with the model (e.g.
     /// more stages than parameters).
     pub fn new(model: &'m M, cfg: TrainConfig, init_seed: u64) -> Self {
-        let units: Vec<(usize, usize)> = model
-            .weight_units()
-            .iter()
-            .map(|u| (u.offset, u.len))
-            .collect();
+        let units: Vec<(usize, usize)> =
+            model.weight_units().iter().map(|u| (u.offset, u.len)).collect();
         let total = model.param_len();
         let partition = if cfg.partition_by_elements {
             StagePartition::by_elements(total, cfg.stages)
@@ -113,7 +112,14 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             step: 0,
             diverged: false,
             hogwild_rng,
+            metrics: None,
         }
+    }
+
+    /// Attaches metrics instruments; every subsequent
+    /// [`PipelineTrainer::train_minibatch`] records into them.
+    pub fn set_metrics(&mut self, metrics: TrainerMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The latest (most up-to-date) parameter vector.
@@ -144,9 +150,7 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
     /// Fraction of parameters on each stage (used by the memory model).
     pub fn stage_fracs(&self) -> Vec<f64> {
         let total = self.partition.total_params() as f64;
-        (0..self.cfg.stages)
-            .map(|s| self.partition.stage_len(s) as f64 / total)
-            .collect()
+        (0..self.cfg.stages).map(|s| self.partition.stage_len(s) as f64 / total).collect()
     }
 
     /// Whether step `t` is still in the synchronous (T3) warmup phase.
@@ -207,6 +211,9 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             micro.len()
         );
         assert_eq!(micro.len(), micro_weights.len());
+        // Clock read only when metrics are attached — the bare trainer's
+        // hot path is unchanged.
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let t = self.step;
         let sync_phase = t < self.cfg.warmup_steps;
         let total = self.partition.total_params();
@@ -214,11 +221,15 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         if self.diverged {
             // Once diverged, report without updating (runners stop early).
             self.step += 1;
+            let base_lr = self.cfg.schedule.lr(t);
+            if let (Some(m), Some(s)) = (&self.metrics, started) {
+                m.record_step(s, f32::NAN, base_lr, 0.0, 0.0, f32::INFINITY, false, true);
+            }
             return StepStats {
                 step: t,
                 loss: f32::NAN,
                 param_norm: f32::INFINITY,
-                base_lr: self.cfg.schedule.lr(t),
+                base_lr,
                 diverged: true,
             };
         }
@@ -271,8 +282,10 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                             - self.recomp_slots[s] as f64 / self.cfg.n_micro as f64;
                         if gap > 0.0 {
                             let (lo, hi) = self.partition.range(s);
-                            for i in lo..hi {
-                                recomp_buf[i] -= gap as f32 * self.delta[i];
+                            for (b, &d) in
+                                recomp_buf[lo..hi].iter_mut().zip(self.delta[lo..hi].iter())
+                            {
+                                *b -= gap as f32 * d;
                             }
                         }
                     }
@@ -302,8 +315,8 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                 for s in 0..self.cfg.stages {
                     let gap = self.clock.nominal_tau_fwd(s); // τ_bkwd = 0
                     let (lo, hi) = self.partition.range(s);
-                    for i in lo..hi {
-                        bkwd_buf[i] -= gap as f32 * self.delta[i];
+                    for (b, &d) in bkwd_buf[lo..hi].iter_mut().zip(self.delta[lo..hi].iter()) {
+                        *b -= gap as f32 * d;
                     }
                 }
             }
@@ -313,14 +326,16 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             }
         }
 
+        let mut clipped = false;
         if let Some(clip) = self.cfg.grad_clip {
-            clip_grad_norm(&mut grad, clip);
+            clipped = clip_grad_norm(&mut grad, clip) > clip;
         }
 
         let base_lr = self.cfg.schedule.lr(t);
         let w_old = self.history.latest().to_vec();
         let mut w_new = w_old.clone();
         let grad_finite = grad.iter().all(|g| g.is_finite());
+        let mut stage0_lr = base_lr;
         if grad_finite {
             self.opt.begin_step();
             let t_async = t.saturating_sub(self.cfg.warmup_steps);
@@ -340,6 +355,9 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                     }
                     _ => 1.0,
                 };
+                if s == 0 {
+                    stage0_lr = base_lr * scale;
+                }
                 self.opt.step_range(&mut w_new, &grad, lo, hi, base_lr * scale);
             }
         }
@@ -362,13 +380,24 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         let param_norm = w_new.iter().map(|&w| w as f64 * w as f64).sum::<f64>().sqrt() as f32;
         self.history.push(t + 1, w_new);
         self.step += 1;
-        StepStats {
-            step: t,
-            loss: loss_acc,
-            param_norm,
-            base_lr,
-            diverged: self.diverged,
+        if let (Some(m), Some(s)) = (&self.metrics, started) {
+            let delta_norm = if self.cfg.t2_decay.is_some() {
+                self.delta.iter().map(|&d| d as f64 * d as f64).sum::<f64>().sqrt()
+            } else {
+                0.0
+            };
+            m.record_step(
+                s,
+                loss_acc,
+                base_lr,
+                stage0_lr as f64,
+                delta_norm,
+                param_norm,
+                clipped,
+                self.diverged,
+            );
         }
+        StepStats { step: t, loss: loss_acc, param_norm, base_lr, diverged: self.diverged }
     }
 }
 
@@ -495,8 +524,11 @@ mod tests {
         );
         cfg.warmup_steps = 100;
         let mut pm = PipelineTrainer::new(&model, cfg, 5);
-        let mut gp =
-            PipelineTrainer::new(&model, TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05))), 5);
+        let mut gp = PipelineTrainer::new(
+            &model,
+            TrainConfig::gpipe(3, 2, sgd(), Box::new(ConstantLr(0.05))),
+            5,
+        );
         let (micro, w) = blob_micro(4, 2, 4);
         for _ in 0..8 {
             pm.train_minibatch(&micro, &w);

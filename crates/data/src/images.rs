@@ -49,7 +49,10 @@ impl SyntheticImages {
             let mut proto = Tensor::zeros(&[c, s, s]);
             for ci in 0..c {
                 let (fx, fy) = (rng.gen_range(0.5..2.5f32), rng.gen_range(0.5..2.5f32));
-                let (px, py) = (rng.gen_range(0.0..std::f32::consts::TAU), rng.gen_range(0.0..std::f32::consts::TAU));
+                let (px, py) = (
+                    rng.gen_range(0.0..std::f32::consts::TAU),
+                    rng.gen_range(0.0..std::f32::consts::TAU),
+                );
                 let amp = rng.gen_range(0.8..1.6f32);
                 for y in 0..s {
                     for x in 0..s {

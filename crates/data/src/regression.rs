@@ -44,22 +44,19 @@ pub fn cpusmall_like(n: usize, seed: u64) -> RegressionDataset {
     // Geometric spread of feature scales: condition number ~ 4^(11) in
     // variance terms would be too extreme; use per-feature std in
     // [0.1, 3.0] log-spaced.
-    let scales: Vec<f32> = (0..d)
-        .map(|j| 0.1 * (30.0f32).powf(j as f32 / (d - 1) as f32))
-        .collect();
+    let scales: Vec<f32> =
+        (0..d).map(|j| 0.1 * (30.0f32).powf(j as f32 / (d - 1) as f32)).collect();
     let mut x = Tensor::zeros(&[n, d]);
     for i in 0..n {
-        for j in 0..d {
-            x.data_mut()[i * d + j] = scales[j] * crate_randn(&mut rng);
+        for (j, &scale) in scales.iter().enumerate() {
+            x.data_mut()[i * d + j] = scale * crate_randn(&mut rng);
         }
     }
     let true_w: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
     let mut y = Tensor::zeros(&[n]);
     for i in 0..n {
-        let mut acc = 0.0f32;
-        for j in 0..d {
-            acc += x.data()[i * d + j] * true_w[j];
-        }
+        let row = &x.data()[i * d..(i + 1) * d];
+        let acc: f32 = row.iter().zip(true_w.iter()).map(|(&a, &b)| a * b).sum();
         y.data_mut()[i] = acc + 0.1 * crate_randn(&mut rng);
     }
     let max_curvature = largest_hessian_eigenvalue(&x);
@@ -83,15 +80,15 @@ pub fn largest_hessian_eigenvalue(x: &Tensor) -> f32 {
     for _ in 0..200 {
         // u = X v; w = Xᵀ u * 2/N
         let mut u = vec![0.0f32; n];
-        for i in 0..n {
+        for (i, ui) in u.iter_mut().enumerate() {
             let row = &x.data()[i * d..(i + 1) * d];
-            u[i] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+            *ui = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
         }
         let mut w = vec![0.0f32; d];
-        for i in 0..n {
+        for (i, &ui) in u.iter().enumerate() {
             let row = &x.data()[i * d..(i + 1) * d];
-            for j in 0..d {
-                w[j] += row[j] * u[i];
+            for (wj, &rj) in w.iter_mut().zip(row.iter()) {
+                *wj += rj * ui;
             }
         }
         let scale = 2.0 / n as f32;

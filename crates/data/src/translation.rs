@@ -43,7 +43,15 @@ impl SyntheticTranslation {
 
     /// The WMT17-like stand-in (larger vocabulary, longer sentences).
     pub fn wmt_like(train: usize, test: usize, seed: u64) -> Self {
-        SyntheticTranslation { vocab: 40, min_len: 4, max_len: 10, train, test, reverse: true, seed }
+        SyntheticTranslation {
+            vocab: 40,
+            min_len: 4,
+            max_len: 10,
+            train,
+            test,
+            reverse: true,
+            seed,
+        }
     }
 
     /// Generates the dataset.

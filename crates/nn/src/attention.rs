@@ -133,8 +133,7 @@ impl MultiHeadAttention {
             let bi = bhi / h;
             for i in 0..tq {
                 for j in 0..tk {
-                    let masked = (causal && j > i)
-                        || lens.map_or(false, |l| j >= l[bi]);
+                    let masked = (causal && j > i) || lens.is_some_and(|l| j >= l[bi]);
                     if masked {
                         scores.data_mut()[(bhi * tq + i) * tk + j] = MASK_NEG;
                     }
@@ -263,11 +262,7 @@ impl MultiHeadAttention {
         let dquery2 = back_proj(0, &dq2, q2, &mut grads);
         let mut dkv2 = back_proj(1, &dk2, kv2, &mut grads);
         dkv2.axpy(1.0, &back_proj(2, &dv2, kv2, &mut grads));
-        (
-            dquery2.reshape(&[b, tq, d]),
-            dkv2.reshape(&[b, tk, d]),
-            grads,
-        )
+        (dquery2.reshape(&[b, tq, d]), dkv2.reshape(&[b, tk, d]), grads)
     }
 }
 

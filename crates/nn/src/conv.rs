@@ -30,13 +30,25 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a convolution with bias.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         Conv2d { in_channels, out_channels, kernel, stride, padding, bias: true }
     }
 
     /// Creates a convolution without bias (the usual choice before a
     /// batch-norm layer).
-    pub fn new_no_bias(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn new_no_bias(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         Conv2d { bias: false, ..Conv2d::new(in_channels, out_channels, kernel, stride, padding) }
     }
 
@@ -80,7 +92,7 @@ impl Layer for Conv2d {
         assert_eq!(c, self.in_channels, "Conv2d: channel mismatch");
         let geom = self.geometry(h, w);
         let cols = im2col(x, &geom); // (B*oh*ow, patch_len)
-        // Kernel as (patch_len, out_channels).
+                                     // Kernel as (patch_len, out_channels).
         let wk = kernel_matrix(&params[..self.weight_len()], self.patch_len(), self.out_channels);
         let mut y = cols.matmul(&wk); // (B*oh*ow, out_c)
         if self.bias {
@@ -101,9 +113,7 @@ impl Layer for Conv2d {
         let geom = self.geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         // dy: (B, out_c, oh, ow) -> (B*oh*ow, out_c)
-        let dy2 = dy
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[b * oh * ow, self.out_channels]);
+        let dy2 = dy.permute(&[0, 2, 3, 1]).reshape(&[b * oh * ow, self.out_channels]);
         // dW (as (patch_len, out_c)) = cols^T @ dy2 — forward activations.
         let dwk = cols.matmul_tn(&dy2);
         let mut grads = vec![0.0f32; self.param_len()];

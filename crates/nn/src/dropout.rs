@@ -56,7 +56,9 @@ impl Dropout {
     }
 
     fn keep(&self, call: u64, index: usize) -> bool {
-        let h = Self::hash(self.seed ^ call.rotate_left(17) ^ (index as u64).wrapping_mul(0x1000_0000_01b3));
+        let h = Self::hash(
+            self.seed ^ call.rotate_left(17) ^ (index as u64).wrapping_mul(0x1000_0000_01b3),
+        );
         // Map the top 24 bits to [0, 1).
         let u = (h >> 40) as f32 / (1u64 << 24) as f32;
         u >= self.p
@@ -94,7 +96,7 @@ impl Layer for Dropout {
     }
 
     fn backward(&self, _params: &[f32], cache: &Cache, dy: &Tensor) -> (Tensor, Vec<f32>) {
-        if cache.scalars.first().map_or(false, |s| s.is_nan()) {
+        if cache.scalars.first().is_some_and(|s| s.is_nan()) {
             return (dy.clone(), Vec::new());
         }
         let mask = cache.tensor(0);

@@ -122,7 +122,7 @@ impl PositionalEncoding {
         let exponent = (2 * (i / 2)) as f32 / self.dim as f32;
         let freq = 1.0 / 10_000f32.powf(exponent);
         let angle = pos as f32 * freq;
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             angle.sin()
         } else {
             angle.cos()

@@ -167,7 +167,7 @@ mod tests {
         let dy = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
         let (dx, dw) = l.backward(&bkwd, &cache, &dy);
         assert_eq!(dx.data(), &[2.0, 2.0]); // dy @ (2I)^T
-        // dW = x^T dy uses forward activations regardless of bkwd params.
+                                            // dW = x^T dy uses forward activations regardless of bkwd params.
         assert_eq!(dw, vec![1.0, 1.0, 2.0, 2.0]);
     }
 }

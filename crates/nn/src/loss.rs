@@ -45,11 +45,10 @@ pub fn cross_entropy_logits(
     let mut dlogits = Tensor::zeros(&[rows, v]);
     let mut loss = 0.0f64;
     let mut counted = 0usize;
-    for r in 0..rows {
-        if Some(targets[r]) == cfg.ignore_index {
+    for (r, &t) in targets.iter().enumerate() {
+        if Some(t) == cfg.ignore_index {
             continue;
         }
-        let t = targets[r];
         assert!(t < v, "cross_entropy: target {t} out of range (V = {v})");
         counted += 1;
         let lp = &log_p.data()[r * v..(r + 1) * v];
@@ -60,8 +59,8 @@ pub fn cross_entropy_logits(
         }
         loss += row_loss as f64;
         // dlogits = p - q
-        for j in 0..v {
-            let p = lp[j].exp();
+        for (j, &lpj) in lp.iter().enumerate() {
+            let p = lpj.exp();
             let q = if j == t { 1.0 - eps + eps / v as f32 } else { eps / v as f32 };
             dlogits.data_mut()[r * v + j] = p - q;
         }
@@ -153,8 +152,11 @@ mod tests {
     fn gradient_rows_sum_to_zero() {
         // Softmax CE gradient rows sum to zero (p and q both sum to 1).
         let logits = Tensor::from_vec(vec![0.2, 1.4, -0.7, 0.9, 0.0, 0.1], &[2, 3]);
-        let (_, grad) =
-            cross_entropy_logits(&logits, &[0, 2], CrossEntropyCfg { label_smoothing: 0.1, ignore_index: None });
+        let (_, grad) = cross_entropy_logits(
+            &logits,
+            &[0, 2],
+            CrossEntropyCfg { label_smoothing: 0.1, ignore_index: None },
+        );
         for r in 0..2 {
             let s: f32 = grad.data()[r * 3..(r + 1) * 3].iter().sum();
             assert!(s.abs() < 1e-6, "row {r} sums to {s}");

@@ -16,10 +16,7 @@ const EPS: f32 = 1e-5;
 
 /// Normalizes `x[idx(slice)]` slices in place, writing `x̂` and returning
 /// per-slice `inv_std`. `slices` enumerates index lists.
-fn normalize_slices(
-    x: &Tensor,
-    slice_elems: &[Vec<usize>],
-) -> (Tensor, Vec<f32>) {
+fn normalize_slices(x: &Tensor, slice_elems: &[Vec<usize>]) -> (Tensor, Vec<f32>) {
     let mut xhat = x.clone();
     let mut inv_stds = Vec::with_capacity(slice_elems.len());
     for elems in slice_elems {
@@ -259,7 +256,11 @@ impl GroupNorm {
     ///
     /// Panics if `channels` is not divisible by `groups`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert_eq!(channels % groups, 0, "GroupNorm: {channels} channels not divisible by {groups} groups");
+        assert_eq!(
+            channels % groups,
+            0,
+            "GroupNorm: {channels} channels not divisible by {groups} groups"
+        );
         GroupNorm { channels, groups }
     }
 
@@ -380,7 +381,8 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }

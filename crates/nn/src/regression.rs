@@ -95,7 +95,12 @@ mod tests {
             }
         }
         for j in 0..dim {
-            assert!((params[j] - true_w[j]).abs() < 0.05, "w[{j}] = {} vs {}", params[j], true_w[j]);
+            assert!(
+                (params[j] - true_w[j]).abs() < 0.05,
+                "w[{j}] = {} vs {}",
+                params[j],
+                true_w[j]
+            );
         }
         assert!((params[dim] - 0.7).abs() < 0.05, "bias {}", params[dim]);
         assert!(model.mse(&params, &batch) < 1e-3);

@@ -52,12 +52,7 @@ impl BasicBlock {
         o[2] = o[1] + self.bn1.param_len();
         o[3] = o[2] + self.conv2.param_len();
         o[4] = o[3] + self.bn2.param_len();
-        o[5] = o[4]
-            + self
-                .down
-                .as_ref()
-                .map(|(c, _)| c.param_len())
-                .unwrap_or(0);
+        o[5] = o[4] + self.down.as_ref().map(|(c, _)| c.param_len()).unwrap_or(0);
         o
     }
 }
@@ -216,16 +211,12 @@ impl CifarResNet {
         for (g, &out_c) in widths.iter().enumerate() {
             for b in 0..cfg.blocks_per_group {
                 let stride = if g > 0 && b == 0 { 2 } else { 1 };
-                chain = chain.push_named(
-                    &format!("g{g}.b{b}"),
-                    BasicBlock::new(in_c, out_c, stride),
-                );
+                chain =
+                    chain.push_named(&format!("g{g}.b{b}"), BasicBlock::new(in_c, out_c, stride));
                 in_c = out_c;
             }
         }
-        chain = chain
-            .push(GlobalAvgPool2d)
-            .push_named("fc", Linear::new(4 * w, cfg.classes));
+        chain = chain.push(GlobalAvgPool2d).push_named("fc", Linear::new(4 * w, cfg.classes));
         CifarResNet { chain, cfg }
     }
 

@@ -170,7 +170,10 @@ mod tests {
     fn chain_forward_matches_manual_composition() {
         use crate::gradcheck::init_layer;
         use rand::SeedableRng;
-        let chain = Sequential::new().push(Linear::new(3, 4)).push(Activation::relu()).push(Linear::new(4, 2));
+        let chain = Sequential::new()
+            .push(Linear::new(3, 4))
+            .push(Activation::relu())
+            .push(Linear::new(4, 2));
         let mut rng = StdRng::seed_from_u64(17);
         let params = init_layer(&chain, &mut rng);
         let x = Tensor::randn(&[5, 3], &mut rng);
@@ -185,14 +188,20 @@ mod tests {
 
     #[test]
     fn chain_gradcheck() {
-        let chain = Sequential::new().push(Linear::new(3, 5)).push(Activation::tanh()).push(Linear::new(5, 2));
+        let chain = Sequential::new()
+            .push(Linear::new(3, 5))
+            .push(Activation::tanh())
+            .push(Linear::new(5, 2));
         check_layer_gradients(&chain, &[4, 3], 51, 5e-2);
     }
 
     #[test]
     fn residual_gradcheck() {
         let block = Residual::new(
-            Sequential::new().push(Linear::new(4, 4)).push(Activation::tanh()).push(Linear::new(4, 4)),
+            Sequential::new()
+                .push(Linear::new(4, 4))
+                .push(Activation::tanh())
+                .push(Linear::new(4, 4)),
         );
         check_layer_gradients(&block, &[3, 4], 52, 5e-2);
     }

@@ -160,13 +160,7 @@ impl EncoderLayer {
         (y, cache)
     }
 
-    fn backward(
-        &self,
-        params: &[f32],
-        cache: &Cache,
-        dy: &Tensor,
-        grads: &mut [f32],
-    ) -> Tensor {
+    fn backward(&self, params: &[f32], cache: &Cache, dy: &Tensor, grads: &mut [f32]) -> Tensor {
         let o = self.offsets();
         let (dsum2, g) = self.ln2.backward(&params[o[4]..o[5]], cache.child(5), dy);
         grads[o[4]..o[5]].copy_from_slice(&g);
@@ -409,9 +403,7 @@ impl Transformer {
         memory: &Tensor,
         src_lens: &[usize],
     ) -> (Tensor, Cache) {
-        let (mut h, ct) = self
-            .tgt_embed
-            .forward(&params[self.offsets[1]..self.offsets[2]], tgt_in);
+        let (mut h, ct) = self.tgt_embed.forward(&params[self.offsets[1]..self.offsets[2]], tgt_in);
         self.pos.add_to(&mut h);
         let mut cache = Cache::new();
         cache.children.push(ct);
@@ -424,7 +416,8 @@ impl Transformer {
         let (b, tt, d) = (h.shape()[0], h.shape()[1], h.shape()[2]);
         let h2 = h.reshape(&[b * tt, d]);
         let off = self.out_off();
-        let (logits, cproj) = self.out_proj.forward(&params[off..off + self.out_proj.param_len()], &h2);
+        let (logits, cproj) =
+            self.out_proj.forward(&params[off..off + self.out_proj.param_len()], &h2);
         cache.children.push(cproj);
         (logits, cache)
     }
@@ -433,12 +426,7 @@ impl Transformer {
     /// bos/eos handling — the function adds `BOS` internally and stops at
     /// `EOS` or `max_len`). Returns generated target ids (without
     /// bos/eos).
-    pub fn greedy_decode(
-        &self,
-        params: &[f32],
-        src_ids: &[usize],
-        max_len: usize,
-    ) -> Vec<usize> {
+    pub fn greedy_decode(&self, params: &[f32], src_ids: &[usize], max_len: usize) -> Vec<usize> {
         let ts = src_ids.len();
         let src = Tensor::from_vec(src_ids.iter().map(|&t| t as f32).collect(), &[1, ts]);
         let src_lens = vec![ts];
@@ -556,8 +544,16 @@ impl TrainModel for Transformer {
 
     fn weight_units(&self) -> Vec<WeightUnit> {
         let mut units = vec![
-            WeightUnit { name: "src_embed".into(), offset: self.offsets[0], len: self.src_embed.param_len() },
-            WeightUnit { name: "tgt_embed".into(), offset: self.offsets[1], len: self.tgt_embed.param_len() },
+            WeightUnit {
+                name: "src_embed".into(),
+                offset: self.offsets[0],
+                len: self.src_embed.param_len(),
+            },
+            WeightUnit {
+                name: "tgt_embed".into(),
+                offset: self.offsets[1],
+                len: self.tgt_embed.param_len(),
+            },
         ];
         for (i, l) in self.enc.iter().enumerate() {
             let off = self.enc_off(i);

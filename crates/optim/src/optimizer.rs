@@ -231,10 +231,8 @@ mod tests {
     #[test]
     fn adam_first_step_is_lr_sized() {
         // With bias correction, the first Adam step is ~lr * sign(g).
-        let mut opt = Optimizer::new(
-            OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-            2,
-        );
+        let mut opt =
+            Optimizer::new(OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }, 2);
         let mut w = vec![0.0f32, 0.0];
         opt.step(&mut w, &[3.0, -0.01], 0.1);
         assert!((w[0] + 0.1).abs() < 1e-4, "w[0] = {}", w[0]);
@@ -243,10 +241,8 @@ mod tests {
 
     #[test]
     fn adam_converges_on_quadratic() {
-        let mut opt = Optimizer::new(
-            OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-            3,
-        );
+        let mut opt =
+            Optimizer::new(OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }, 3);
         let mut w = vec![5.0f32, -5.0, 2.0];
         for _ in 0..500 {
             let g = quad_grad(&w);

@@ -43,7 +43,7 @@ impl T1Rescheduler {
     /// The paper's suggestion for step-decay schedules: `K` = one quarter
     /// of the first phase.
     pub fn for_step_decay(first_phase_steps: usize) -> Self {
-        T1Rescheduler::new((first_phase_steps / 4).max(1) )
+        T1Rescheduler::new((first_phase_steps / 4).max(1))
     }
 
     /// The paper's suggestion for linear-warmup schedules: `K` = 5× the

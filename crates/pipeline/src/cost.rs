@@ -153,9 +153,7 @@ impl ActivationModel {
     /// The segment size minimizing total recompute memory (≈ `√P`,
     /// App. A.2); found by exact search.
     pub fn optimal_segment(&self) -> usize {
-        (1..=self.p)
-            .min_by_key(|&s| self.total_recompute(s))
-            .unwrap_or(1)
+        (1..=self.p).min_by_key(|&s| self.total_recompute(s)).unwrap_or(1)
     }
 
     /// The paper's Table 5 ratio: activation memory with recompute over
@@ -243,9 +241,13 @@ mod tests {
         assert_eq!(mm.weight_opt_copies(Method::PipeMare, &clk, &fracs, false), 3.0);
         assert_eq!(mm.weight_opt_copies(Method::PipeMare, &clk, &fracs, true), 4.0);
         // 33% increase for SGD+momentum, 25% for Adam (§3.2 footnote 2).
-        assert!((mm.relative_to_gpipe(Method::PipeMare, &clk, &fracs, true) - 4.0 / 3.0).abs() < 1e-9);
+        assert!(
+            (mm.relative_to_gpipe(Method::PipeMare, &clk, &fracs, true) - 4.0 / 3.0).abs() < 1e-9
+        );
         let mm_adam = MemoryModel { optimizer_copies: 4 };
-        assert!((mm_adam.relative_to_gpipe(Method::PipeMare, &clk, &fracs, true) - 1.25).abs() < 1e-9);
+        assert!(
+            (mm_adam.relative_to_gpipe(Method::PipeMare, &clk, &fracs, true) - 1.25).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, select, unbounded};
+use pipemare_telemetry::{NullRecorder, Recorder, SpanKind, NO_MICROBATCH};
 
 use crate::delay::Method;
 
@@ -56,6 +57,36 @@ pub fn run_threaded_pipeline(
     minibatches: usize,
     work_per_stage: Duration,
 ) -> ThreadedPipelineReport {
+    run_threaded_pipeline_traced(
+        method,
+        stages,
+        n_micro,
+        minibatches,
+        work_per_stage,
+        &NullRecorder,
+    )
+}
+
+/// [`run_threaded_pipeline`] with a telemetry [`Recorder`].
+///
+/// Every stage emits `Forward`/`Backward` compute spans and
+/// `QueueWaitFwd`/`QueueWaitBkwd` blocking spans on its own track; the
+/// driver (track `stages`) emits an `Inject` instant per microbatch and a
+/// `Flush` span covering each GPipe drain. The recorder is generic so
+/// that passing [`NullRecorder`] monomorphizes every telemetry call to
+/// nothing — the untraced hot path stays free of clock reads and locks.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn run_threaded_pipeline_traced<R: Recorder>(
+    method: Method,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+    recorder: &R,
+) -> ThreadedPipelineReport {
     assert!(stages > 0 && n_micro > 0 && minibatches > 0);
     let total = n_micro * minibatches;
     // Forward channels are bounded (capacity 1) to model the pipeline's
@@ -85,6 +116,8 @@ pub fn run_threaded_pipeline(
             let prev_bwd_tx = if s > 0 { Some(bwd_tx[s - 1].clone()) } else { None };
             let my_done_tx = done_tx.clone();
             scope.spawn(move || {
+                let track = s as u32;
+                let stage = s as u32;
                 let emit_bwd = |id: usize| match &prev_bwd_tx {
                     Some(tx) => tx.send(id).expect("upstream stage alive"),
                     None => my_done_tx.send(id).expect("driver alive"),
@@ -96,29 +129,102 @@ pub fn run_threaded_pipeline(
                     if is_last {
                         // The last stage turns each forward straight into
                         // its backward; its own backward channel is unused.
+                        let wait_start = recorder.now_us();
                         let id = my_fwd_rx.recv().expect("pipeline alive");
+                        let t0 = recorder.now_us();
+                        recorder.record_span(
+                            SpanKind::QueueWaitFwd,
+                            track,
+                            stage,
+                            NO_MICROBATCH,
+                            wait_start,
+                            t0,
+                        );
                         work_for(work_per_stage);
+                        let t1 = recorder.now_us();
+                        recorder.record_span(SpanKind::Forward, track, stage, id as u32, t0, t1);
                         work_for(2 * work_per_stage);
+                        recorder.record_span(
+                            SpanKind::Backward,
+                            track,
+                            stage,
+                            id as u32,
+                            t1,
+                            recorder.now_us(),
+                        );
                         emit_bwd(id);
                         fwd_seen += 1;
                         bwd_seen += 1;
                     } else if fwd_seen == total {
                         // Only backwards remain: plain blocking receive.
+                        let wait_start = recorder.now_us();
                         let id = my_bwd_rx.recv().expect("downstream stage alive");
+                        let t0 = recorder.now_us();
+                        recorder.record_span(
+                            SpanKind::QueueWaitBkwd,
+                            track,
+                            stage,
+                            NO_MICROBATCH,
+                            wait_start,
+                            t0,
+                        );
                         work_for(2 * work_per_stage);
+                        recorder.record_span(
+                            SpanKind::Backward,
+                            track,
+                            stage,
+                            id as u32,
+                            t0,
+                            recorder.now_us(),
+                        );
                         emit_bwd(id);
                         bwd_seen += 1;
                     } else {
+                        let wait_start = recorder.now_us();
                         select! {
                             recv(my_bwd_rx) -> msg => {
                                 let id = msg.expect("downstream stage alive");
+                                let t0 = recorder.now_us();
+                                recorder.record_span(
+                                    SpanKind::QueueWaitBkwd,
+                                    track,
+                                    stage,
+                                    NO_MICROBATCH,
+                                    wait_start,
+                                    t0,
+                                );
                                 work_for(2 * work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Backward,
+                                    track,
+                                    stage,
+                                    id as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
                                 emit_bwd(id);
                                 bwd_seen += 1;
                             }
                             recv(my_fwd_rx) -> msg => {
                                 let id = msg.expect("pipeline alive");
+                                let t0 = recorder.now_us();
+                                recorder.record_span(
+                                    SpanKind::QueueWaitFwd,
+                                    track,
+                                    stage,
+                                    NO_MICROBATCH,
+                                    wait_start,
+                                    t0,
+                                );
                                 work_for(work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Forward,
+                                    track,
+                                    stage,
+                                    id as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
                                 next_fwd_tx
                                     .as_ref()
                                     .expect("non-last stage")
@@ -133,6 +239,7 @@ pub fn run_threaded_pipeline(
         }
         drop(done_tx);
         // Driver: inject microbatch tokens.
+        let driver_track = stages as u32;
         let inject = fwd_tx[0].clone();
         drop(fwd_tx);
         drop(bwd_tx);
@@ -141,21 +248,41 @@ pub fn run_threaded_pipeline(
         let mut completed = 0usize;
         for mb in 0..minibatches {
             for n in 0..n_micro {
-                inject.send(mb * n_micro + n).expect("pipeline alive");
+                let id = mb * n_micro + n;
+                inject.send(id).expect("pipeline alive");
+                recorder.record_instant(SpanKind::Inject, driver_track, 0, id as u32);
             }
             if method == Method::GPipe {
                 // Synchronous flush: wait for this minibatch to drain.
+                let flush_start = recorder.now_us();
                 while completed < (mb + 1) * n_micro {
                     done_rx.recv().expect("pipeline alive");
                     completed += 1;
                 }
+                recorder.record_span(
+                    SpanKind::Flush,
+                    driver_track,
+                    0,
+                    NO_MICROBATCH,
+                    flush_start,
+                    recorder.now_us(),
+                );
             }
         }
         drop(inject);
+        let drain_start = recorder.now_us();
         while completed < total {
             done_rx.recv().expect("pipeline alive");
             completed += 1;
         }
+        recorder.record_span(
+            SpanKind::Flush,
+            driver_track,
+            0,
+            NO_MICROBATCH,
+            drain_start,
+            recorder.now_us(),
+        );
     });
     let elapsed = start.elapsed();
     ThreadedPipelineReport {

@@ -22,9 +22,8 @@ impl HogwildDelays {
     /// `τ_i = (2(P−i)+1)/N` (so the stochastic model is comparable to the
     /// fixed-delay one), truncated at `⌈2·max τ⌉`.
     pub fn from_pipeline_profile(stages: usize, n_micro: usize) -> Self {
-        let means: Vec<f64> = (0..stages)
-            .map(|s| (2 * (stages - 1 - s) + 1) as f64 / n_micro as f64)
-            .collect();
+        let means: Vec<f64> =
+            (0..stages).map(|s| (2 * (stages - 1 - s) + 1) as f64 / n_micro as f64).collect();
         let max_delay = (2.0 * means[0]).ceil() as usize;
         HogwildDelays { means, max_delay: max_delay.max(1) }
     }

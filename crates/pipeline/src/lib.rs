@@ -29,11 +29,11 @@ pub mod partition;
 pub mod schedule;
 
 pub use cost::{
-    gpipe_bubble_throughput, gpipe_equal_budget_throughput, normalized_throughput,
-    ActivationModel, MemoryModel,
+    gpipe_bubble_throughput, gpipe_equal_budget_throughput, normalized_throughput, ActivationModel,
+    MemoryModel,
 };
 pub use delay::{Method, PipelineClock};
-pub use executor::{run_threaded_pipeline, ThreadedPipelineReport};
+pub use executor::{run_threaded_pipeline, run_threaded_pipeline_traced, ThreadedPipelineReport};
 pub use history::WeightHistory;
 pub use hogwild::HogwildDelays;
 pub use partition::StagePartition;

@@ -52,11 +52,7 @@ impl StagePartition {
         for k in 0..stages {
             let next_unit_idx = (k + 1) * u / stages;
             debug_assert!(next_unit_idx > unit_idx);
-            let end = if next_unit_idx >= u {
-                total
-            } else {
-                units[next_unit_idx].0
-            };
+            let end = if next_unit_idx >= u { total } else { units[next_unit_idx].0 };
             ranges.push((start, end));
             start = end;
             unit_idx = next_unit_idx;
@@ -112,8 +108,7 @@ impl StagePartition {
     /// Panics if `i >= total`.
     pub fn stage_of(&self, i: usize) -> usize {
         assert!(i < self.total, "param index {i} out of range");
-        self.ranges
-            .partition_point(|&(_, hi)| hi <= i)
+        self.ranges.partition_point(|&(_, hi)| hi <= i)
     }
 }
 

@@ -110,11 +110,7 @@ impl Schedule {
 
     /// Total idle cells (the bubbles of Figure 1).
     pub fn bubbles(&self) -> usize {
-        self.grid
-            .iter()
-            .flat_map(|row| row.iter())
-            .filter(|&&op| op == SlotOp::Idle)
-            .count()
+        self.grid.iter().flat_map(|row| row.iter()).filter(|&&op| op == SlotOp::Idle).count()
     }
 
     /// Utilization: busy cells over all cells.
@@ -200,10 +196,7 @@ mod tests {
         let sched = Schedule::simulate(Method::GPipe, p, n, mb);
         // The first forward of minibatch 1 (microbatch index n) must come
         // after the last backward of minibatch 0 at stage 0.
-        let last_b0 = (0..n)
-            .map(|m| sched.find(0, SlotOp::Bkwd(m)).unwrap())
-            .max()
-            .unwrap();
+        let last_b0 = (0..n).map(|m| sched.find(0, SlotOp::Bkwd(m)).unwrap()).max().unwrap();
         let first_f1 = sched.find(0, SlotOp::Fwd(n)).unwrap();
         assert!(first_f1 > last_b0, "GPipe injected before the flush completed");
     }
@@ -214,10 +207,7 @@ mod tests {
         let sched = Schedule::simulate(Method::PipeMare, p, n, mb);
         // PipeMare admits minibatch 1's forward before minibatch 0 fully
         // drains.
-        let last_b0 = (0..n)
-            .map(|m| sched.find(0, SlotOp::Bkwd(m)).unwrap())
-            .max()
-            .unwrap();
+        let last_b0 = (0..n).map(|m| sched.find(0, SlotOp::Bkwd(m)).unwrap()).max().unwrap();
         let first_f1 = sched.find(0, SlotOp::Fwd(n)).unwrap();
         assert!(first_f1 < last_b0, "PipeMare should overlap minibatches");
     }
@@ -242,12 +232,8 @@ mod tests {
         for method in Method::ALL {
             let (p, n, mb) = (3usize, 2usize, 2usize);
             let sched = Schedule::simulate(method, p, n, mb);
-            let busy: usize = sched
-                .grid
-                .iter()
-                .flat_map(|r| r.iter())
-                .filter(|&&op| op != SlotOp::Idle)
-                .count();
+            let busy: usize =
+                sched.grid.iter().flat_map(|r| r.iter()).filter(|&&op| op != SlotOp::Idle).count();
             assert_eq!(busy, 2 * p * n * mb);
         }
     }

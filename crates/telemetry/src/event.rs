@@ -1,0 +1,276 @@
+//! Trace events and recorders.
+//!
+//! A [`Recorder`] is the write side of the tracing subsystem: execution
+//! code (the threaded pipeline executor, trainers) is generic over it so
+//! that the disabled path monomorphizes to nothing. [`NullRecorder`]
+//! reports `enabled() == false` and every call is an inlineable no-op —
+//! no clock reads, no allocation, no locks. [`TraceRecorder`] collects
+//! [`TraceEvent`]s into per-track sharded buffers: each pipeline stage
+//! (track) appends to its own buffer behind its own mutex, so stages
+//! never contend with each other on the hot path; a push is a lock of an
+//! uncontended mutex plus an amortized `Vec` append of a `Copy` struct.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a span (or instant event) represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Forward compute of one microbatch at one stage.
+    Forward,
+    /// Backward compute of one microbatch at one stage.
+    Backward,
+    /// Time a stage spent blocked waiting for forward input.
+    QueueWaitFwd,
+    /// Time a stage spent blocked waiting for backward input.
+    QueueWaitBkwd,
+    /// Instant: the driver injected a microbatch into the pipeline.
+    Inject,
+    /// The driver blocked draining a minibatch (GPipe's bubble).
+    Flush,
+    /// One optimizer step of a trainer.
+    Step,
+}
+
+impl SpanKind {
+    /// Short display name (used as the Chrome trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Forward => "forward",
+            SpanKind::Backward => "backward",
+            SpanKind::QueueWaitFwd => "wait_fwd",
+            SpanKind::QueueWaitBkwd => "wait_bkwd",
+            SpanKind::Inject => "inject",
+            SpanKind::Flush => "flush",
+            SpanKind::Step => "step",
+        }
+    }
+
+    /// Whether events of this kind are instants (zero duration) rather
+    /// than spans.
+    pub fn is_instant(&self) -> bool {
+        matches!(self, SpanKind::Inject)
+    }
+}
+
+/// Sentinel for [`TraceEvent::microbatch`] when no microbatch applies.
+pub const NO_MICROBATCH: u32 = u32::MAX;
+
+/// One recorded span or instant. `Copy` so the hot path never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span kind.
+    pub kind: SpanKind,
+    /// Track (rendered as a thread in trace viewers): stage index for
+    /// stage threads, `stages` for the driver.
+    pub track: u32,
+    /// Pipeline stage the event belongs to (== `track` for stage events).
+    pub stage: u32,
+    /// Microbatch id, or [`NO_MICROBATCH`].
+    pub microbatch: u32,
+    /// Start timestamp in microseconds since the recorder's origin.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+}
+
+/// The write side of the tracing subsystem.
+///
+/// Implementations must be cheap when disabled: callers are expected to
+/// guard clock reads with [`Recorder::enabled`], so a disabled recorder
+/// costs one inlined constant branch per potential span.
+pub trait Recorder: Sync {
+    /// Whether events are actually collected. Callers should skip
+    /// timestamping work when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Microseconds since this recorder's time origin.
+    fn now_us(&self) -> u64;
+
+    /// Records one event.
+    fn record(&self, ev: TraceEvent);
+
+    /// Convenience: records a completed span from its measured endpoints.
+    fn record_span(&self, kind: SpanKind, track: u32, stage: u32, mb: u32, t0: u64, t1: u64) {
+        self.record(TraceEvent {
+            kind,
+            track,
+            stage,
+            microbatch: mb,
+            ts_us: t0,
+            dur_us: t1.saturating_sub(t0),
+        });
+    }
+
+    /// Convenience: records an instant event at the current time.
+    fn record_instant(&self, kind: SpanKind, track: u32, stage: u32, mb: u32) {
+        let now = self.now_us();
+        self.record(TraceEvent { kind, track, stage, microbatch: mb, ts_us: now, dur_us: 0 });
+    }
+}
+
+/// A recorder that drops everything; the disabled hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn now_us(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    fn record(&self, _ev: TraceEvent) {}
+}
+
+/// Number of independent buffers in a [`TraceRecorder`]; tracks map onto
+/// shards by modulo, so pipelines up to this deep are contention-free.
+const SHARDS: usize = 32;
+
+/// An enabled recorder collecting events into per-track shards.
+pub struct TraceRecorder {
+    origin: Instant,
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Creates a recorder whose time origin is "now".
+    pub fn new() -> Self {
+        TraceRecorder {
+            origin: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// All events recorded so far, sorted by start timestamp.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().iter().copied().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| (e.ts_us, e.track));
+        all
+    }
+
+    /// Drops all recorded events (e.g. to discard a warmup phase).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        self.shards[ev.track as usize % SHARDS].lock().unwrap().push(ev);
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn now_us(&self) -> u64 {
+        (**self).now_us()
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        (**self).record(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_silent() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record_instant(SpanKind::Inject, 0, 0, 0);
+        r.record_span(SpanKind::Forward, 0, 0, 0, 0, 10);
+        assert_eq!(r.now_us(), 0);
+    }
+
+    #[test]
+    fn trace_recorder_collects_sorted_events() {
+        let r = TraceRecorder::new();
+        r.record(TraceEvent {
+            kind: SpanKind::Backward,
+            track: 1,
+            stage: 1,
+            microbatch: 0,
+            ts_us: 50,
+            dur_us: 10,
+        });
+        r.record(TraceEvent {
+            kind: SpanKind::Forward,
+            track: 0,
+            stage: 0,
+            microbatch: 0,
+            ts_us: 5,
+            dur_us: 10,
+        });
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, SpanKind::Forward);
+        assert!(evs[0].ts_us <= evs[1].ts_us);
+        r.clear();
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn recorder_clock_is_monotone() {
+        let r = TraceRecorder::new();
+        let a = r.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = r.now_us();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn concurrent_records_from_many_threads_all_arrive() {
+        let r = TraceRecorder::new();
+        std::thread::scope(|scope| {
+            for track in 0..8u32 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let t0 = r.now_us();
+                        r.record_span(SpanKind::Forward, track, track, i, t0, t0 + 1);
+                    }
+                });
+            }
+        });
+        let evs = r.events();
+        assert_eq!(evs.len(), 8 * 500);
+        // Per-track timestamps must be non-decreasing (each track records
+        // its own monotone clock reads).
+        for track in 0..8u32 {
+            let ts: Vec<u64> = evs.iter().filter(|e| e.track == track).map(|e| e.ts_us).collect();
+            assert_eq!(ts.len(), 500);
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace exporters: Chrome `trace_event` JSON and JSONL event logs.
+//!
+//! The Chrome format is the JSON-array flavour documented in the Trace
+//! Event Format spec and understood by `chrome://tracing` and Perfetto:
+//! complete spans are `"ph": "X"` events with microsecond `ts`/`dur`,
+//! instants are `"ph": "i"`, and thread-name metadata events label each
+//! track. The JSONL log writes one compact JSON object per event — easy
+//! to grep and to post-process incrementally.
+
+use std::io;
+use std::path::Path;
+
+use crate::event::{TraceEvent, NO_MICROBATCH};
+use crate::json::Value;
+
+fn event_args(ev: &TraceEvent) -> Value {
+    let mut args = Value::obj().set("stage", ev.stage as u64);
+    if ev.microbatch != NO_MICROBATCH {
+        args = args.set("microbatch", ev.microbatch as u64);
+    }
+    args
+}
+
+fn track_label(track: u32, n_stages: u32) -> String {
+    if track < n_stages {
+        format!("stage {track}")
+    } else if track == n_stages {
+        "driver".to_string()
+    } else {
+        format!("track {track}")
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON document.
+///
+/// `n_stages` controls track labelling: tracks `< n_stages` are named
+/// `stage i`, track `n_stages` is named `driver`.
+pub fn chrome_trace(events: &[TraceEvent], n_stages: u32) -> Value {
+    let mut out = Vec::new();
+    // Thread-name metadata first, one per distinct track.
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for track in tracks {
+        out.push(
+            Value::obj()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", 0u64)
+                .set("tid", track as u64)
+                .set("args", Value::obj().set("name", track_label(track, n_stages))),
+        );
+    }
+    for ev in events {
+        let base = Value::obj()
+            .set("name", ev.kind.name())
+            .set("cat", "pipeline")
+            .set("pid", 0u64)
+            .set("tid", ev.track as u64)
+            .set("ts", ev.ts_us)
+            .set("args", event_args(ev));
+        out.push(if ev.kind.is_instant() {
+            base.set("ph", "i").set("s", "t")
+        } else {
+            base.set("ph", "X").set("dur", ev.dur_us)
+        });
+    }
+    Value::Arr(out)
+}
+
+/// Writes a Chrome trace to `path` (see [`chrome_trace`]).
+///
+/// # Errors
+///
+/// Propagates I/O failures (parent directories are created).
+pub fn write_chrome_trace(events: &[TraceEvent], n_stages: u32, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, chrome_trace(events, n_stages).to_compact())
+}
+
+/// Renders one event as a single-line JSON object (the JSONL row shape).
+pub fn event_to_jsonl(ev: &TraceEvent) -> String {
+    let mut obj = Value::obj()
+        .set("kind", ev.kind.name())
+        .set("track", ev.track as u64)
+        .set("stage", ev.stage as u64)
+        .set("ts_us", ev.ts_us)
+        .set("dur_us", ev.dur_us);
+    if ev.microbatch != NO_MICROBATCH {
+        obj = obj.set("microbatch", ev.microbatch as u64);
+    }
+    obj.to_compact()
+}
+
+/// Writes events as a JSONL log, one event per line.
+///
+/// # Errors
+///
+/// Propagates I/O failures (parent directories are created).
+pub fn write_jsonl(events: &[TraceEvent], path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_jsonl(ev));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+    use crate::json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                kind: SpanKind::Inject,
+                track: 2,
+                stage: 0,
+                microbatch: 0,
+                ts_us: 1,
+                dur_us: 0,
+            },
+            TraceEvent {
+                kind: SpanKind::Forward,
+                track: 0,
+                stage: 0,
+                microbatch: 0,
+                ts_us: 2,
+                dur_us: 10,
+            },
+            TraceEvent {
+                kind: SpanKind::Backward,
+                track: 1,
+                stage: 1,
+                microbatch: 0,
+                ts_us: 13,
+                dur_us: 20,
+            },
+            TraceEvent {
+                kind: SpanKind::Flush,
+                track: 2,
+                stage: 0,
+                microbatch: NO_MICROBATCH,
+                ts_us: 34,
+                dur_us: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_phases() {
+        let doc = chrome_trace(&sample_events(), 2);
+        let parsed = json::parse(&doc.to_compact()).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        // 3 distinct tracks → 3 metadata events + 4 real events.
+        assert_eq!(arr.len(), 7);
+        let phases: Vec<&str> =
+            arr.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 3);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 3);
+        // Spans carry dur; the driver track is labelled.
+        let driver_meta = arr
+            .iter()
+            .find(|e| {
+                e.get("ph").unwrap().as_str() == Some("M")
+                    && e.get("tid").unwrap().as_f64() == Some(2.0)
+            })
+            .unwrap();
+        assert_eq!(driver_meta.get("args").unwrap().get("name").unwrap().as_str(), Some("driver"));
+    }
+
+    #[test]
+    fn chrome_trace_ts_is_monotone_per_track() {
+        let doc = chrome_trace(&sample_events(), 2);
+        let parsed = json::parse(&doc.to_compact()).unwrap();
+        let mut per_track: std::collections::HashMap<u64, Vec<f64>> = Default::default();
+        for e in parsed.as_arr().unwrap() {
+            if e.get("ph").unwrap().as_str() == Some("M") {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+            per_track.entry(tid).or_default().push(e.get("ts").unwrap().as_f64().unwrap());
+        }
+        for (tid, ts) in per_track {
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "track {tid} ts not monotone: {ts:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let events = sample_events();
+        let lines: Vec<String> = events.iter().map(event_to_jsonl).collect();
+        for (line, ev) in lines.iter().zip(&events) {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("kind").unwrap().as_str(), Some(ev.kind.name()));
+            assert_eq!(v.get("ts_us").unwrap().as_f64(), Some(ev.ts_us as f64));
+        }
+        // The flush row (no microbatch) must omit the field.
+        assert!(json::parse(&lines[3]).unwrap().get("microbatch").is_none());
+    }
+
+    #[test]
+    fn writers_create_parent_dirs() {
+        let dir = std::env::temp_dir().join("pipemare-telemetry-test").join("nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace_path = dir.join("t.trace.json");
+        let jsonl_path = dir.join("t.jsonl");
+        write_chrome_trace(&sample_events(), 2, &trace_path).unwrap();
+        write_jsonl(&sample_events(), &jsonl_path).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(json::parse(&text).is_ok());
+        assert_eq!(std::fs::read_to_string(&jsonl_path).unwrap().lines().count(), 4);
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

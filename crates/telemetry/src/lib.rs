@@ -1,0 +1,57 @@
+//! Structured tracing and metrics for the PipeMare stack.
+//!
+//! PipeMare's whole argument is about *when* things happen — per-stage
+//! delays `τ_fwd,i = (2(P−i)+1)/N`, bubble drains, backward/forward
+//! interleave — so this crate gives the workspace a first-class
+//! observability layer instead of ad-hoc prints:
+//!
+//! * [`event`]: [`TraceEvent`] spans (forward/backward compute,
+//!   queue-wait, inject, flush, optimizer step) collected through the
+//!   [`Recorder`] trait. [`NullRecorder`] keeps disabled hot paths free
+//!   of clock reads, locks and allocation; [`TraceRecorder`] collects
+//!   into per-track sharded buffers.
+//! * [`metrics`]: atomic [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s behind a [`MetricsRegistry`] with text and JSON
+//!   snapshot export.
+//! * [`export`]: Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto) and JSONL event logs.
+//! * [`summary`]: [`PipelineTimelineSummary`] — per-stage utilization,
+//!   bubble fraction, and measured-vs-nominal forward delay derived from
+//!   a recorded trace.
+//! * [`json`]: the minimal JSON document model the exporters are built
+//!   on (the workspace has no serde).
+//!
+//! # Example
+//!
+//! ```
+//! use pipemare_telemetry::{
+//!     MetricsRegistry, Recorder, SpanKind, TraceRecorder,
+//!     PipelineTimelineSummary,
+//! };
+//!
+//! let rec = TraceRecorder::new();
+//! let t0 = rec.now_us();
+//! // ... do the forward work of microbatch 0 on stage 0 ...
+//! rec.record_span(SpanKind::Forward, 0, 0, 0, t0, rec.now_us());
+//!
+//! let reg = MetricsRegistry::new();
+//! reg.counter("steps").inc();
+//! reg.histogram("step_latency_us", &[100.0, 1000.0, 10000.0]).observe(42.0);
+//!
+//! let summary = PipelineTimelineSummary::from_events(&rec.events());
+//! assert_eq!(summary.stages.len(), 1);
+//! assert!(reg.snapshot().to_text().contains("steps 1"));
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod summary;
+
+pub use event::{NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH};
+pub use export::{chrome_trace, event_to_jsonl, write_chrome_trace, write_jsonl};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use summary::{PipelineTimelineSummary, StageTimeline};

@@ -1,0 +1,258 @@
+//! Derived pipeline timeline analysis.
+//!
+//! Folds a recorded event stream into per-stage utilization, the overall
+//! bubble fraction, and a measured per-stage forward delay to compare
+//! against the paper's nominal `τ_fwd,i = (2(P−i)+1)/N`. This is how a
+//! perf PR proves its win: record, summarize, diff against the model.
+
+use crate::event::{SpanKind, TraceEvent};
+use crate::json::Value;
+
+/// Per-stage aggregate of one recorded run.
+#[derive(Clone, Debug)]
+pub struct StageTimeline {
+    /// Stage index.
+    pub stage: u32,
+    /// Microseconds of forward compute.
+    pub fwd_us: u64,
+    /// Microseconds of backward compute.
+    pub bkwd_us: u64,
+    /// Microseconds spent blocked waiting on either queue.
+    pub wait_us: u64,
+    /// Fraction of the run span this stage spent computing.
+    pub utilization: f64,
+    /// Measured mean forward delay in microbatch slots: the number of
+    /// weight updates (backward completions at this stage, its own
+    /// included) between a microbatch's forward start and its backward
+    /// start. Comparable to the nominal `2(P−1−s)+1` slots; divide by
+    /// `N` for optimizer steps.
+    pub measured_delay_slots: f64,
+}
+
+/// Aggregate view of one recorded pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineTimelineSummary {
+    /// Per-stage aggregates, indexed by stage.
+    pub stages: Vec<StageTimeline>,
+    /// Wall-clock span of the recorded events (first start to last end),
+    /// microseconds.
+    pub span_us: u64,
+    /// Microbatches that completed a backward at stage 0 (== microbatches
+    /// fully processed).
+    pub microbatches: usize,
+    /// `1 −` mean stage utilization: the fraction of stage-time lost to
+    /// pipeline bubbles, fill/drain, and queueing.
+    pub bubble_fraction: f64,
+}
+
+impl PipelineTimelineSummary {
+    /// Builds a summary from a recorded event stream.
+    ///
+    /// Stages are discovered from `Forward`/`Backward` events; traces
+    /// with no compute events produce an empty summary.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let n_stages = events
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Forward | SpanKind::Backward))
+            .map(|e| e.stage + 1)
+            .max()
+            .unwrap_or(0) as usize;
+        if n_stages == 0 {
+            return PipelineTimelineSummary {
+                stages: Vec::new(),
+                span_us: 0,
+                microbatches: 0,
+                bubble_fraction: 0.0,
+            };
+        }
+        let start = events.iter().map(|e| e.ts_us).min().unwrap();
+        let end = events.iter().map(|e| e.ts_us + e.dur_us).max().unwrap();
+        let span_us = end - start;
+
+        let mut stages = Vec::with_capacity(n_stages);
+        for s in 0..n_stages as u32 {
+            let mut fwd_us = 0;
+            let mut bkwd_us = 0;
+            let mut wait_us = 0;
+            // (microbatch, ts) pairs for delay measurement.
+            let mut fwd_starts = Vec::new();
+            let mut bkwd_starts = Vec::new();
+            for e in events.iter().filter(|e| e.stage == s) {
+                match e.kind {
+                    SpanKind::Forward => {
+                        fwd_us += e.dur_us;
+                        fwd_starts.push((e.microbatch, e.ts_us));
+                    }
+                    SpanKind::Backward => {
+                        bkwd_us += e.dur_us;
+                        bkwd_starts.push((e.microbatch, e.ts_us));
+                    }
+                    SpanKind::QueueWaitFwd | SpanKind::QueueWaitBkwd => wait_us += e.dur_us,
+                    _ => {}
+                }
+            }
+            let utilization =
+                if span_us == 0 { 0.0 } else { (fwd_us + bkwd_us) as f64 / span_us as f64 };
+            stages.push(StageTimeline {
+                stage: s,
+                fwd_us,
+                bkwd_us,
+                wait_us,
+                utilization,
+                measured_delay_slots: measured_delay_slots(&fwd_starts, &bkwd_starts),
+            });
+        }
+
+        let microbatches =
+            events.iter().filter(|e| e.kind == SpanKind::Backward && e.stage == 0).count();
+        let mean_util = stages.iter().map(|st| st.utilization).sum::<f64>() / n_stages as f64;
+        PipelineTimelineSummary { stages, span_us, microbatches, bubble_fraction: 1.0 - mean_util }
+    }
+
+    /// The throughput model's bubble fraction for a `P`-stage pipeline
+    /// with `N` microbatches per minibatch under GPipe-style flushes:
+    /// `1 − N/(N+P−1) = (P−1)/(N+P−1)`.
+    pub fn nominal_gpipe_bubble_fraction(stages: usize, n_micro: usize) -> f64 {
+        assert!(stages > 0 && n_micro > 0);
+        (stages as f64 - 1.0) / (n_micro as f64 + stages as f64 - 1.0)
+    }
+
+    /// The paper's nominal forward delay in microbatch slots for stage
+    /// `s` of a `P`-stage pipeline: `2(P−1−s)+1`.
+    pub fn nominal_delay_slots(stages: usize, s: usize) -> f64 {
+        assert!(s < stages);
+        2.0 * (stages - 1 - s) as f64 + 1.0
+    }
+
+    /// JSON rendering (used by experiment logs and the trace example).
+    pub fn to_json(&self) -> Value {
+        let stages = self
+            .stages
+            .iter()
+            .map(|st| {
+                Value::obj()
+                    .set("stage", st.stage as u64)
+                    .set("fwd_us", st.fwd_us)
+                    .set("bkwd_us", st.bkwd_us)
+                    .set("wait_us", st.wait_us)
+                    .set("utilization", st.utilization)
+                    .set("measured_delay_slots", st.measured_delay_slots)
+            })
+            .collect();
+        Value::obj()
+            .set("span_us", self.span_us)
+            .set("microbatches", self.microbatches)
+            .set("bubble_fraction", self.bubble_fraction)
+            .set("stages", Value::Arr(stages))
+    }
+}
+
+/// Mean over microbatches of the number of backward starts at this stage
+/// in `[fwd_start(m), bkwd_start(m))`, plus one for the microbatch's own
+/// update — the executable analogue of Table 1's `2(P−i)+1` slot delay.
+fn measured_delay_slots(fwd_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -> f64 {
+    if fwd_starts.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut measured = 0usize;
+    for &(mb, fwd_ts) in fwd_starts {
+        let Some(&(_, bkwd_ts)) = bkwd_starts.iter().find(|(b, _)| *b == mb) else {
+            continue;
+        };
+        let between =
+            bkwd_starts.iter().filter(|&&(b, ts)| b != mb && ts >= fwd_ts && ts < bkwd_ts).count();
+        total += (between + 1) as f64;
+        measured += 1;
+    }
+    if measured == 0 {
+        0.0
+    } else {
+        total / measured as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_MICROBATCH;
+
+    fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+    }
+
+    #[test]
+    fn empty_trace_is_empty_summary() {
+        let s = PipelineTimelineSummary::from_events(&[]);
+        assert!(s.stages.is_empty());
+        assert_eq!(s.microbatches, 0);
+    }
+
+    #[test]
+    fn utilization_and_bubble_fraction() {
+        // One stage busy 60 of 100 us.
+        let events =
+            vec![span(SpanKind::Forward, 0, 0, 0, 20), span(SpanKind::Backward, 0, 0, 60, 40)];
+        let s = PipelineTimelineSummary::from_events(&events);
+        assert_eq!(s.span_us, 100);
+        assert_eq!(s.stages.len(), 1);
+        assert!((s.stages[0].utilization - 0.6).abs() < 1e-12);
+        assert!((s.bubble_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(s.microbatches, 1);
+    }
+
+    #[test]
+    fn wait_time_is_tracked_separately() {
+        let events = vec![
+            span(SpanKind::QueueWaitFwd, 0, NO_MICROBATCH, 0, 30),
+            span(SpanKind::Forward, 0, 0, 30, 10),
+            span(SpanKind::QueueWaitBkwd, 0, NO_MICROBATCH, 40, 20),
+            span(SpanKind::Backward, 0, 0, 60, 20),
+        ];
+        let s = PipelineTimelineSummary::from_events(&events);
+        assert_eq!(s.stages[0].wait_us, 50);
+        assert_eq!(s.stages[0].fwd_us, 10);
+        assert_eq!(s.stages[0].bkwd_us, 20);
+    }
+
+    #[test]
+    fn measured_delay_counts_interleaved_backwards() {
+        // Stage 0 of a 2-stage-like trace: fwd(0), fwd(1), bkwd(0),
+        // bkwd(1), bkwd(2) with fwd(2) after two backwards.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 0, 5),
+            span(SpanKind::Forward, 0, 1, 10, 5),
+            span(SpanKind::Backward, 0, 0, 20, 5),
+            span(SpanKind::Backward, 0, 1, 30, 5),
+            span(SpanKind::Forward, 0, 2, 40, 5),
+            span(SpanKind::Backward, 0, 2, 50, 5),
+        ];
+        let s = PipelineTimelineSummary::from_events(&events);
+        // mb0: one other backward in [0, 20)? none → 1 slot (own update).
+        // mb1: bkwd(0) at 20 ∈ [10, 30) → 2 slots.
+        // mb2: none between 40 and 50 → 1 slot.
+        assert!((s.stages[0].measured_delay_slots - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_models_match_paper() {
+        assert!((PipelineTimelineSummary::nominal_gpipe_bubble_fraction(4, 2) - 0.6).abs() < 1e-12);
+        assert_eq!(PipelineTimelineSummary::nominal_delay_slots(4, 0), 7.0);
+        assert_eq!(PipelineTimelineSummary::nominal_delay_slots(4, 3), 1.0);
+    }
+
+    #[test]
+    fn to_json_has_stage_rows() {
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 0, 10),
+            span(SpanKind::Backward, 0, 0, 10, 10),
+            span(SpanKind::Forward, 1, 0, 5, 10),
+            span(SpanKind::Backward, 1, 0, 15, 10),
+        ];
+        let s = PipelineTimelineSummary::from_events(&events);
+        let j = s.to_json();
+        assert_eq!(j.get("stages").unwrap().as_arr().unwrap().len(), 2);
+        let text = j.to_pretty();
+        assert!(crate::json::parse(&text).is_ok());
+    }
+}

@@ -55,12 +55,7 @@ impl Conv2dGeometry {
 /// match `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     assert_eq!(input.ndim(), 4, "im2col: input must be (B,C,H,W), got {:?}", input.shape());
-    let (b, c, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    );
+    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
     assert_eq!(c, geom.in_channels, "im2col: channel mismatch");
     assert_eq!(h, geom.in_h, "im2col: height mismatch");
     assert_eq!(w, geom.in_w, "im2col: width mismatch");
@@ -102,11 +97,7 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
     let (oh, ow, k, s, p) = (geom.out_h(), geom.out_w(), geom.kernel, geom.stride, geom.padding);
     let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
     let patch_len = geom.patch_len();
-    assert_eq!(
-        cols.shape(),
-        &[batch * oh * ow, patch_len],
-        "col2im: shape mismatch"
-    );
+    assert_eq!(cols.shape(), &[batch * oh * ow, patch_len], "col2im: shape mismatch");
     let mut out = Tensor::zeros(&[batch, c, h, w]);
     let src = cols.data();
     for bi in 0..batch {

@@ -49,9 +49,6 @@ pub fn assert_close(a: &[f32], b: &[f32], atol: f32, rtol: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
         let tol = atol + rtol * y.abs();
-        assert!(
-            (x - y).abs() <= tol,
-            "element {i} differs: {x} vs {y} (tol {tol})"
-        );
+        assert!((x - y).abs() <= tol, "element {i} differs: {x} vs {y} (tol {tol})");
     }
 }

@@ -55,7 +55,13 @@ impl Tensor {
         assert_eq!(other.ndim(), 2, "matmul_nt: rhs must be 2-D");
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul_nt: inner dims differ: {:?} @ {:?}^T", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul_nt: inner dims differ: {:?} @ {:?}^T",
+            self.shape(),
+            other.shape()
+        );
         let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -84,7 +90,13 @@ impl Tensor {
         assert_eq!(other.ndim(), 2, "matmul_tn: rhs must be 2-D");
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul_tn: inner dims differ: {:?}^T @ {:?}", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul_tn: inner dims differ: {:?}^T @ {:?}",
+            self.shape(),
+            other.shape()
+        );
         let mut out = Tensor::zeros(&[m, n]);
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
@@ -255,8 +267,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 4, 8), (5, 7, 3)] {
-            let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[m, k]);
-            let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
+            let a =
+                Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[m, k]);
+            let b =
+                Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
             assert_close(a.matmul(&b).data(), naive_matmul(&a, &b).data(), 1e-5, 1e-5);
         }
     }
@@ -276,8 +290,14 @@ mod tests {
     fn bmm_matches_per_batch_matmul() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let a = Tensor::from_vec((0..2 * 3 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 3, 4]);
-        let b = Tensor::from_vec((0..2 * 4 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 4, 5]);
+        let a = Tensor::from_vec(
+            (0..2 * 3 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 3, 4],
+        );
+        let b = Tensor::from_vec(
+            (0..2 * 4 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 4, 5],
+        );
         let c = a.bmm(&b);
         for bi in 0..2 {
             let ai = a.slice0(bi, 1).reshape(&[3, 4]);

@@ -24,12 +24,7 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
             return Tensor { data, shape: self.shape.clone() };
         }
         let out_dims = broadcast_shapes(self.shape(), other.shape());
@@ -81,7 +76,13 @@ impl Tensor {
     /// Panics if shapes differ (no broadcasting; this is the hot-loop
     /// accumulation primitive).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "axpy: shape mismatch {:?} vs {:?}", self.shape(), other.shape());
+        assert_eq!(
+            self.shape,
+            other.shape,
+            "axpy: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
@@ -104,11 +105,8 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot: size mismatch {} vs {}", self.len(), other.len());
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum::<f64>() as f32
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a as f64 * b as f64).sum::<f64>()
+            as f32
     }
 
     /// Elementwise ReLU.

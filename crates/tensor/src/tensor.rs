@@ -109,7 +109,12 @@ impl Tensor {
     ///
     /// Panics if the tensor does not have exactly one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() requires a single-element tensor, got shape {:?}", self.shape());
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a single-element tensor, got shape {:?}",
+            self.shape()
+        );
         self.data[0]
     }
 
@@ -249,7 +254,12 @@ impl Tensor {
     pub fn slice0(&self, start: usize, count: usize) -> Tensor {
         assert!(self.ndim() >= 1, "slice0 requires rank >= 1");
         let dims = self.shape.dims();
-        assert!(start + count <= dims[0], "slice0 range {start}..{} out of bounds (extent {})", start + count, dims[0]);
+        assert!(
+            start + count <= dims[0],
+            "slice0 range {start}..{} out of bounds (extent {})",
+            start + count,
+            dims[0]
+        );
         let inner: usize = dims[1..].iter().product();
         let data = self.data[start * inner..(start + count) * inner].to_vec();
         let mut out_dims = vec![count];

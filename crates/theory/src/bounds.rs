@@ -112,8 +112,7 @@ mod tests {
     fn frac_form_matches_integer_form() {
         for tau in [1usize, 7, 20] {
             assert!(
-                (lemma1_max_alpha(2.0, tau) - lemma1_max_alpha_frac(2.0, tau as f64)).abs()
-                    < 1e-12
+                (lemma1_max_alpha(2.0, tau) - lemma1_max_alpha_frac(2.0, tau as f64)).abs() < 1e-12
             );
         }
     }
@@ -131,9 +130,7 @@ mod tests {
     #[test]
     fn lemma3_is_twice_lemma1() {
         for tau in [1usize, 5, 12] {
-            assert!(
-                (lemma3_max_alpha(1.5, tau) - 2.0 * lemma1_max_alpha(1.5, tau)).abs() < 1e-12
-            );
+            assert!((lemma3_max_alpha(1.5, tau) - 2.0 * lemma1_max_alpha(1.5, tau)).abs() < 1e-12);
         }
     }
 

@@ -72,11 +72,9 @@ pub fn char_poly_t2(
     assert!(tau_fwd >= tau_bkwd, "char_poly_t2: τ_fwd < τ_bkwd");
     let d = (tau_fwd - tau_bkwd) as f64;
     let k = tau_fwd - tau_bkwd;
-    let mut terms: Vec<(usize, f64)> = Vec::new();
     // (ω−1)(ω−γ)ω^{τf} = ω^{τf+2} − (1+γ)ω^{τf+1} + γω^{τf}
-    terms.push((tau_fwd + 2, 1.0));
-    terms.push((tau_fwd + 1, -(1.0 + gamma)));
-    terms.push((tau_fwd, gamma));
+    let mut terms: Vec<(usize, f64)> =
+        vec![(tau_fwd + 2, 1.0), (tau_fwd + 1, -(1.0 + gamma)), (tau_fwd, gamma)];
     // α(λ+Δ)(ω−γ)
     terms.push((1, alpha * (lambda + delta)));
     terms.push((0, -gamma * alpha * (lambda + delta)));

@@ -28,12 +28,9 @@ pub use bounds::{
     lemma1_max_alpha_frac, lemma2_max_alpha, lemma3_max_alpha,
 };
 pub use companion::{
-    char_poly_basic, char_poly_discrepancy, char_poly_momentum, char_poly_recompute,
-    char_poly_t2,
+    char_poly_basic, char_poly_discrepancy, char_poly_momentum, char_poly_recompute, char_poly_t2,
 };
 pub use complex::Complex;
 pub use poly::{spectral_radius, Polynomial};
-pub use quadratic::{
-    QuadraticSim, RecomputeModel, SimResult,
-};
+pub use quadratic::{QuadraticSim, RecomputeModel, SimResult};
 pub use stability::max_stable_alpha;

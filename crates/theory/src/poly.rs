@@ -22,10 +22,7 @@ impl Polynomial {
         while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
             coeffs.pop();
         }
-        assert!(
-            coeffs.iter().any(|&c| c != 0.0),
-            "the zero polynomial has no roots"
-        );
+        assert!(coeffs.iter().any(|&c| c != 0.0), "the zero polynomial has no roots");
         Polynomial { coeffs }
     }
 
@@ -68,13 +65,7 @@ impl Polynomial {
         if self.coeffs.len() == 1 {
             return Polynomial { coeffs: vec![0.0] };
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(k, &c)| k as f64 * c)
-            .collect();
+        let coeffs = self.coeffs.iter().enumerate().skip(1).map(|(k, &c)| k as f64 * c).collect();
         Polynomial { coeffs }
     }
 
@@ -97,19 +88,12 @@ impl Polynomial {
         let n = p.degree();
         // Cauchy bound on root magnitudes.
         let lead = *p.coeffs.last().unwrap();
-        let bound = 1.0
-            + p.coeffs[..n]
-                .iter()
-                .map(|c| (c / lead).abs())
-                .fold(0.0f64, f64::max);
+        let bound = 1.0 + p.coeffs[..n].iter().map(|c| (c / lead).abs()).fold(0.0f64, f64::max);
         // Initial guesses: points on a circle of radius ~bound/2 with an
         // irrational angular offset to break symmetry.
         let mut z: Vec<Complex> = (0..n)
             .map(|k| {
-                Complex::from_polar(
-                    0.5 * bound,
-                    std::f64::consts::TAU * k as f64 / n as f64 + 0.4,
-                )
+                Complex::from_polar(0.5 * bound, std::f64::consts::TAU * k as f64 / n as f64 + 0.4)
             })
             .collect();
         for _iter in 0..200 {
@@ -121,11 +105,7 @@ impl Polynomial {
                 if pz.abs() < 1e-14 {
                     continue;
                 }
-                let w = if dpz.abs() < 1e-300 {
-                    Complex::new(1e-6, 1e-6)
-                } else {
-                    pz / dpz
-                };
+                let w = if dpz.abs() < 1e-300 { Complex::new(1e-6, 1e-6) } else { pz / dpz };
                 let mut sum = Complex::ZERO;
                 for (j, &zj) in snapshot.iter().enumerate() {
                     if j != k {
@@ -160,12 +140,8 @@ mod tests {
     use super::*;
 
     fn sorted_real_roots(p: &Polynomial) -> Vec<f64> {
-        let mut r: Vec<f64> = p
-            .roots()
-            .iter()
-            .filter(|z| z.im.abs() < 1e-6)
-            .map(|z| z.re)
-            .collect();
+        let mut r: Vec<f64> =
+            p.roots().iter().filter(|z| z.im.abs() < 1e-6).map(|z| z.re).collect();
         r.sort_by(|a, b| a.partial_cmp(b).unwrap());
         r
     }

@@ -117,8 +117,8 @@ impl QuadraticSim {
         for t in 0..self.steps {
             let wf = if t >= self.tau_fwd { w[(t - self.tau_fwd) % hist] } else { self.w0 };
             let noise = self.noise_std * standard_normal(&mut rng);
-            let next = cur + beta * (cur - prev) - self.alpha * self.lambda * wf
-                + self.alpha * noise;
+            let next =
+                cur + beta * (cur - prev) - self.alpha * self.lambda * wf + self.alpha * noise;
             let loss = 0.5 * self.lambda * cur * cur;
             losses.push(if loss.is_finite() { loss } else { f64::MAX });
             if !next.is_finite() || next.abs() > 1e150 {
@@ -224,7 +224,13 @@ mod tests {
     fn fig3a_tau10_diverges_tau0_converges() {
         // Figure 3(a): λ = 1, α = 0.2, noise N(0,1); τ = 0 and 5 stay
         // bounded, τ = 10 diverges.
-        let base = QuadraticSim { lambda: 1.0, alpha: 0.2, noise_std: 1.0, steps: 250, ..Default::default() };
+        let base = QuadraticSim {
+            lambda: 1.0,
+            alpha: 0.2,
+            noise_std: 1.0,
+            steps: 250,
+            ..Default::default()
+        };
         let r0 = QuadraticSim { tau_fwd: 0, ..base }.run();
         let r5 = QuadraticSim { tau_fwd: 5, ..base }.run();
         let r10 = QuadraticSim { tau_fwd: 10, ..base }.run();
@@ -283,10 +289,7 @@ mod tests {
         let r0 = QuadraticSim { delta: 0.0, ..base }.run();
         let r5 = QuadraticSim { delta: 5.0, ..base }.run();
         assert!(!r0.diverged, "Δ=0 should stay bounded");
-        assert!(
-            r5.diverged || r5.tail_loss() > 100.0 * r0.tail_loss(),
-            "Δ=5 should blow up"
-        );
+        assert!(r5.diverged || r5.tail_loss() > 100.0 * r0.tail_loss(), "Δ=5 should blow up");
     }
 
     #[test]
@@ -356,7 +359,10 @@ mod tests {
             let result = sim.run_with_momentum(beta);
             let decayed = !result.diverged && result.tail_loss() < 1e-6;
             if r < 0.995 {
-                assert!(decayed, "radius {r} < 1 but momentum run did not decay (α={alpha}, β={beta})");
+                assert!(
+                    decayed,
+                    "radius {r} < 1 but momentum run did not decay (α={alpha}, β={beta})"
+                );
             }
             if r > 1.005 {
                 assert!(!decayed, "radius {r} > 1 but momentum run decayed (α={alpha}, β={beta})");
@@ -404,7 +410,10 @@ mod tests {
             let result = sim.run();
             let decayed = !result.diverged && result.tail_loss() < 1e-6;
             if r < 0.995 {
-                assert!(decayed, "radius {r} < 1 but trajectory did not decay (α={alpha}, Δ={delta})");
+                assert!(
+                    decayed,
+                    "radius {r} < 1 but trajectory did not decay (α={alpha}, Δ={delta})"
+                );
             }
             if r > 1.005 {
                 assert!(!decayed, "radius {r} > 1 but trajectory decayed (α={alpha}, Δ={delta})");

@@ -11,7 +11,7 @@ use pipemare::core::TrainConfig;
 use pipemare::data::SyntheticImages;
 use pipemare::nn::{CifarResNet, ResNetConfig, TrainModel};
 use pipemare::optim::{OptimizerKind, StepDecayLr, T1Rescheduler};
-use pipemare::pipeline::{Method, MemoryModel, PipelineClock};
+use pipemare::pipeline::{MemoryModel, Method, PipelineClock};
 
 fn main() {
     let dataset = SyntheticImages::cifar_like(200, 100, 11).generate();
@@ -89,12 +89,13 @@ fn main() {
     let fracs = vec![1.0 / stages as f64; stages];
     let mm = MemoryModel { optimizer_copies: 3 }; // SGD + momentum
 
-    println!("\n{:10} {:>8} {:>8} {:>14} {:>11} {:>8}", "method", "best%", "target%", "time-to-target", "throughput", "memX");
+    println!(
+        "\n{:10} {:>8} {:>8} {:>14} {:>11} {:>8}",
+        "method", "best%", "target%", "time-to-target", "throughput", "memX"
+    );
     for (name, h, method, t2) in &runs {
-        let ttt = h
-            .time_to_target(target)
-            .map(|t| format!("{t:.1}"))
-            .unwrap_or_else(|| "inf".into());
+        let ttt =
+            h.time_to_target(target).map(|t| format!("{t:.1}")).unwrap_or_else(|| "inf".into());
         println!(
             "{:10} {:>8.1} {:>8.1} {:>14} {:>11.2} {:>8.2}",
             name,

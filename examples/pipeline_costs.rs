@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use pipemare::pipeline::{
-    gpipe_bubble_throughput, gpipe_equal_budget_throughput, run_threaded_pipeline,
-    ActivationModel, MemoryModel, Method, PipelineClock, Schedule,
+    gpipe_bubble_throughput, gpipe_equal_budget_throughput, run_threaded_pipeline, ActivationModel,
+    MemoryModel, Method, PipelineClock, Schedule,
 };
 
 fn main() {

@@ -46,10 +46,6 @@ fn main() {
     for tau in [0usize, 5, 10] {
         let sim = QuadraticSim { tau_fwd: tau, ..Default::default() };
         let r = sim.run();
-        println!(
-            "  τ = {tau:>2}: diverged = {}, tail loss = {:.3}",
-            r.diverged,
-            r.tail_loss()
-        );
+        println!("  τ = {tau:>2}: diverged = {}, tail loss = {:.3}", r.diverged, r.tail_loss());
     }
 }

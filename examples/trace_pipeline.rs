@@ -1,0 +1,98 @@
+//! Records the threaded pipeline executor under GPipe and PipeMare
+//! injection and writes Chrome-trace JSON (open in `chrome://tracing` or
+//! Perfetto), JSONL event logs, and a training metrics snapshot.
+//!
+//! ```text
+//! cargo run --example trace_pipeline
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pipemare::core::{run_image_training_with_metrics, TrainConfig, TrainerMetrics};
+use pipemare::data::SyntheticImages;
+use pipemare::nn::Mlp;
+use pipemare::optim::{ConstantLr, OptimizerKind, T1Rescheduler};
+use pipemare::pipeline::{run_threaded_pipeline_traced, Method};
+use pipemare::telemetry::{
+    write_chrome_trace, write_jsonl, MetricsRegistry, PipelineTimelineSummary, TraceRecorder,
+};
+
+fn main() {
+    let out = std::env::var_os("PIPEMARE_EXPERIMENTS_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"));
+    let (p, n, minibatches) = (4usize, 4usize, 6usize);
+    let work = Duration::from_millis(2);
+
+    println!("Tracing the threaded executor: P = {p} stages, N = {n} microbatches");
+    for method in [Method::GPipe, Method::PipeMare] {
+        let rec = TraceRecorder::new();
+        let report = run_threaded_pipeline_traced(method, p, n, minibatches, work, &rec);
+        let events = rec.events();
+        let summary = PipelineTimelineSummary::from_events(&events);
+        let name = method.name().to_lowercase();
+
+        let trace_path = out.join(format!("trace_{name}.trace.json"));
+        let jsonl_path = out.join(format!("trace_{name}.jsonl"));
+        write_chrome_trace(&events, p as u32, &trace_path).expect("write chrome trace");
+        write_jsonl(&events, &jsonl_path).expect("write jsonl");
+
+        println!(
+            "\n{}: {:.1} microbatches/s, bubble fraction {:.3} (nominal GPipe {:.3})",
+            method.name(),
+            report.throughput,
+            summary.bubble_fraction,
+            PipelineTimelineSummary::nominal_gpipe_bubble_fraction(p, n),
+        );
+        for st in &summary.stages {
+            println!(
+                "  stage {}: utilization {:.2}, wait {:>6} us, measured delay {:.1} slots (nominal {:.0})",
+                st.stage,
+                st.utilization,
+                st.wait_us,
+                st.measured_delay_slots,
+                PipelineTimelineSummary::nominal_delay_slots(p, st.stage as usize),
+            );
+        }
+        println!("  wrote {} and {}", trace_path.display(), jsonl_path.display());
+    }
+
+    // A short PipeMare training run with metrics attached.
+    println!("\nTraining an MLP under PipeMare with metrics attached");
+    let dataset = SyntheticImages::cifar_like(64, 16, 3).generate();
+    let model = Mlp::new(&[3 * 16 * 16, 24, 10]);
+    let cfg = TrainConfig::pipemare(
+        4,
+        2,
+        OptimizerKind::Sgd { weight_decay: 0.0 },
+        Box::new(ConstantLr(0.02)),
+        T1Rescheduler::new(20),
+        0.135,
+    );
+    let registry = MetricsRegistry::new();
+    let metrics = TrainerMetrics::register(&registry);
+    let history = run_image_training_with_metrics(
+        &model,
+        &dataset,
+        cfg,
+        3,  // epochs
+        16, // minibatch
+        1,  // warmup epochs
+        16, // eval cap
+        7,  // seed
+        Some(metrics),
+    );
+    let snapshot = registry.snapshot();
+    print!("{}", snapshot.to_text());
+    let metrics_path = out.join("trace_pipeline_metrics.json");
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(&metrics_path, snapshot.to_json().to_pretty()).expect("write metrics");
+    println!(
+        "final train loss {:.3}, final accuracy {:.1}%; wrote {}",
+        history.epochs.last().map_or(f32::NAN, |e| e.train_loss),
+        history.best_metric(),
+        metrics_path.display()
+    );
+}

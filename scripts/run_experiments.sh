@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Regenerates every paper artifact, one bench target at a time, saving the
 # printed tables under target/experiment-output/. Equivalent to
-# `cargo bench --workspace` but with per-artifact logs.
+# `cargo bench --workspace` but with per-artifact logs. Machine-readable
+# experiment logs and pipeline traces land in the same directory via
+# PIPEMARE_EXPERIMENTS_DIR (see crates/bench/src/report.rs and
+# examples/trace_pipeline.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=target/experiment-output
 mkdir -p "$out"
+# Absolute path: cargo runs bench binaries with cwd = the package dir,
+# so a relative override would scatter logs across crate subdirectories.
+export PIPEMARE_EXPERIMENTS_DIR="$PWD/$out"
 
 benches=(
+  throughput_executor
   fig1_pipeline_modes
   table1_characterization
   fig2_transformer_stage_sweep
@@ -44,4 +51,7 @@ for b in "${benches[@]}"; do
   cargo bench -p pipemare-bench --bench "$b" 2>&1 | tee "$out/$b.txt"
 done
 
-echo "All artifact logs in $out/"
+echo "=== trace_pipeline (Chrome traces + metrics snapshot) ==="
+cargo run --release --example trace_pipeline 2>&1 | tee "$out/trace_pipeline.txt"
+
+echo "All artifact logs and traces in $out/"

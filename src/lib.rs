@@ -13,6 +13,7 @@
 //! | [`theory`] | `pipemare-theory` | quadratic-model stability analysis (Lemmas 1–3) |
 //! | [`pipeline`] | `pipemare-pipeline` | delay schedules, cost models, threaded executor |
 //! | [`core`] | `pipemare-core` | the PipeMare/GPipe/PipeDream/Hogwild trainers |
+//! | [`telemetry`] | `pipemare-telemetry` | trace recording, metrics, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -42,5 +43,6 @@ pub use pipemare_data as data;
 pub use pipemare_nn as nn;
 pub use pipemare_optim as optim;
 pub use pipemare_pipeline as pipeline;
+pub use pipemare_telemetry as telemetry;
 pub use pipemare_tensor as tensor;
 pub use pipemare_theory as theory;

@@ -98,7 +98,7 @@ fn pipedream_gradient_is_evaluated_at_a_single_stale_vector() {
         hist.push(next);
     }
     for t in 0..6 {
-        trainer.train_minibatch(&[batch.clone()], &[1.0]);
+        trainer.train_minibatch(std::slice::from_ref(&batch), &[1.0]);
         for (a, b) in trainer.params().iter().zip(hist[t + 1].iter()) {
             assert!((a - b).abs() < 1e-5, "step {t}: {a} vs {b}");
         }

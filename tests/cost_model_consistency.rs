@@ -12,12 +12,8 @@ use pipemare::pipeline::{
 #[test]
 fn trainer_stage_fracs_sum_to_one_and_feed_memory_model() {
     let model = CifarResNet::new(ResNetConfig::tiny(10));
-    let cfg = TrainConfig::gpipe(
-        8,
-        2,
-        OptimizerKind::resnet_momentum(0.0),
-        Box::new(ConstantLr(0.1)),
-    );
+    let cfg =
+        TrainConfig::gpipe(8, 2, OptimizerKind::resnet_momentum(0.0), Box::new(ConstantLr(0.1)));
     let trainer = PipelineTrainer::new(&model, cfg, 1);
     let fracs = trainer.stage_fracs();
     let sum: f64 = fracs.iter().sum();
@@ -30,11 +26,8 @@ fn trainer_stage_fracs_sum_to_one_and_feed_memory_model() {
     let clk = PipelineClock::new(8, 2);
     let mm = MemoryModel { optimizer_copies: 3 };
     let real = mm.weight_opt_copies(Method::PipeDream, &clk, &fracs, false);
-    let uniform = mm.weight_opt_copies(Method::PipeDream, &clk, &vec![1.0 / 8.0; 8], false);
-    assert!(
-        real < uniform,
-        "back-loaded ResNet stash {real} should be below uniform {uniform}"
-    );
+    let uniform = mm.weight_opt_copies(Method::PipeDream, &clk, &[1.0 / 8.0; 8], false);
+    assert!(real < uniform, "back-loaded ResNet stash {real} should be below uniform {uniform}");
 }
 
 #[test]
@@ -58,10 +51,7 @@ fn activation_model_totals_match_profiles() {
         // Every valid segment's total is at most the no-recompute total.
         for seg in 1..=p {
             assert!(am.total_recompute(seg) <= am.total_no_recompute());
-            assert_eq!(
-                am.profile_recompute(seg).iter().sum::<usize>(),
-                am.total_recompute(seg)
-            );
+            assert_eq!(am.profile_recompute(seg).iter().sum::<usize>(), am.total_recompute(seg));
         }
         // The optimal segment is no worse than segment = P (no benefit)
         // and segment = 1 (every stage a boundary).

@@ -37,10 +37,7 @@ fn more_stages_require_smaller_step_sizes() {
     };
     let shallow = max_stable(2);
     let deep = max_stable(6);
-    assert!(
-        deep <= shallow,
-        "deeper pipeline tolerated a larger step: {deep} vs {shallow}"
-    );
+    assert!(deep <= shallow, "deeper pipeline tolerated a larger step: {deep} vs {shallow}");
 }
 
 #[test]

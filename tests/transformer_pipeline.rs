@@ -24,12 +24,8 @@ fn dataset() -> pipemare::data::TranslationDataset {
 fn sync_transformer_reaches_nonzero_bleu() {
     let ds = dataset();
     let model = Transformer::new(TransformerConfig::tiny(ds.total_vocab, ds.total_vocab));
-    let cfg = TrainConfig::gpipe(
-        4,
-        2,
-        OptimizerKind::transformer_adamw(0.0),
-        Box::new(ConstantLr(3e-3)),
-    );
+    let cfg =
+        TrainConfig::gpipe(4, 2, OptimizerKind::transformer_adamw(0.0), Box::new(ConstantLr(3e-3)));
     let h = run_translation_training(&model, &ds, cfg, 30, 12, 0, 12, 2);
     assert!(!h.diverged);
     assert!(h.best_metric() > 10.0, "sync BLEU {:.1}", h.best_metric());
@@ -101,12 +97,8 @@ fn greedy_and_beam_agree_on_well_trained_model() {
     }
     .generate();
     let model = Transformer::new(TransformerConfig::tiny(ds.total_vocab, ds.total_vocab));
-    let cfg = TrainConfig::gpipe(
-        2,
-        1,
-        OptimizerKind::transformer_adamw(0.0),
-        Box::new(ConstantLr(3e-3)),
-    );
+    let cfg =
+        TrainConfig::gpipe(2, 1, OptimizerKind::transformer_adamw(0.0), Box::new(ConstantLr(3e-3)));
     let mut trainer = pipemare::core::PipelineTrainer::new(&model, cfg, 8);
     for _ in 0..600 {
         let idx: Vec<usize> = (0..ds.train_len()).collect();

@@ -1,0 +1,216 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`] with
+//! `benchmark_group`/`sample_size`, [`BenchmarkGroup`] with
+//! `bench_function`/`bench_with_input`/`finish`, [`BenchmarkId`], a
+//! [`Bencher`] whose `iter` times the closure, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — one warmup iteration, then
+//! `sample_size` timed iterations reported as min/mean/max — enough to
+//! eyeball regressions; it makes no attempt at criterion's outlier
+//! analysis or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup { sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter value.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId { label: p.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: &str, p: P) -> Self {
+        BenchmarkId { label: format!("{function}/{p}") }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the timed iteration count for this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (numbers were already printed per benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warmup pass, then the timed samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let (min, mean, max) = bencher.stats();
+        println!(
+            "  {label:<32} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} samples)",
+            min, mean, max, self.sample_size
+        );
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` and records the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+
+    fn stats(&self) -> (Duration, Duration, Duration) {
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let total: Duration = self.samples.iter().sum();
+        let mean = if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            total / self.samples.len() as u32
+        };
+        (min, mean, max)
+    }
+}
+
+/// Declares a benchmark group entry point, in both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { samples: Vec::new() };
+        b.iter(|| std::thread::sleep(Duration::from_micros(10)));
+        b.iter(|| ());
+        let (min, mean, max) = b.stats();
+        assert!(min <= mean && mean <= max);
+        assert!(max >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+        assert_eq!(BenchmarkId::new("matmul", 64).label, "matmul/64");
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline drop-in subset of the `crossbeam-channel` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of crossbeam-channel it uses: [`bounded`] /
+//! [`unbounded`] MPMC channels with blocking `send`/`recv`,
+//! non-blocking `try_recv`, disconnection semantics on drop, and a
+//! [`select!`] macro over `recv` arms.
+//!
+//! Implementation: a `Mutex<VecDeque>` plus two condvars per channel.
+//! [`select!`] polls its arms in declaration order with a short parked
+//! sleep between rounds — arm order is therefore a *priority* order,
+//! not crossbeam's random fairness. For the pipeline executor (stage
+//! work is sleep-modeled at ≥ tens of microseconds) the poll interval
+//! is far below measurement noise.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; gives
+/// the un-sent value back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: Send> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders still connected).
+    Empty,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Capacity; `None` = unbounded.
+    cap: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable (MPMC).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; `send`
+/// blocks while full.
+///
+/// # Panics
+///
+/// Panics if `cap == 0` (rendezvous channels are not part of the vendored
+/// subset).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity (rendezvous) channels are not supported");
+    channel(Some(cap))
+}
+
+/// Creates a channel with unlimited buffering; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.chan.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.chan.not_full.wait(st).unwrap();
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Errors once the channel is empty *and* every [`Sender`] is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if nothing is queued,
+    /// [`TryRecvError::Disconnected`] once additionally all senders are
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.chan.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Typed disconnected result for the `select!` macro: naming the
+    /// receiver pins the `Ok` type that a bare `Err(RecvError)` leaves
+    /// unconstrained.
+    #[doc(hidden)]
+    pub fn __select_disconnected(&self) -> Result<T, RecvError> {
+        Err(RecvError)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            st.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            st.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they observe disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+/// Poll interval of the [`select!`] macro, exposed for the macro body.
+#[doc(hidden)]
+pub const __SELECT_POLL: std::time::Duration = std::time::Duration::from_micros(20);
+
+/// Waits on several `recv` arms, running the body of the first arm whose
+/// channel yields a message (or disconnects). Arms are polled in
+/// declaration order, so earlier arms have priority when several are
+/// ready.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// select! {
+///     recv(rx_a) -> msg => { ... }
+///     recv(rx_b) -> msg => { ... }
+/// }
+/// ```
+///
+/// `msg` binds a `Result<T, RecvError>`, exactly like crossbeam.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $msg:pat => $body:block)+) => {{
+        '__select: loop {
+            $(
+                match $crate::Receiver::try_recv(&$rx) {
+                    ::std::result::Result::Ok(__v) => {
+                        let $msg: ::std::result::Result<_, $crate::RecvError> =
+                            ::std::result::Result::Ok(__v);
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            break '__select;
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                        let $msg = $crate::Receiver::__select_disconnected(&$rx);
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            break '__select;
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+                }
+            )+
+            ::std::thread::sleep($crate::__SELECT_POLL);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread receives the first message.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9u8), Err(SendError(9)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_disconnect() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let t = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    fn select_prefers_earlier_ready_arm_and_waits_otherwise() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        tx_b.send(20).unwrap();
+        let mut got = Vec::new();
+        select! {
+            recv(rx_a) -> msg => { got.push(("a", msg)); }
+            recv(rx_b) -> msg => { got.push(("b", msg)); }
+        }
+        assert_eq!(got, vec![("b", Ok(20))]);
+
+        // Nothing ready: select must block until a message arrives.
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx_a.send(1).unwrap();
+        });
+        select! {
+            recv(rx_a) -> msg => { assert_eq!(msg, Ok(1)); }
+            recv(rx_b) -> msg => { panic!("unexpected arm: {msg:?}"); }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_threads_drain_everything() {
+        let (tx, rx) = bounded(4);
+        let total = 200;
+        let mut handles = Vec::new();
+        for part in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..total / 4 {
+                    tx.send(part * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut seen = 0;
+        while rx.recv().is_ok() {
+            seen += 1;
+        }
+        assert_eq!(seen, total);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
