@@ -1,0 +1,178 @@
+//! GEMM kernel microbenchmarks: naive vs blocked vs pool-threaded, on
+//! square and skinny shapes.
+//!
+//! Besides the printed criterion tables, the run writes an
+//! [`ExperimentLog`] JSON (`bench_gemm_kernels.json`) with per-variant
+//! GFLOP/s and the headline speedup scalars, so the perf trajectory of
+//! the kernel layer is tracked across commits.
+//!
+//! Passing `--test` anywhere on the command line runs a seconds-long
+//! smoke version (tiny shapes, correctness cross-check, no JSON) for CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use pipemare_bench::report::ExperimentLog;
+use pipemare_tensor::{kernels, pool, Tensor, ThreadPool};
+
+/// `(label, m, k, n)` shapes: squares for the headline numbers, skinny
+/// shapes for the shapes transformer/conv layers actually produce.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("square_128", 128, 128, 128),
+    ("square_256", 256, 256, 256),
+    ("square_512", 512, 512, 512),
+    ("skinny_k_512x64x512", 512, 64, 512),
+    ("tall_1024x256x64", 1024, 256, 64),
+];
+
+const SMOKE_SHAPES: &[(&str, usize, usize, usize)] =
+    &[("square_96", 96, 96, 96), ("skinny_64x16x80", 64, 16, 80)];
+
+/// Thread counts for the scaling curve.
+const THREADS: &[usize] = &[1, 2, 4];
+
+struct Variant {
+    name: &'static str,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+fn variants(threads: &[usize]) -> Vec<Variant> {
+    let mut v =
+        vec![Variant { name: "naive", pool: None }, Variant { name: "blocked", pool: None }];
+    for &t in threads {
+        let name: &'static str = match t {
+            1 => "pool_1",
+            2 => "pool_2",
+            4 => "pool_4",
+            _ => "pool_n",
+        };
+        v.push(Variant { name, pool: Some(ThreadPool::new(t)) });
+    }
+    v
+}
+
+fn run_variant(variant: &Variant, a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Tensor {
+    let mut c = Tensor::zeros(&[m, n]);
+    match (variant.name, &variant.pool) {
+        ("naive", _) => kernels::gemm_naive(a.data(), b.data(), c.data_mut(), m, k, n),
+        ("blocked", _) => {
+            kernels::gemm_blocked(kernels::Layout::NN, a.data(), b.data(), c.data_mut(), m, k, n)
+        }
+        (_, Some(p)) => pool::with_pool(p, || {
+            kernels::gemm(a.data(), b.data(), c.data_mut(), m, k, n);
+        }),
+        _ => unreachable!("pool variant without pool"),
+    }
+    c
+}
+
+/// Median wall-clock seconds of `reps` timed runs.
+fn time_variant(
+    variant: &Variant,
+    a: &Tensor,
+    b: &Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_variant(variant, a, b, m, k, n));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let shapes = if smoke { SMOKE_SHAPES } else { SHAPES };
+    let reps = if smoke { 3 } else { 9 };
+    let variants = variants(if smoke { &[2] } else { THREADS });
+
+    let mut log = ExperimentLog::new("bench_gemm_kernels");
+    log.push_scalar(
+        "host_parallelism",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) as f64,
+    );
+
+    let mut criterion = Criterion::default().sample_size(if smoke { 3 } else { 10 });
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    // name -> per-shape median seconds, in SHAPES order.
+    let mut times: Vec<(String, Vec<f64>)> =
+        variants.iter().map(|v| (v.name.to_string(), Vec::new())).collect();
+
+    for &(label, m, k, n) in shapes {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        // The blocked kernel is the bit-exactness reference: every
+        // production variant (blocked, pool_N) must match it exactly.
+        // The naive baseline uses plain multiply-then-add instead of
+        // FMA, so it is checked within a per-element tolerance.
+        let reference = run_variant(&variants[1], &a, &b, m, k, n);
+        let mut group = criterion.benchmark_group(&format!("gemm_kernels/{label}"));
+        for (vi, variant) in variants.iter().enumerate() {
+            let out = run_variant(variant, &a, &b, m, k, n);
+            if variant.name == "naive" {
+                let max_abs = reference.data().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+                for (got, want) in out.data().iter().zip(reference.data().iter()) {
+                    assert!(
+                        (got - want).abs() <= 1e-4 * max_abs.max(1.0),
+                        "{label}/naive: {got} vs blocked {want}"
+                    );
+                }
+            } else {
+                assert_eq!(
+                    out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{label}/{}: result diverged from blocked kernel",
+                    variant.name
+                );
+            }
+            group.bench_function(variant.name, |bench| {
+                bench.iter(|| std::hint::black_box(run_variant(variant, &a, &b, m, k, n)));
+            });
+            let secs = time_variant(variant, &a, &b, m, k, n, reps);
+            let gflops = 2.0 * (m * k * n) as f64 / secs / 1e9;
+            println!(
+                "    {:<10} median {:>9.3} ms  {:>7.2} GFLOP/s",
+                variant.name,
+                secs * 1e3,
+                gflops
+            );
+            times[vi].1.push(secs);
+        }
+        group.finish();
+    }
+
+    if smoke {
+        println!("\ngemm_kernels smoke OK ({} shapes, bit-exact across variants)", shapes.len());
+        return;
+    }
+
+    for (name, secs) in &times {
+        log.push_series(&format!("seconds.{name}"), secs.iter().copied());
+        let gflops = shapes
+            .iter()
+            .zip(secs.iter())
+            .map(|(&(_, m, k, n), &s)| 2.0 * (m * k * n) as f64 / s / 1e9);
+        log.push_series(&format!("gflops.{name}"), gflops);
+    }
+    // Headline scalars at 512^3 (shape index 2).
+    let idx512 = 2;
+    let naive = times[0].1[idx512];
+    let blocked = times[1].1[idx512];
+    log.push_scalar("speedup_blocked_vs_naive_512", naive / blocked);
+    for (name, secs) in times.iter().skip(2) {
+        log.push_scalar(&format!("speedup_{name}_vs_naive_512"), naive / secs[idx512]);
+    }
+    match log.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+}

@@ -40,6 +40,10 @@ impl TrainerMetrics {
     /// Gets-or-creates the trainer's instruments in `registry` under
     /// `trainer.*` names.
     pub fn register(registry: &MetricsRegistry) -> Self {
+        // Registering trainer metrics also turns on tensor-kernel
+        // instrumentation (kernel.flops, kernel.<kind>.us) in the same
+        // registry, so one snapshot covers both layers.
+        pipemare_tensor::install_kernel_metrics(registry);
         // Loss buckets span ~1e-3..1e2; latency buckets ~100µs..100ms.
         let loss_bounds: Vec<f64> = (0..17).map(|i| 1e-3 * 2f64.powi(i)).collect();
         let latency_bounds: Vec<f64> = (0..11).map(|i| 100.0 * 2f64.powi(i)).collect();

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 
-use pipemare_tensor::Tensor;
+use pipemare_tensor::{kernels, Tensor};
 
 use crate::cache::Cache;
 use crate::layer::WeightUnit;
@@ -92,9 +92,12 @@ impl MultiHeadAttention {
     fn apply_proj(&self, params: &[f32], idx: usize, x2: &Tensor) -> Tensor {
         let d = self.dim;
         let (w, b) = self.proj(params, idx);
-        let wt = Tensor::from_vec(w.to_vec(), &[d, d]);
+        let rows = x2.shape()[0];
+        // Kernel runs on the parameter slice directly — no weight copy.
+        let mut y = Tensor::zeros(&[rows, d]);
+        kernels::gemm(x2.data(), w, y.data_mut(), rows, d, d);
         let bt = Tensor::from_vec(b.to_vec(), &[d]);
-        x2.matmul(&wt).add(&bt)
+        y.add(&bt)
     }
 
     /// Splits `(B, T, D)` into `(B*H, T, Dh)` head-major layout.
@@ -207,13 +210,20 @@ impl MultiHeadAttention {
         let mut grads = vec![0.0f32; self.param_len()];
         let block = d * d + d;
 
-        // Output projection.
+        // Output projection. dW accumulates straight into the zeroed
+        // gradient buffer; dx reads the weight slice transposed in place.
         let dy2 = dy.reshape(&[b * tq, d]);
         let (wo, _) = self.proj(params, 3);
-        let wo_t = Tensor::from_vec(wo.to_vec(), &[d, d]);
-        let dctx2 = dy2.matmul_nt(&wo_t);
-        let dwo = ctx2.matmul_tn(&dy2);
-        grads[3 * block..3 * block + d * d].copy_from_slice(dwo.data());
+        let mut dctx2 = Tensor::zeros(&[b * tq, d]);
+        kernels::gemm_nt(dy2.data(), wo, dctx2.data_mut(), b * tq, d, d);
+        kernels::gemm_tn(
+            ctx2.data(),
+            dy2.data(),
+            &mut grads[3 * block..3 * block + d * d],
+            d,
+            b * tq,
+            d,
+        );
         grads[3 * block + d * d..4 * block].copy_from_slice(dy2.sum_axis(0).data());
 
         // Back through head merge.
@@ -248,16 +258,23 @@ impl MultiHeadAttention {
 
         let back_proj = |idx: usize, dproj: &Tensor, input: &Tensor, grads: &mut [f32]| {
             let (w, _) = self.proj(params, idx);
-            let wt = Tensor::from_vec(w.to_vec(), &[d, d]);
-            let dw = input.matmul_tn(dproj);
-            for (g, &x) in grads[idx * block..idx * block + d * d].iter_mut().zip(dw.data()) {
-                *g += x;
-            }
+            let rows = input.shape()[0];
+            // dW = input^T @ dproj accumulates into the gradient slice.
+            kernels::gemm_tn(
+                input.data(),
+                dproj.data(),
+                &mut grads[idx * block..idx * block + d * d],
+                d,
+                rows,
+                d,
+            );
             let db = dproj.sum_axis(0);
             for (g, &x) in grads[idx * block + d * d..(idx + 1) * block].iter_mut().zip(db.data()) {
                 *g += x;
             }
-            dproj.matmul_nt(&wt)
+            let mut dx = Tensor::zeros(&[rows, d]);
+            kernels::gemm_nt(dproj.data(), w, dx.data_mut(), rows, d, d);
+            dx
         };
         let dquery2 = back_proj(0, &dq2, q2, &mut grads);
         let mut dkv2 = back_proj(1, &dk2, kv2, &mut grads);

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use pipemare_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use pipemare_tensor::{col2im, im2col, kernels, Conv2dGeometry, Tensor};
 
 use crate::cache::Cache;
 use crate::layer::{Layer, WeightUnit};
@@ -92,9 +92,19 @@ impl Layer for Conv2d {
         assert_eq!(c, self.in_channels, "Conv2d: channel mismatch");
         let geom = self.geometry(h, w);
         let cols = im2col(x, &geom); // (B*oh*ow, patch_len)
-                                     // Kernel as (patch_len, out_channels).
-        let wk = kernel_matrix(&params[..self.weight_len()], self.patch_len(), self.out_channels);
-        let mut y = cols.matmul(&wk); // (B*oh*ow, out_c)
+        let geom_rows = b * geom.out_h() * geom.out_w();
+        // y = cols · K^T with K in its stored (out_c, patch_len) layout:
+        // the NT kernel reads the transpose in place, so no kernel-matrix
+        // copy is needed.
+        let mut y = Tensor::zeros(&[geom_rows, self.out_channels]);
+        kernels::gemm_nt(
+            cols.data(),
+            &params[..self.weight_len()],
+            y.data_mut(),
+            geom_rows,
+            self.patch_len(),
+            self.out_channels,
+        );
         if self.bias {
             let bt = Tensor::from_vec(params[self.weight_len()..].to_vec(), &[self.out_channels]);
             y = y.add(&bt);
@@ -114,22 +124,32 @@ impl Layer for Conv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         // dy: (B, out_c, oh, ow) -> (B*oh*ow, out_c)
         let dy2 = dy.permute(&[0, 2, 3, 1]).reshape(&[b * oh * ow, self.out_channels]);
-        // dW (as (patch_len, out_c)) = cols^T @ dy2 — forward activations.
-        let dwk = cols.matmul_tn(&dy2);
+        // dW = dy2^T @ cols — forward activations — written directly into
+        // the gradient buffer in its stored (out_c, patch_len) layout.
         let mut grads = vec![0.0f32; self.param_len()];
-        // Store back in (out_c, patch_len) layout.
-        for oc in 0..self.out_channels {
-            for pl in 0..self.patch_len() {
-                grads[oc * self.patch_len() + pl] = dwk.at(&[pl, oc]);
-            }
-        }
+        kernels::gemm_tn(
+            dy2.data(),
+            cols.data(),
+            &mut grads[..self.weight_len()],
+            self.out_channels,
+            b * oh * ow,
+            self.patch_len(),
+        );
         if self.bias {
             let db = dy2.sum_axis(0);
             grads[self.weight_len()..].copy_from_slice(db.data());
         }
-        // dcols = dy2 @ W^T — uses the backward-pass weights.
-        let wk = kernel_matrix(&params[..self.weight_len()], self.patch_len(), self.out_channels);
-        let dcols = dy2.matmul_nt(&wk);
+        // dcols = dy2 @ K with K read in its stored (out_c, patch_len)
+        // layout — uses the backward-pass weights.
+        let mut dcols = Tensor::zeros(&[b * oh * ow, self.patch_len()]);
+        kernels::gemm(
+            dy2.data(),
+            &params[..self.weight_len()],
+            dcols.data_mut(),
+            b * oh * ow,
+            self.out_channels,
+            self.patch_len(),
+        );
         let dx = col2im(&dcols, &geom, b);
         (dx, grads)
     }
@@ -142,18 +162,6 @@ impl Layer for Conv2d {
         let geom = self.geometry(input[2], input[3]);
         vec![input[0], self.out_channels, geom.out_h(), geom.out_w()]
     }
-}
-
-/// Reinterprets the stored `(out_c, patch_len)` kernel as a
-/// `(patch_len, out_c)` matmul operand (explicit transpose copy).
-fn kernel_matrix(weights: &[f32], patch_len: usize, out_channels: usize) -> Tensor {
-    let mut m = Tensor::zeros(&[patch_len, out_channels]);
-    for oc in 0..out_channels {
-        for pl in 0..patch_len {
-            m.data_mut()[pl * out_channels + oc] = weights[oc * patch_len + pl];
-        }
-    }
-    m
 }
 
 #[cfg(test)]

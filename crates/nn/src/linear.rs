@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use pipemare_tensor::Tensor;
+use pipemare_tensor::{kernels, Tensor};
 
 use crate::cache::Cache;
 use crate::layer::{Layer, WeightUnit};
@@ -70,8 +70,10 @@ impl Layer for Linear {
         let rows = self.rows_of(x);
         let (w, b) = self.split(params);
         let x2 = x.reshape(&[rows, self.in_features]);
-        let wt = Tensor::from_vec(w.to_vec(), &[self.in_features, self.out_features]);
-        let mut y = x2.matmul(&wt);
+        // Run the kernel on the parameter slice directly — no weight
+        // Tensor copy per step.
+        let mut y = Tensor::zeros(&[rows, self.out_features]);
+        kernels::gemm(x2.data(), w, y.data_mut(), rows, self.in_features, self.out_features);
         if self.bias {
             let bt = Tensor::from_vec(b.to_vec(), &[self.out_features]);
             y = y.add(&bt);
@@ -86,13 +88,22 @@ impl Layer for Linear {
         let rows = x2.shape()[0];
         let dy2 = dy.reshape(&[rows, self.out_features]);
         let (w, _) = self.split(params); // u_bkwd weights for the Jacobian
-        let wt = Tensor::from_vec(w.to_vec(), &[self.in_features, self.out_features]);
-        // dx = dy @ W^T  (uses backward-pass weights)
-        let dx2 = dy2.matmul_nt(&wt);
-        // dW = x^T @ dy  (uses forward-pass activations)
-        let dw = x2.matmul_tn(&dy2);
+                                         // dx = dy @ W^T  (uses backward-pass weights). W is (in, out) so
+                                         // dy (rows, out) against W^T needs the NN kernel with W read as
+                                         // the transposed operand: dx[i, j] = Σ_o dy[i, o] · W[j, o].
+        let mut dx2 = Tensor::zeros(&[rows, self.in_features]);
+        kernels::gemm_nt(dy2.data(), w, dx2.data_mut(), rows, self.out_features, self.in_features);
+        // dW = x^T @ dy  (uses forward-pass activations), written straight
+        // into the gradient buffer.
         let mut grads = vec![0.0f32; self.param_len()];
-        grads[..self.weight_len()].copy_from_slice(dw.data());
+        kernels::gemm_tn(
+            x2.data(),
+            dy2.data(),
+            &mut grads[..self.weight_len()],
+            self.in_features,
+            rows,
+            self.out_features,
+        );
         if self.bias {
             let db = dy2.sum_axis(0);
             grads[self.weight_len()..].copy_from_slice(db.data());

@@ -116,125 +116,138 @@ pub fn run_threaded_pipeline_traced<R: Recorder>(
             let prev_bwd_tx = if s > 0 { Some(bwd_tx[s - 1].clone()) } else { None };
             let my_done_tx = done_tx.clone();
             scope.spawn(move || {
-                let track = s as u32;
-                let stage = s as u32;
-                let emit_bwd = |id: usize| match &prev_bwd_tx {
-                    Some(tx) => tx.send(id).expect("upstream stage alive"),
-                    None => my_done_tx.send(id).expect("driver alive"),
-                };
-                let mut fwd_seen = 0usize;
-                let mut bwd_seen = 0usize;
-                let is_last = next_fwd_tx.is_none();
-                while bwd_seen < total {
-                    if is_last {
-                        // The last stage turns each forward straight into
-                        // its backward; its own backward channel is unused.
-                        let wait_start = recorder.now_us();
-                        let id = my_fwd_rx.recv().expect("pipeline alive");
-                        let t0 = recorder.now_us();
-                        recorder.record_span(
-                            SpanKind::QueueWaitFwd,
-                            track,
-                            stage,
-                            NO_MICROBATCH,
-                            wait_start,
-                            t0,
-                        );
-                        work_for(work_per_stage);
-                        let t1 = recorder.now_us();
-                        recorder.record_span(SpanKind::Forward, track, stage, id as u32, t0, t1);
-                        work_for(2 * work_per_stage);
-                        recorder.record_span(
-                            SpanKind::Backward,
-                            track,
-                            stage,
-                            id as u32,
-                            t1,
-                            recorder.now_us(),
-                        );
-                        emit_bwd(id);
-                        fwd_seen += 1;
-                        bwd_seen += 1;
-                    } else if fwd_seen == total {
-                        // Only backwards remain: plain blocking receive.
-                        let wait_start = recorder.now_us();
-                        let id = my_bwd_rx.recv().expect("downstream stage alive");
-                        let t0 = recorder.now_us();
-                        recorder.record_span(
-                            SpanKind::QueueWaitBkwd,
-                            track,
-                            stage,
-                            NO_MICROBATCH,
-                            wait_start,
-                            t0,
-                        );
-                        work_for(2 * work_per_stage);
-                        recorder.record_span(
-                            SpanKind::Backward,
-                            track,
-                            stage,
-                            id as u32,
-                            t0,
-                            recorder.now_us(),
-                        );
-                        emit_bwd(id);
-                        bwd_seen += 1;
-                    } else {
-                        let wait_start = recorder.now_us();
-                        select! {
-                            recv(my_bwd_rx) -> msg => {
-                                let id = msg.expect("downstream stage alive");
-                                let t0 = recorder.now_us();
-                                recorder.record_span(
-                                    SpanKind::QueueWaitBkwd,
-                                    track,
-                                    stage,
-                                    NO_MICROBATCH,
-                                    wait_start,
-                                    t0,
-                                );
-                                work_for(2 * work_per_stage);
-                                recorder.record_span(
-                                    SpanKind::Backward,
-                                    track,
-                                    stage,
-                                    id as u32,
-                                    t0,
-                                    recorder.now_us(),
-                                );
-                                emit_bwd(id);
-                                bwd_seen += 1;
-                            }
-                            recv(my_fwd_rx) -> msg => {
-                                let id = msg.expect("pipeline alive");
-                                let t0 = recorder.now_us();
-                                recorder.record_span(
-                                    SpanKind::QueueWaitFwd,
-                                    track,
-                                    stage,
-                                    NO_MICROBATCH,
-                                    wait_start,
-                                    t0,
-                                );
-                                work_for(work_per_stage);
-                                recorder.record_span(
-                                    SpanKind::Forward,
-                                    track,
-                                    stage,
-                                    id as u32,
-                                    t0,
-                                    recorder.now_us(),
-                                );
-                                next_fwd_tx
-                                    .as_ref()
-                                    .expect("non-last stage")
-                                    .send(id)
-                                    .expect("downstream stage alive");
-                                fwd_seen += 1;
+                // Stage workers are already one-thread-per-stage; nested
+                // kernel parallelism would oversubscribe the host, so any
+                // tensor kernels invoked from a stage run serially (the
+                // pool-nesting rule).
+                pipemare_tensor::pool::serial_scope(|| {
+                    let track = s as u32;
+                    let stage = s as u32;
+                    let emit_bwd = |id: usize| match &prev_bwd_tx {
+                        Some(tx) => tx.send(id).expect("upstream stage alive"),
+                        None => my_done_tx.send(id).expect("driver alive"),
+                    };
+                    let mut fwd_seen = 0usize;
+                    let mut bwd_seen = 0usize;
+                    let is_last = next_fwd_tx.is_none();
+                    while bwd_seen < total {
+                        if is_last {
+                            // The last stage turns each forward straight into
+                            // its backward; its own backward channel is unused.
+                            let wait_start = recorder.now_us();
+                            let id = my_fwd_rx.recv().expect("pipeline alive");
+                            let t0 = recorder.now_us();
+                            recorder.record_span(
+                                SpanKind::QueueWaitFwd,
+                                track,
+                                stage,
+                                NO_MICROBATCH,
+                                wait_start,
+                                t0,
+                            );
+                            work_for(work_per_stage);
+                            let t1 = recorder.now_us();
+                            recorder.record_span(
+                                SpanKind::Forward,
+                                track,
+                                stage,
+                                id as u32,
+                                t0,
+                                t1,
+                            );
+                            work_for(2 * work_per_stage);
+                            recorder.record_span(
+                                SpanKind::Backward,
+                                track,
+                                stage,
+                                id as u32,
+                                t1,
+                                recorder.now_us(),
+                            );
+                            emit_bwd(id);
+                            fwd_seen += 1;
+                            bwd_seen += 1;
+                        } else if fwd_seen == total {
+                            // Only backwards remain: plain blocking receive.
+                            let wait_start = recorder.now_us();
+                            let id = my_bwd_rx.recv().expect("downstream stage alive");
+                            let t0 = recorder.now_us();
+                            recorder.record_span(
+                                SpanKind::QueueWaitBkwd,
+                                track,
+                                stage,
+                                NO_MICROBATCH,
+                                wait_start,
+                                t0,
+                            );
+                            work_for(2 * work_per_stage);
+                            recorder.record_span(
+                                SpanKind::Backward,
+                                track,
+                                stage,
+                                id as u32,
+                                t0,
+                                recorder.now_us(),
+                            );
+                            emit_bwd(id);
+                            bwd_seen += 1;
+                        } else {
+                            let wait_start = recorder.now_us();
+                            select! {
+                                recv(my_bwd_rx) -> msg => {
+                                    let id = msg.expect("downstream stage alive");
+                                    let t0 = recorder.now_us();
+                                    recorder.record_span(
+                                        SpanKind::QueueWaitBkwd,
+                                        track,
+                                        stage,
+                                        NO_MICROBATCH,
+                                        wait_start,
+                                        t0,
+                                    );
+                                    work_for(2 * work_per_stage);
+                                    recorder.record_span(
+                                        SpanKind::Backward,
+                                        track,
+                                        stage,
+                                        id as u32,
+                                        t0,
+                                        recorder.now_us(),
+                                    );
+                                    emit_bwd(id);
+                                    bwd_seen += 1;
+                                }
+                                recv(my_fwd_rx) -> msg => {
+                                    let id = msg.expect("pipeline alive");
+                                    let t0 = recorder.now_us();
+                                    recorder.record_span(
+                                        SpanKind::QueueWaitFwd,
+                                        track,
+                                        stage,
+                                        NO_MICROBATCH,
+                                        wait_start,
+                                        t0,
+                                    );
+                                    work_for(work_per_stage);
+                                    recorder.record_span(
+                                        SpanKind::Forward,
+                                        track,
+                                        stage,
+                                        id as u32,
+                                        t0,
+                                        recorder.now_us(),
+                                    );
+                                    next_fwd_tx
+                                        .as_ref()
+                                        .expect("non-last stage")
+                                        .send(id)
+                                        .expect("downstream stage alive");
+                                    fwd_seen += 1;
+                                }
                             }
                         }
                     }
-                }
+                })
             });
         }
         drop(done_tx);

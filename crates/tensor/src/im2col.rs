@@ -1,6 +1,17 @@
 //! `im2col` / `col2im` transforms for convolution layers.
+//!
+//! `im2col` writes disjoint output rows per `(batch, output-row)` pair
+//! and parallelizes over them on the shared kernel pool; `col2im`
+//! accumulates overlapping windows, so it only parallelizes over the
+//! batch dimension (per-batch output planes are disjoint). Both splits
+//! are independent of thread count and bit-exact.
 
+use crate::kernels::UnsafeSlice;
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Transforms smaller than this many output elements stay serial.
+const PAR_MIN_LEN: usize = 1 << 16;
 
 /// Geometry of a 2-D convolution: input/kernel sizes, stride, padding.
 ///
@@ -61,28 +72,47 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     assert_eq!(w, geom.in_w, "im2col: width mismatch");
     let (oh, ow, k, s, p) = (geom.out_h(), geom.out_w(), geom.kernel, geom.stride, geom.padding);
     let cols = geom.patch_len();
+    let timer = crate::telemetry::kernel_timer(
+        crate::telemetry::KernelKind::Im2col,
+        (b * oh * ow * cols) as u64,
+    );
     let mut out = Tensor::zeros(&[b * oh * ow, cols]);
     let data = input.data();
-    for bi in 0..b {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((bi * oh + oy) * ow + ox) * cols;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        for kx in 0..k {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            let col = (ci * k + ky) * k + kx;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out.data_mut()[row + col] =
-                                    data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
-                            }
+    // One work item per (batch, output row): it fills the `ow * cols`
+    // contiguous output elements of that row group and nothing else.
+    let fill_row_group = |bi: usize, oy: usize, dst: &mut [f32]| {
+        for ox in 0..ow {
+            let row = ox * cols;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    for kx in 0..k {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        let col = (ci * k + ky) * k + kx;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            dst[row + col] =
+                                data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                         }
                     }
                 }
             }
         }
+    };
+    let group_len = ow * cols;
+    if b * oh >= 2 && out.len() >= PAR_MIN_LEN {
+        let slab = UnsafeSlice::new(out.data_mut());
+        pool::parallel_for(b * oh, |g| {
+            // SAFETY: group `g` writes only its own row range.
+            let dst = unsafe { slab.slice_mut(g * group_len, group_len) };
+            fill_row_group(g / oh, g % oh, dst);
+        });
+    } else {
+        for g in 0..b * oh {
+            let dst = &mut out.data_mut()[g * group_len..(g + 1) * group_len];
+            fill_row_group(g / oh, g % oh, dst);
+        }
     }
+    crate::telemetry::kernel_record(timer);
     out
 }
 
@@ -100,7 +130,9 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
     assert_eq!(cols.shape(), &[batch * oh * ow, patch_len], "col2im: shape mismatch");
     let mut out = Tensor::zeros(&[batch, c, h, w]);
     let src = cols.data();
-    for bi in 0..batch {
+    // Windows overlap within a batch element, so the finest disjoint
+    // split is one work item per batch element (`c*h*w` output plane).
+    let fold_batch = |bi: usize, dst: &mut [f32]| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((bi * oh + oy) * ow + ox) * patch_len;
@@ -111,14 +143,25 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
                             let ix = (ox * s + kx) as isize - p as isize;
                             if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
                                 let col = (ci * k + ky) * k + kx;
-                                out.data_mut()
-                                    [((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
-                                    src[row + col];
+                                dst[(ci * h + iy as usize) * w + ix as usize] += src[row + col];
                             }
                         }
                     }
                 }
             }
+        }
+    };
+    let plane = c * h * w;
+    if batch >= 2 && cols.len() >= PAR_MIN_LEN {
+        let slab = UnsafeSlice::new(out.data_mut());
+        pool::parallel_for(batch, |bi| {
+            // SAFETY: batch `bi` writes only its own output plane.
+            let dst = unsafe { slab.slice_mut(bi * plane, plane) };
+            fold_batch(bi, dst);
+        });
+    } else {
+        for bi in 0..batch {
+            fold_batch(bi, &mut out.data_mut()[bi * plane..(bi + 1) * plane]);
         }
     }
     out

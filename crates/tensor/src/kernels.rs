@@ -1,0 +1,537 @@
+//! Cache-blocked, register-tiled GEMM kernels with optional
+//! pool-parallel dispatch.
+//!
+//! # Algorithm
+//!
+//! The blocked path packs both operands into contiguous micro-panels and
+//! drives an `MR × NR` register-tile microkernel the compiler can
+//! auto-vectorize:
+//!
+//! * **B** is packed once per call into column panels of [`NR`] columns,
+//!   zero-padded to a multiple of `NR` (layout `[panel][p][c]`, so the
+//!   microkernel streams it contiguously).
+//! * **A** is packed per row-block of [`MC`] rows into the packing
+//!   thread's thread-local scratch, as row panels of [`MR`] rows
+//!   (layout `[panel][p][r]`).
+//! * The microkernel accumulates a full-depth `MR × NR` tile in
+//!   registers: `acc[r][c] += a[p][r] · b[p][c]` for `p = 0, 1, …, k−1`.
+//!
+//! # Numerics and determinism
+//!
+//! Every production path (the scalar small-size fallback, the blocked
+//! kernel, and the pool-parallel blocked kernel) computes each output
+//! element the same way: `c[i][j] += Σ_p fma(a_ip, b_pj, ·)` with `p`
+//! strictly increasing, using [`f32::mul_add`] (one rounding per
+//! multiply-add, an IEEE 754 `fusedMultiplyAdd`, which `target-cpu`s
+//! with FMA compile to a single instruction). The depth loop is
+//! deliberately **not** split into `KC` slices, so per-element
+//! accumulation order never depends on blocking or on the thread count —
+//! all production paths are **bit-identical** to the scalar reference at
+//! any size and any pool width. Cache blocking therefore happens over
+//! `M` (the `MC`-row parallel chunks, whose packed A block stays
+//! L2-resident) and `N` (the `NR`-column B panels, L1-resident across a
+//! chunk); `KC` is effectively `k`.
+//!
+//! [`gemm_naive`] keeps the seed's plain multiply-then-add accumulation
+//! and exists as the benchmark baseline; it differs from the production
+//! paths by at most one rounding per multiply (FMA is the more accurate
+//! of the two).
+//!
+//! # Parallelism
+//!
+//! Large products are split over `MC`-row chunks and dispatched on the
+//! thread pool in [`crate::pool`]; chunks write disjoint row ranges of
+//! `C`, so the split does not affect results. Batched products
+//! parallelize over the batch dimension, with the per-batch kernels
+//! running serially inside each lane (the pool's nesting rule).
+
+use crate::pool;
+
+/// Microkernel tile rows.
+pub const MR: usize = 8;
+/// Microkernel tile columns.
+pub const NR: usize = 8;
+/// Rows per parallel chunk; the packed `MC × k` A-block of one chunk is
+/// sized to stay L2-resident for the depths this workspace uses.
+pub const MC: usize = 64;
+
+/// Products smaller than this many flops (`2·m·k·n`) use the naive
+/// loop: packing overhead dominates below it.
+const BLOCKED_MIN_FLOPS: usize = 1 << 16;
+/// Products smaller than this many flops stay on one thread: pool
+/// dispatch costs a few microseconds per lane.
+const PARALLEL_MIN_FLOPS: usize = 1 << 21;
+
+/// Operand layout of a 2-D product writing `C (m×n) += op(A) · op(B)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// `A (m×k) · B (k×n)`.
+    NN,
+    /// `A (m×k) · B (n×k)ᵀ`.
+    NT,
+    /// `A (k×m)ᵀ · B (k×n)`.
+    TN,
+}
+
+/// Baseline kernel: the seed's naive `i‑k‑j` triple loop (plain
+/// multiply-then-add, single-threaded, unblocked). Kept public as the
+/// before-optimization baseline the `gemm_kernels` bench measures
+/// speedups against; production entry points never call it.
+pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `C (m×n) += A (m×k) · B (k×n)`, blocked and parallelized when the
+/// product is large enough. `c` is usually preinitialized to zero.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on slice-length mismatches.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let timer = crate::telemetry::kernel_timer(crate::telemetry::KernelKind::Gemm, flops(m, k, n));
+    gemm_any(Layout::NN, a, b, c, m, k, n);
+    crate::telemetry::kernel_record(timer);
+}
+
+/// `C (m×n) += A (m×k) · B (n×k)ᵀ` without materializing the transpose.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let timer =
+        crate::telemetry::kernel_timer(crate::telemetry::KernelKind::GemmNt, flops(m, k, n));
+    gemm_any(Layout::NT, a, b, c, m, k, n);
+    crate::telemetry::kernel_record(timer);
+}
+
+/// `C (m×n) += A (k×m)ᵀ · B (k×n)` without materializing the transpose.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let timer =
+        crate::telemetry::kernel_timer(crate::telemetry::KernelKind::GemmTn, flops(m, k, n));
+    gemm_any(Layout::TN, a, b, c, m, k, n);
+    crate::telemetry::kernel_record(timer);
+}
+
+/// Batched product: `bsize` independent `m×k·k×n` products with the
+/// given per-batch layout, parallelized over the batch dimension.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batched(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bsize: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let timer = crate::telemetry::kernel_timer(
+        crate::telemetry::KernelKind::Bmm,
+        (bsize as u64) * flops(m, k, n),
+    );
+    let (a_len, b_len, c_len) = (m * k, k * n, m * n);
+    let total_flops = bsize.saturating_mul(2 * m * k * n);
+    if bsize > 1 && total_flops >= PARALLEL_MIN_FLOPS {
+        let c_out = UnsafeSlice::new(c);
+        pool::parallel_for(bsize, |bi| {
+            // SAFETY: batch `bi` writes only `c[bi*c_len .. (bi+1)*c_len]`,
+            // disjoint across chunk indices.
+            let c_batch = unsafe { c_out.slice_mut(bi * c_len, c_len) };
+            gemm_any(
+                layout,
+                &a[bi * a_len..(bi + 1) * a_len],
+                &b[bi * b_len..(bi + 1) * b_len],
+                c_batch,
+                m,
+                k,
+                n,
+            );
+        });
+    } else {
+        for bi in 0..bsize {
+            gemm_any(
+                layout,
+                &a[bi * a_len..(bi + 1) * a_len],
+                &b[bi * b_len..(bi + 1) * b_len],
+                &mut c[bi * c_len..(bi + 1) * c_len],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+    crate::telemetry::kernel_record(timer);
+}
+
+fn flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Dispatches one 2-D product: scalar loop for small sizes, serial
+/// blocked for medium, pool-parallel blocked for large.
+fn gemm_any(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k, "gemm: A length mismatch");
+    debug_assert_eq!(b.len(), k * n, "gemm: B length mismatch");
+    debug_assert_eq!(c.len(), m * n, "gemm: C length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return; // C += 0-sized product is a no-op.
+    }
+    let work = 2 * m * k * n;
+    if work < BLOCKED_MIN_FLOPS {
+        return match layout {
+            Layout::NN => scalar_nn(a, b, c, m, k, n),
+            Layout::NT => scalar_nt(a, b, c, m, k, n),
+            Layout::TN => scalar_tn(a, b, c, m, k, n),
+        };
+    }
+    let chunks = m.div_ceil(MC);
+    if work >= PARALLEL_MIN_FLOPS && chunks > 1 {
+        gemm_blocked_parallel(layout, a, b, c, m, k, n);
+    } else {
+        gemm_blocked(layout, a, b, c, m, k, n);
+    }
+}
+
+/// Scalar small-size `A · B`: per-element FMA chain, then one add into
+/// C — the per-element semantics every production path shares.
+fn scalar_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for (p, &x) in a_row.iter().enumerate() {
+                acc = x.mul_add(b[p * n + j], acc);
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// Scalar small-size `A · Bᵀ` (both operands stream contiguously).
+fn scalar_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc = x.mul_add(y, acc);
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// Scalar small-size `Aᵀ · B`.
+fn scalar_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = a[p * m + i].mul_add(b[p * n + j], acc);
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread packed-A scratch (one `MC × k` block).
+    static A_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Per-thread packed-B scratch (the whole `k × n`, NR-padded).
+    static B_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Serial blocked GEMM. Public so the `gemm_kernels` bench can time the
+/// single-thread blocked kernel directly regardless of pool size.
+pub fn gemm_blocked(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    B_SCRATCH.with(|scratch| {
+        let mut bpack = scratch.borrow_mut();
+        pack_b(layout, b, k, n, &mut bpack);
+        for chunk in 0..m.div_ceil(MC) {
+            run_chunk(layout, a, &bpack, c, m, k, n, chunk);
+        }
+    });
+}
+
+/// Pool-parallel blocked GEMM over `MC`-row chunks.
+fn gemm_blocked_parallel(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    B_SCRATCH.with(|scratch| {
+        let mut bpack = scratch.borrow_mut();
+        pack_b(layout, b, k, n, &mut bpack);
+        let bpack: &[f32] = &bpack;
+        let c_out = UnsafeSlice::new(c);
+        pool::parallel_for(m.div_ceil(MC), |chunk| {
+            // SAFETY: chunk `i` writes only C rows `i*MC .. i*MC+rows`,
+            // disjoint across chunk indices.
+            let c_all = unsafe { c_out.slice_mut(0, m * n) };
+            run_chunk(layout, a, bpack, c_all, m, k, n, chunk);
+        });
+    });
+}
+
+/// Packs and multiplies one `MC`-row chunk against the shared packed B.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    layout: Layout,
+    a: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    chunk: usize,
+) {
+    let i0 = chunk * MC;
+    let rows = MC.min(m - i0);
+    let row_panels = rows.div_ceil(MR);
+    let col_panels = n.div_ceil(NR);
+    A_SCRATCH.with(|scratch| {
+        let mut apack = scratch.borrow_mut();
+        pack_a(layout, a, i0, rows, m, k, &mut apack);
+        for jp in 0..col_panels {
+            let b_panel = &bpack[jp * k * NR..(jp + 1) * k * NR];
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            for ip in 0..row_panels {
+                let a_panel = &apack[ip * k * MR..(ip + 1) * k * MR];
+                let acc = microkernel(k, a_panel, b_panel);
+                let tile_rows = MR.min(rows - ip * MR);
+                for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                    let row = i0 + ip * MR + r;
+                    let c_row = &mut c[row * n + j0..row * n + j0 + cols];
+                    for (c_ij, &v) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *c_ij += v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The register-tile microkernel: a full-depth `MR × NR` product of one
+/// packed A panel against one packed B panel. Accumulation per output
+/// element runs over `p` in strictly increasing order via FMA — the
+/// determinism anchor for the whole kernel layer.
+#[inline]
+fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+    debug_assert_eq!(a_panel.len(), k * MR);
+    debug_assert_eq!(b_panel.len(), k * NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let av: &[f32; MR] = a_panel[p * MR..p * MR + MR].try_into().expect("MR panel");
+        let bv: &[f32; NR] = b_panel[p * NR..p * NR + NR].try_into().expect("NR panel");
+        for (acc_row, &a_rp) in acc.iter_mut().zip(av.iter()) {
+            for (slot, &b_pc) in acc_row.iter_mut().zip(bv.iter()) {
+                *slot = a_rp.mul_add(b_pc, *slot);
+            }
+        }
+    }
+    acc
+}
+
+/// Packs all of B into NR-column panels: element `(p, j0+c)` of
+/// `op(B)` lands at `bpack[(jp*k + p)*NR + c]`, zero-padded past `n`.
+fn pack_b(layout: Layout, b: &[f32], k: usize, n: usize, bpack: &mut Vec<f32>) {
+    let col_panels = n.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(col_panels * k * NR, 0.0);
+    for jp in 0..col_panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+        match layout {
+            // B is k×n row-major: copy `cols` contiguous values per p.
+            Layout::NN | Layout::TN => {
+                for p in 0..k {
+                    panel[p * NR..p * NR + cols].copy_from_slice(&b[p * n + j0..p * n + j0 + cols]);
+                }
+            }
+            // B is n×k row-major (the operand of `A · Bᵀ`): column j of
+            // op(B) is row j of B.
+            Layout::NT => {
+                for (c, col) in (j0..j0 + cols).enumerate() {
+                    let b_row = &b[col * k..(col + 1) * k];
+                    for (p, &v) in b_row.iter().enumerate() {
+                        panel[p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `rows` rows of `op(A)` starting at `i0` into MR-row panels:
+/// element `(i0+r', p)` of `op(A)` lands at `apack[(ip*k + p)*MR + r]`,
+/// zero-padded past `rows`.
+fn pack_a(
+    layout: Layout,
+    a: &[f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    apack: &mut Vec<f32>,
+) {
+    let row_panels = rows.div_ceil(MR);
+    apack.clear();
+    apack.resize(row_panels * k * MR, 0.0);
+    for ip in 0..row_panels {
+        let r0 = i0 + ip * MR;
+        let tile_rows = MR.min(rows - ip * MR);
+        let panel = &mut apack[ip * k * MR..(ip + 1) * k * MR];
+        match layout {
+            // A is m×k row-major.
+            Layout::NN | Layout::NT => {
+                for r in 0..tile_rows {
+                    let a_row = &a[(r0 + r) * k..(r0 + r + 1) * k];
+                    for (p, &v) in a_row.iter().enumerate() {
+                        panel[p * MR + r] = v;
+                    }
+                }
+            }
+            // A is k×m row-major (the operand of `Aᵀ · B`): row i of
+            // op(A) is column i of A, so each p contributes a contiguous
+            // run of `tile_rows` values.
+            Layout::TN => {
+                for p in 0..k {
+                    panel[p * MR..p * MR + tile_rows]
+                        .copy_from_slice(&a[p * m + r0..p * m + r0 + tile_rows]);
+                }
+            }
+        }
+    }
+}
+
+/// Shared mutable slice for provably disjoint parallel writes.
+pub(crate) struct UnsafeSlice {
+    ptr: *mut f32,
+    len: usize,
+}
+
+unsafe impl Sync for UnsafeSlice {}
+unsafe impl Send for UnsafeSlice {}
+
+impl UnsafeSlice {
+    pub(crate) fn new(slice: &mut [f32]) -> Self {
+        UnsafeSlice { ptr: slice.as_mut_ptr(), len: slice.len() }
+    }
+
+    /// # Safety
+    ///
+    /// Callers must guarantee that concurrently obtained ranges never
+    /// overlap in the elements they *write*.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [f32] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn randvec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Per-element scalar reference: an FMA chain over p in increasing
+    /// order — the exact semantics every production kernel in this
+    /// module must reproduce bit-for-bit.
+    fn reference(layout: Layout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let (x, y) = match layout {
+                        Layout::NN => (a[i * k + p], b[p * n + j]),
+                        Layout::NT => (a[i * k + p], b[j * k + p]),
+                        Layout::TN => (a[p * m + i], b[p * n + j]),
+                    };
+                    acc = x.mul_add(y, acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_is_bit_identical_to_reference_all_layouts() {
+        for layout in [Layout::NN, Layout::NT, Layout::TN] {
+            for &(m, k, n) in &[(1, 1, 1), (7, 9, 5), (8, 8, 8), (65, 33, 17), (70, 64, 72)] {
+                let a = randvec(m * k, 1);
+                let b = randvec(k * n, 2);
+                let want = reference(layout, &a, &b, m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_blocked(layout, &a, &b, &mut got, m, k, n);
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "blocked {layout:?} {m}x{k}x{n}");
+                // The dispatching entry point (which may pick the scalar
+                // path for these sizes) must agree bit-for-bit too.
+                let mut via_dispatch = vec![0.0f32; m * n];
+                gemm_any(layout, &a, &b, &mut via_dispatch, m, k, n);
+                let dispatch_bits: Vec<u32> = via_dispatch.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(dispatch_bits, want_bits, "dispatch {layout:?} {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_no_ops() {
+        for layout in [Layout::NN, Layout::NT, Layout::TN] {
+            let mut c = vec![1.0f32; 0];
+            gemm_any(layout, &[], &[], &mut c, 0, 3, 0);
+            let mut c = vec![0.5f32; 6];
+            gemm_any(layout, &[], &[], &mut c, 2, 0, 3);
+            assert_eq!(c, vec![0.5; 6], "k=0 must leave C untouched");
+        }
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The old kernel's `if a_ip == 0.0 { continue }` skip made
+        // 0·NaN silently vanish; IEEE says it is NaN.
+        let a = [0.0f32, 0.0];
+        let b = [f32::NAN, 1.0, 2.0, 3.0];
+        let mut c = [0.0f32; 2];
+        gemm_naive(&a, &b, &mut c, 1, 2, 2);
+        assert!(c[0].is_nan(), "0 * NaN must be NaN, got {}", c[0]);
+        let mut c = [0.0f32; 2];
+        gemm(&a, &b, &mut c, 1, 2, 2);
+        assert!(c[0].is_nan(), "production path: 0 * NaN must be NaN, got {}", c[0]);
+    }
+}

@@ -27,14 +27,19 @@
 
 mod im2col;
 mod init;
+pub mod kernels;
 mod matmul;
 mod ops;
+pub mod pool;
 mod reduce;
 mod shape;
+mod telemetry;
 mod tensor;
 
 pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use pool::ThreadPool;
 pub use shape::{broadcast_shapes, Shape};
+pub use telemetry::{install_kernel_metrics, uninstall_kernel_metrics, KernelKind, KernelMetrics};
 pub use tensor::Tensor;
 
 /// Asserts that two floating-point slices are elementwise close.

@@ -1,30 +1,13 @@
 //! Matrix multiplication: 2-D and batched 3-D, with transposed variants.
+//!
+//! All products route through [`crate::kernels`], which dispatches
+//! between a scalar loop (tiny sizes), a cache-blocked register-tiled
+//! kernel, and a pool-parallel blocked kernel (large sizes) — all three
+//! accumulate each output element as the same p-increasing FMA chain,
+//! so they are bit-identical for the same operands at any pool width.
 
+use crate::kernels::{self, Layout};
 use crate::tensor::Tensor;
-
-/// Computes `C = A @ B` for row-major slices: `a` is `m×k`, `b` is `k×n`,
-/// result written into `c` (`m×n`, preinitialized to zero by the caller).
-///
-/// Uses an `i-k-j` loop order so the inner loop streams contiguously over
-/// `b` and `c`.
-pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_ij += a_ip * b_pj;
-            }
-        }
-    }
-}
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `(m×k) @ (k×n) -> (m×n)`.
@@ -39,7 +22,7 @@ impl Tensor {
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul: inner dims differ: {:?} @ {:?}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[m, n]);
-        gemm(&self.data, &other.data, &mut out.data, m, k, n);
+        kernels::gemm(&self.data, &other.data, &mut out.data, m, k, n);
         out
     }
 
@@ -63,17 +46,7 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                    acc += x * y;
-                }
-                out.data[i * n + j] = acc;
-            }
-        }
+        kernels::gemm_nt(&self.data, &other.data, &mut out.data, m, k, n);
         out
     }
 
@@ -98,19 +71,7 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out.data[i * n..(i + 1) * n];
-                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c_ij += a_pi * b_pj;
-                }
-            }
-        }
+        kernels::gemm_tn(&self.data, &other.data, &mut out.data, m, k, n);
         out
     }
 
@@ -128,16 +89,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm: batch dims differ: {b} vs {b2}");
         assert_eq!(k, k2, "bmm: inner dims differ: {:?} @ {:?}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            gemm(
-                &self.data[bi * m * k..(bi + 1) * m * k],
-                &other.data[bi * k * n..(bi + 1) * k * n],
-                &mut out.data[bi * m * n..(bi + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        kernels::gemm_batched(Layout::NN, &self.data, &other.data, &mut out.data, b, m, k, n);
         out
     }
 
@@ -154,22 +106,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_nt: batch dims differ");
         assert_eq!(k, k2, "bmm_nt: inner dims differ: {:?} @ {:?}^T", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            let a = &self.data[bi * m * k..(bi + 1) * m * k];
-            let bb = &other.data[bi * n * k..(bi + 1) * n * k];
-            let c = &mut out.data[bi * m * n..(bi + 1) * m * n];
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let b_row = &bb[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                        acc += x * y;
-                    }
-                    c[i * n + j] = acc;
-                }
-            }
-        }
+        kernels::gemm_batched(Layout::NT, &self.data, &other.data, &mut out.data, b, m, k, n);
         out
     }
 
@@ -186,24 +123,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_tn: batch dims differ");
         assert_eq!(k, k2, "bmm_tn: inner dims differ: {:?}^T @ {:?}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            let a = &self.data[bi * k * m..(bi + 1) * k * m];
-            let bb = &other.data[bi * k * n..(bi + 1) * k * n];
-            let c = &mut out.data[bi * m * n..(bi + 1) * m * n];
-            for p in 0..k {
-                let a_row = &a[p * m..(p + 1) * m];
-                let b_row = &bb[p * n..(p + 1) * n];
-                for (i, &a_pi) in a_row.iter().enumerate() {
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
-                        *c_ij += a_pi * b_pj;
-                    }
-                }
-            }
-        }
+        kernels::gemm_batched(Layout::TN, &self.data, &other.data, &mut out.data, b, m, k, n);
         out
     }
 
@@ -220,7 +140,10 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m]);
         for i in 0..m {
             let row = &self.data[i * n..(i + 1) * n];
-            out.data[i] = row.iter().zip(v.data.iter()).map(|(&a, &b)| a * b).sum();
+            // Same FMA accumulation as the gemm kernels, so
+            // `matvec(v)` == `matmul(v as n×1)` bit-for-bit.
+            out.data[i] =
+                row.iter().zip(v.data.iter()).fold(0.0f32, |acc, (&a, &b)| a.mul_add(b, acc));
         }
         out
     }
@@ -228,8 +151,8 @@ impl Tensor {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::assert_close;
+    use crate::tensor::Tensor;
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -273,6 +196,32 @@ mod tests {
                 Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
             assert_close(a.matmul(&b).data(), naive_matmul(&a, &b).data(), 1e-5, 1e-5);
         }
+    }
+
+    #[test]
+    fn large_matmul_is_bit_identical_to_scalar_reference() {
+        // Big enough to take the blocked (and, with a multi-thread pool,
+        // parallel) path; must still agree bit-for-bit with the scalar
+        // p-increasing FMA reference.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let (m, k, n) = (130, 70, 90);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    want[i * n + j] =
+                        a.data()[i * k + p].mul_add(b.data()[p * n + j], want[i * n + j]);
+                }
+            }
+        }
+        let got = a.matmul(&b);
+        assert_eq!(
+            got.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

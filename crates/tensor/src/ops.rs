@@ -1,19 +1,62 @@
 //! Elementwise operations with NumPy-style broadcasting.
+//!
+//! Large same-shape elementwise ops are split over fixed-size element
+//! chunks and run on the shared kernel pool. Each output element depends
+//! only on its own inputs and the chunk boundaries are independent of
+//! the thread count, so the parallel path is trivially bit-identical to
+//! the serial one.
 
+use crate::kernels::UnsafeSlice;
+use crate::pool;
 use crate::shape::{broadcast_shapes, ravel_broadcast, unravel};
 use crate::tensor::Tensor;
 
+/// Elementwise ops shorter than this stay serial.
+const PAR_MIN_LEN: usize = 1 << 16;
+/// Elements per parallel chunk (fixed, so the split never depends on the
+/// pool size).
+const PAR_CHUNK: usize = 1 << 14;
+
+/// Runs `body(start, end)` over `[0, len)`, in parallel chunks when the
+/// range is long enough. `body` must only touch data derived from its
+/// own disjoint `[start, end)` window.
+pub(crate) fn par_ranges(len: usize, body: impl Fn(usize, usize) + Sync) {
+    if len < PAR_MIN_LEN {
+        body(0, len);
+        return;
+    }
+    pool::parallel_for(len.div_ceil(PAR_CHUNK), |c| {
+        let start = c * PAR_CHUNK;
+        body(start, (start + PAR_CHUNK).min(len));
+    });
+}
+
 impl Tensor {
     /// Applies a unary function to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        let out = UnsafeSlice::new(&mut data);
+        par_ranges(self.data.len(), |start, end| {
+            // SAFETY: chunks write disjoint `[start, end)` ranges.
+            let dst = unsafe { out.slice_mut(start, end - start) };
+            for (o, &x) in dst.iter_mut().zip(self.data[start..end].iter()) {
+                *o = f(x);
+            }
+        });
+        Tensor { data, shape: self.shape.clone() }
     }
 
     /// Applies a unary function to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let len = self.data.len();
+        let out = UnsafeSlice::new(&mut self.data);
+        par_ranges(len, |start, end| {
+            // SAFETY: chunks write disjoint `[start, end)` ranges.
+            let dst = unsafe { out.slice_mut(start, end - start) };
+            for x in dst {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Combines two tensors elementwise with broadcasting.
@@ -21,10 +64,22 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            let mut data = vec![0.0f32; self.data.len()];
+            let out = UnsafeSlice::new(&mut data);
+            par_ranges(self.data.len(), |start, end| {
+                // SAFETY: chunks write disjoint `[start, end)` ranges.
+                let dst = unsafe { out.slice_mut(start, end - start) };
+                for ((o, &a), &b) in dst
+                    .iter_mut()
+                    .zip(self.data[start..end].iter())
+                    .zip(other.data[start..end].iter())
+                {
+                    *o = f(a, b);
+                }
+            });
             return Tensor { data, shape: self.shape.clone() };
         }
         let out_dims = broadcast_shapes(self.shape(), other.shape());
@@ -83,9 +138,15 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        let len = self.data.len();
+        let out = UnsafeSlice::new(&mut self.data);
+        par_ranges(len, |start, end| {
+            // SAFETY: chunks write disjoint `[start, end)` ranges.
+            let dst = unsafe { out.slice_mut(start, end - start) };
+            for (a, &b) in dst.iter_mut().zip(other.data[start..end].iter()) {
+                *a += alpha * b;
+            }
+        });
     }
 
     /// Sum of squares of all elements.

@@ -1,0 +1,392 @@
+//! A small shared thread pool for data-parallel kernel loops.
+//!
+//! The pool is deliberately work-stealing-free: [`ThreadPool::parallel_for`]
+//! assigns chunk indices to lanes by a fixed stride (`lane, lane + L,
+//! lane + 2L, …`), so the mapping from chunk to executing lane is a pure
+//! function of `(chunks, lanes)`. Because every kernel built on the pool
+//! writes each chunk to a disjoint output range and accumulates within a
+//! chunk in a fixed order, results are **bit-identical across thread
+//! counts** — the split only changes *who* computes a chunk, never the
+//! order of floating-point operations inside it.
+//!
+//! Sizing: the process-global pool (see [`global`]) reads
+//! `PIPEMARE_NUM_THREADS` once, defaulting to
+//! `std::thread::available_parallelism()`. A pool of `t` threads spawns
+//! `t − 1` workers; the calling thread always executes lane 0 itself, so
+//! total concurrency is exactly `t` and a pool of one thread spawns
+//! nothing.
+//!
+//! Nesting rule: a `parallel_for` issued from inside a pool worker, or
+//! from inside [`serial_scope`], runs serially on the current thread.
+//! Pipeline stage workers wrap their compute in `serial_scope` so that
+//! `stages × pool` oversubscription cannot happen — the outermost
+//! parallel layer wins.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing deterministic
+/// chunk-striped parallel loops.
+pub struct ThreadPool {
+    threads: usize,
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    /// True on pool worker threads: nested parallel loops degrade to
+    /// serial instead of deadlocking or oversubscribing.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Depth of [`serial_scope`] nesting on this thread.
+    static SERIAL_DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Per-thread pool override installed by [`with_pool`].
+    static ACTIVE_POOL: RefCell<Option<Arc<ThreadPool>>> = const { RefCell::new(None) };
+}
+
+impl ThreadPool {
+    /// Creates a pool with total concurrency `threads` (spawning
+    /// `threads − 1` workers; the caller of `parallel_for` is the last
+    /// lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Arc<ThreadPool> {
+        assert!(threads > 0, "thread pool needs at least one thread");
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let handles = (1..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("pipemare-kernel-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|w| w.set(true));
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(ThreadPool { threads, sender: Some(sender), handles })
+    }
+
+    /// Total concurrency of the pool (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(chunks − 1)`, spreading chunks over the
+    /// pool with a deterministic stride split; blocks until every chunk
+    /// has finished. Chunks MUST write disjoint data.
+    ///
+    /// Runs serially when the pool has one thread, when called from a
+    /// pool worker, or inside [`serial_scope`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic observed in any chunk (after all lanes
+    /// have finished, so borrowed data stays valid).
+    pub fn parallel_for<F: Fn(usize) + Sync>(&self, chunks: usize, f: F) {
+        if chunks == 0 {
+            return;
+        }
+        let lanes = self.threads.min(chunks);
+        let nested = IN_WORKER.with(Cell::get) || SERIAL_DEPTH.with(Cell::get) > 0;
+        if lanes <= 1 || nested {
+            for i in 0..chunks {
+                f(i);
+            }
+            return;
+        }
+        let sync = Arc::new(LaneSync::new(lanes - 1));
+        // SAFETY: `f` outlives every job because this function blocks on
+        // `sync.wait()` (even when the caller's own lane panics) before
+        // returning, and `F: Sync` makes shared calls across threads
+        // sound. The transmute only erases the borrow's lifetime so the
+        // pointer fits in a `'static` job.
+        let local: *const (dyn Fn(usize) + Sync + '_) = &f;
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(local)
+        });
+        let sender = self.sender.as_ref().expect("pool sender alive");
+        for lane in 1..lanes {
+            let sync = Arc::clone(&sync);
+            let job: Job = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let f = unsafe { &*task.get() };
+                    let mut i = lane;
+                    while i < chunks {
+                        f(i);
+                        i += lanes;
+                    }
+                }));
+                sync.finish(result.err());
+            });
+            sender.send(job).expect("pool workers alive");
+        }
+        // The calling thread is lane 0; nested parallel loops inside its
+        // chunks run serially just as they would on a worker.
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            serial_scope(|| {
+                let mut i = 0;
+                while i < chunks {
+                    f(i);
+                    i += lanes;
+                }
+            })
+        }));
+        let worker_panic = sync.wait();
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+/// Raw pointer to the loop body, smuggled into `'static` jobs. Sound
+/// because `parallel_for` blocks until all lanes are done.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+impl TaskPtr {
+    /// By-value receiver on purpose: calling this inside a job closure
+    /// makes 2021 disjoint capture grab the whole (Send) struct rather
+    /// than the raw pointer field alone.
+    fn get(self) -> *const (dyn Fn(usize) + Sync) {
+        self.0
+    }
+}
+
+unsafe impl Send for TaskPtr {}
+
+/// Countdown latch that also carries the first worker panic payload.
+struct LaneSync {
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    done: Condvar,
+}
+
+impl LaneSync {
+    fn new(remaining: usize) -> Self {
+        LaneSync { state: Mutex::new((remaining, None)), done: Condvar::new() }
+    }
+
+    fn finish(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.0 -= 1;
+        if state.1.is_none() {
+            state.1 = panic;
+        }
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.state.lock().unwrap();
+        while state.0 > 0 {
+            state = self.done.wait(state).unwrap();
+        }
+        state.1.take()
+    }
+}
+
+/// The process-global pool, created on first use with
+/// [`default_threads`] threads.
+pub fn global() -> &'static Arc<ThreadPool> {
+    static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Pool size the global pool is created with: `PIPEMARE_NUM_THREADS`
+/// when set to a positive integer, else `available_parallelism()`.
+pub fn default_threads() -> usize {
+    std::env::var("PIPEMARE_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The pool tensor kernels dispatch on from this thread: the
+/// [`with_pool`] override when one is installed, else the global pool.
+pub fn active() -> Arc<ThreadPool> {
+    ACTIVE_POOL.with(|p| p.borrow().clone()).unwrap_or_else(|| Arc::clone(global()))
+}
+
+/// Runs `f` with `pool` installed as this thread's kernel pool,
+/// restoring the previous override afterwards (also on panic). This is
+/// how tests pin kernel parallelism without touching the global pool.
+pub fn with_pool<R>(pool: &Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
+    let prev = ACTIVE_POOL.with(|p| p.borrow_mut().replace(Arc::clone(pool)));
+    let _guard = RestorePool(prev);
+    f()
+}
+
+struct RestorePool(Option<Arc<ThreadPool>>);
+
+impl Drop for RestorePool {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        ACTIVE_POOL.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// Runs `f` with kernel parallelism disabled on this thread: every
+/// nested [`ThreadPool::parallel_for`] executes serially. Pipeline stage
+/// workers use this so stage-level threads do not multiply with
+/// kernel-level threads.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    SERIAL_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = SerialGuard;
+    f()
+}
+
+struct SerialGuard;
+
+impl Drop for SerialGuard {
+    fn drop(&mut self) {
+        SERIAL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// [`ThreadPool::parallel_for`] on this thread's [`active`] pool.
+pub fn parallel_for<F: Fn(usize) + Sync>(chunks: usize, f: F) {
+    active().parallel_for(chunks, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for &chunks in &[0usize, 1, 3, 4, 17, 100] {
+            let hits: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(chunks, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "chunks={chunks}: every index must run exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let seen = Mutex::new(Vec::new());
+        pool.parallel_for(5, |i| seen.lock().unwrap().push(i));
+        // With one thread the chunks run inline, in order.
+        assert_eq!(seen.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_parallel_for_degrades_to_serial() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(6, |_| {
+            // Inner loop must not deadlock even though all lanes issue it.
+            pool.parallel_for(4, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn serial_scope_suppresses_parallelism() {
+        let pool = ThreadPool::new(4);
+        serial_scope(|| {
+            let on_caller = AtomicUsize::new(0);
+            let me = std::thread::current().id();
+            pool.parallel_for(8, |_| {
+                if std::thread::current().id() == me {
+                    on_caller.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(on_caller.load(Ordering::Relaxed), 8);
+        });
+    }
+
+    #[test]
+    fn with_pool_overrides_and_restores() {
+        let four = ThreadPool::new(4);
+        with_pool(&four, || {
+            assert_eq!(active().threads(), 4);
+            let two = ThreadPool::new(2);
+            with_pool(&two, || assert_eq!(active().threads(), 2));
+            assert_eq!(active().threads(), 4);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_after_all_lanes_finish() {
+        let pool = ThreadPool::new(4);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&completed);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(8, |i| {
+                if i == 3 {
+                    panic!("boom in chunk 3");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // With threads=4 and chunks=8 the panicking lane (chunk 3) also
+        // owned chunk 7 and abandons it; the other three lanes finish
+        // their two chunks each.
+        assert_eq!(completed.load(Ordering::Relaxed), 6, "other lanes still ran");
+        // The pool stays usable after a panic.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(5, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn deterministic_split_is_a_stride() {
+        // Lane assignment for (chunks=10, lanes=4) is fixed: lane 0 gets
+        // 0,4,8; lane 1 gets 1,5,9; etc. We can't observe lanes directly,
+        // but we can check chunks run concurrently-safely and that the
+        // split does not depend on timing by verifying a reduction
+        // computed per-chunk is stable across runs.
+        let pool = ThreadPool::new(4);
+        let run = || {
+            let out: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(10, |i| out[i].store(i * i, Ordering::Relaxed));
+            out.iter().map(|x| x.load(Ordering::Relaxed)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,6 +1,18 @@
 //! Reductions (sum/mean/max/argmax) and normalized transforms (softmax).
+//!
+//! Row-wise transforms (softmax family) and outer-loop reductions run on
+//! the shared kernel pool for large inputs; each row / output slab is
+//! computed independently with serial inner loops, so results are
+//! bit-identical at any thread count. Full scalar reductions (`sum`,
+//! `dot`, `norm`) stay serial: splitting their single accumulator would
+//! change the floating-point association.
 
+use crate::kernels::UnsafeSlice;
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Row-parallel transforms engage above this many total elements.
+const ROW_PAR_MIN_LEN: usize = 1 << 16;
 
 impl Tensor {
     /// Sum of all elements (accumulated in f64 for stability).
@@ -40,13 +52,24 @@ impl Tensor {
         let mut out_dims = dims.clone();
         out_dims.remove(axis);
         let mut out = Tensor::zeros(&out_dims);
-        for o in 0..outer {
+        let reduce_outer = |o: usize, dst: &mut [f32]| {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
-                let dst = o * inner;
-                for i in 0..inner {
-                    out.data[dst + i] += self.data[base + i];
+                for (d, &s) in dst.iter_mut().zip(self.data[base..base + inner].iter()) {
+                    *d += s;
                 }
+            }
+        };
+        if outer >= 2 && self.len() >= ROW_PAR_MIN_LEN {
+            let slab = UnsafeSlice::new(&mut out.data);
+            pool::parallel_for(outer, |o| {
+                // SAFETY: outer index `o` writes only its own slab.
+                let dst = unsafe { slab.slice_mut(o * inner, inner) };
+                reduce_outer(o, dst);
+            });
+        } else {
+            for o in 0..outer {
+                reduce_outer(o, &mut out.data[o * inner..(o + 1) * inner]);
             }
         }
         out
@@ -85,8 +108,7 @@ impl Tensor {
         let n = *dims.last().expect("softmax of 0-D tensor");
         let rows = self.len() / n;
         let mut out = self.clone();
-        for r in 0..rows {
-            let row = &mut out.data[r * n..(r + 1) * n];
+        let softmax_row = |row: &mut [f32]| {
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0f32;
             for x in row.iter_mut() {
@@ -96,7 +118,8 @@ impl Tensor {
             for x in row.iter_mut() {
                 *x /= z;
             }
-        }
+        };
+        row_parallel(&mut out.data, rows, n, softmax_row);
         out
     }
 
@@ -106,16 +129,33 @@ impl Tensor {
         let n = *dims.last().expect("log_softmax of 0-D tensor");
         let rows = self.len() / n;
         let mut out = self.clone();
-        for r in 0..rows {
-            let row = &mut out.data[r * n..(r + 1) * n];
+        let log_softmax_row = |row: &mut [f32]| {
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let z: f32 = row.iter().map(|&x| (x - m).exp()).sum();
             let lz = z.ln() + m;
             for x in row.iter_mut() {
                 *x -= lz;
             }
-        }
+        };
+        row_parallel(&mut out.data, rows, n, log_softmax_row);
         out
+    }
+}
+
+/// Applies `f` to each `n`-element row of `data`, on the pool when the
+/// tensor is large. Rows are disjoint, so the split is bit-exact.
+fn row_parallel(data: &mut [f32], rows: usize, n: usize, f: impl Fn(&mut [f32]) + Sync) {
+    if rows >= 2 && data.len() >= ROW_PAR_MIN_LEN {
+        let slab = UnsafeSlice::new(data);
+        pool::parallel_for(rows, |r| {
+            // SAFETY: row `r` writes only its own `[r*n, (r+1)*n)` range.
+            let row = unsafe { slab.slice_mut(r * n, n) };
+            f(row);
+        });
+    } else {
+        for r in 0..rows {
+            f(&mut data[r * n..(r + 1) * n]);
+        }
     }
 }
 

@@ -1,0 +1,156 @@
+//! Property tests of the GEMM kernel layer.
+//!
+//! Every production path — the scalar small-size fallback, the blocked
+//! kernel, the pool-parallel kernel at any thread count, and the batched
+//! entry point — must agree **bit-for-bit** with a per-element scalar
+//! reference that accumulates `fma(a_ip, b_pj, ·)` over `p` in
+//! increasing order. Sizes deliberately straddle the microkernel tile
+//! (`MR`/`NR`), the parallel chunk (`MC`), and the dispatch thresholds.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use pipemare_tensor::kernels::{self, Layout, MC, MR, NR};
+use pipemare_tensor::{pool, Tensor, ThreadPool};
+
+/// Per-element scalar FMA reference for `C = op(A) · op(B)` (zero C).
+fn reference(layout: Layout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let (x, y) = match layout {
+                    Layout::NN => (a[i * k + p], b[p * n + j]),
+                    Layout::NT => (a[i * k + p], b[j * k + p]),
+                    Layout::TN => (a[p * m + i], b[p * n + j]),
+                };
+                acc = x.mul_add(y, acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn randvec(len: usize, seed: u64) -> Vec<f32> {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+/// Dimensions that straddle the tile and chunk boundaries.
+const DIMS: [usize; 14] = [1, 2, 3, 5, 7, MR, MR + 1, NR + 1, 17, 31, 33, MC - 1, MC, MC + 1];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_all_layouts_bit_exact(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let a = Tensor::from_vec(randvec(m * k, seed), &[m, k]);
+        let b = Tensor::from_vec(randvec(k * n, seed + 1), &[k, n]);
+        prop_assert_eq!(
+            bits(a.matmul(&b).data()),
+            bits(&reference(Layout::NN, a.data(), b.data(), m, k, n))
+        );
+        let bt = Tensor::from_vec(randvec(n * k, seed + 2), &[n, k]);
+        prop_assert_eq!(
+            bits(a.matmul_nt(&bt).data()),
+            bits(&reference(Layout::NT, a.data(), bt.data(), m, k, n))
+        );
+        let at = Tensor::from_vec(randvec(k * m, seed + 3), &[k, m]);
+        prop_assert_eq!(
+            bits(at.matmul_tn(&b).data()),
+            bits(&reference(Layout::TN, at.data(), b.data(), m, k, n))
+        );
+    }
+
+    #[test]
+    fn blocked_direct_bit_exact_any_size(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        // The blocked kernel invoked directly (below its usual dispatch
+        // threshold too) must still match the scalar reference.
+        let a = randvec(m * k, seed);
+        let b = randvec(k * n, seed + 9);
+        for layout in [Layout::NN, Layout::NT, Layout::TN] {
+            let (a_len, b_len) = match layout {
+                Layout::NN => (m * k, k * n),
+                Layout::NT => (m * k, n * k),
+                Layout::TN => (k * m, k * n),
+            };
+            let mut c = vec![0.0f32; m * n];
+            kernels::gemm_blocked(layout, &a[..a_len], &b[..b_len], &mut c, m, k, n);
+            prop_assert_eq!(
+                bits(&c),
+                bits(&reference(layout, &a[..a_len], &b[..b_len], m, k, n)),
+                "layout {:?} {}x{}x{}", layout, m, k, n
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_batch_reference(
+        bsize in 1usize..4,
+        m in dim(),
+        k in dim(),
+        n in dim(),
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_vec(randvec(bsize * m * k, seed), &[bsize, m, k]);
+        let b = Tensor::from_vec(randvec(bsize * k * n, seed + 4), &[bsize, k, n]);
+        let c = a.bmm(&b);
+        for bi in 0..bsize {
+            let want = reference(
+                Layout::NN,
+                &a.data()[bi * m * k..(bi + 1) * m * k],
+                &b.data()[bi * k * n..(bi + 1) * k * n],
+                m, k, n,
+            );
+            prop_assert_eq!(bits(&c.data()[bi * m * n..(bi + 1) * m * n]), bits(&want));
+        }
+    }
+
+    #[test]
+    fn threaded_bit_identical_to_serial(threads in 2usize..5, seed in 0u64..200) {
+        // Big enough to cross PARALLEL_MIN_FLOPS with several MC chunks,
+        // and deliberately not multiples of MR/MC.
+        let (m, k, n) = (2 * MC + 3, 65, 2 * NR + 7);
+        let a = Tensor::from_vec(randvec(m * k, seed), &[m, k]);
+        let b = Tensor::from_vec(randvec(k * n, seed + 5), &[k, n]);
+        let serial = a.matmul(&b);
+        let p = ThreadPool::new(threads);
+        let threaded = pool::with_pool(&p, || a.matmul(&b));
+        prop_assert_eq!(bits(threaded.data()), bits(serial.data()));
+        prop_assert_eq!(
+            bits(serial.data()),
+            bits(&reference(Layout::NN, a.data(), b.data(), m, k, n))
+        );
+    }
+}
+
+#[test]
+fn degenerate_dims_zero_and_one() {
+    // Every combination of m/k/n in {0, 1, 2}: k = 0 must leave C
+    // untouched (C += empty sum), everything else must match the scalar
+    // reference exactly.
+    for m in 0..3usize {
+        for k in 0..3usize {
+            for n in 0..3usize {
+                let a = randvec(m * k, 11);
+                let b = randvec(k * n, 12);
+                let mut c = vec![0.5f32; m * n];
+                kernels::gemm(&a, &b, &mut c, m, k, n);
+                let want: Vec<f32> =
+                    reference(Layout::NN, &a, &b, m, k, n).iter().map(|v| v + 0.5).collect();
+                assert_eq!(bits(&c), bits(&want), "{m}x{k}x{n}");
+            }
+        }
+    }
+}
