@@ -1,0 +1,113 @@
+//! Activation-memory benchmark for the runtime recompute subsystem.
+//!
+//! Two questions, answered with the threaded executor rather than the
+//! closed forms alone:
+//!
+//! 1. **Memory**: per-stage peak activation buffers measured live by the
+//!    [`ActivationLedger`] under stash-everything vs segmented
+//!    recomputation, and the total-memory ratio against the Table 5
+//!    model (`1/√P` in the large-P limit).
+//! 2. **Throughput**: the replay wave re-runs every non-final segment's
+//!    forwards, so microbatches/s drop relative to stash-all; the
+//!    overhead factor is the price of the memory saving.
+//!
+//! Writes `bench_recompute_memory.json` (an [`ExperimentLog`]); the
+//! checked-in copy at the repo root is `BENCH_recompute_memory.json`.
+//! Passing `--test` runs a seconds-long smoke version (small P, zero
+//! injected work, no JSON) for CI.
+
+use std::time::Duration;
+
+use pipemare_bench::report::{banner, table_header, ExperimentLog};
+use pipemare_pipeline::{run_recompute_pipeline, ActivationModel, RecomputePolicy};
+
+/// `(P, n_micro, minibatches)` sized so total microbatches ≥ 2P − 1
+/// reaches the steady-state peaks.
+const SWEEP: &[(usize, usize, usize)] = &[(4, 4, 2), (9, 6, 3), (16, 8, 4), (25, 10, 5)];
+
+const SMOKE_SWEEP: &[(usize, usize, usize)] = &[(4, 4, 2), (9, 6, 3)];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let sweep = if smoke { SMOKE_SWEEP } else { SWEEP };
+    let work = if smoke { Duration::ZERO } else { Duration::from_micros(300) };
+
+    banner(
+        "recompute_memory",
+        "Runtime activation memory and throughput: stash-all vs segmented recompute",
+    );
+    table_header(&[
+        ("P", 4),
+        ("S", 4),
+        ("stash tot", 10),
+        ("rc tot", 8),
+        ("ratio", 7),
+        ("1/sqrt(P)", 10),
+        ("overhead", 9),
+    ]);
+
+    let mut log = ExperimentLog::new("bench_recompute_memory");
+    let mut stages_series = Vec::new();
+    let mut ratio_series = Vec::new();
+    let mut model_series = Vec::new();
+    let mut overhead_series = Vec::new();
+
+    for &(p, n_micro, minibatches) in sweep {
+        let model = ActivationModel { p };
+        let seg = model.optimal_segment();
+        let stash =
+            run_recompute_pipeline(RecomputePolicy::StashAll, p, n_micro, minibatches, work);
+        let rc = run_recompute_pipeline(
+            RecomputePolicy::Segmented { segment: seg },
+            p,
+            n_micro,
+            minibatches,
+            work,
+        );
+        // The measured ledger peaks must land exactly on the closed
+        // forms — a benchmark of a wrong runtime would be worthless.
+        assert_eq!(stash.peak_activations, model.profile_no_recompute());
+        assert_eq!(rc.peak_activations, model.profile_recompute(seg));
+
+        let stash_total: usize = stash.peak_activations.iter().sum();
+        let rc_total: usize = rc.peak_activations.iter().sum();
+        let ratio = rc_total as f64 / stash_total as f64;
+        let overhead = stash.throughput / rc.throughput;
+        println!(
+            "{p:>4} {seg:>4} {stash_total:>10} {rc_total:>8} {ratio:>7.3} {:>10.3} {overhead:>8.2}x",
+            model.table5_ratio()
+        );
+        stages_series.push(p as f64);
+        ratio_series.push(ratio);
+        model_series.push(model.table5_ratio());
+        overhead_series.push(overhead);
+    }
+
+    println!("\nTable 5 stage counts (analytical, too many stages to thread here):");
+    for (task, p) in [("CIFAR10/ImageNet", 107usize), ("IWSLT14", 93), ("WMT17", 91)] {
+        let model = ActivationModel { p };
+        let seg = model.optimal_segment();
+        let exact = model.total_recompute(seg) as f64 / model.total_no_recompute() as f64;
+        println!(
+            "  {task}: P = {p}, segment {seg} -> ratio {exact:.3} (1/sqrt(P) = {:.3})",
+            model.table5_ratio()
+        );
+        log.push_scalar(&format!("table5.{p}.ratio"), exact);
+    }
+
+    if smoke {
+        println!("\nrecompute_memory smoke OK ({} pipelines, peaks exact)", sweep.len());
+        return;
+    }
+
+    log.push_series("stages", stages_series);
+    log.push_series("memory_ratio_measured", ratio_series.iter().copied());
+    log.push_series("memory_ratio_table5_model", model_series);
+    log.push_series("throughput_overhead", overhead_series.iter().copied());
+    log.push_scalar("memory_ratio_p25", *ratio_series.last().expect("sweep non-empty"));
+    log.push_scalar("throughput_overhead_p25", *overhead_series.last().expect("sweep non-empty"));
+    match log.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+}

@@ -1,14 +1,24 @@
-//! Parameter checkpointing: save/load flat parameter vectors.
+//! Checkpointing: flat parameter vectors (v1) and full trainer state (v2).
 //!
-//! A minimal binary format (magic + length + little-endian f32s) with no
-//! external dependencies, for persisting trained weights between runs or
-//! handing them from a warmup phase to a separate process.
+//! Two minimal binary formats with no external dependencies:
+//!
+//! - **v1** (`save_params`/`load_params`): magic + length + little-endian
+//!   f32s — just the weights, for handing them from a warmup phase to a
+//!   separate process.
+//! - **v2** (`save_state`/`load_state`): a versioned header followed by
+//!   everything an *asynchronous* run needs to resume bit-identically —
+//!   the whole weight-version window (delayed reads look backwards, the
+//!   latest vector alone is not enough), the optimizer's moment buffers
+//!   and step count, and the T2 EWMA velocity δ driving the discrepancy
+//!   correction.
 
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PIPEMARE";
+const STATE_MAGIC: &[u8; 8] = b"PIPEMAR2";
+const STATE_VERSION: u32 = 2;
 
 /// Errors produced by checkpoint I/O.
 #[derive(Debug)]
@@ -24,6 +34,8 @@ pub enum CheckpointError {
         /// Parameters actually present.
         actual: usize,
     },
+    /// A state checkpoint written by an unknown format revision.
+    UnsupportedVersion(u32),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -33,6 +45,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a pipemare checkpoint (bad magic)"),
             CheckpointError::BadLength { declared, actual } => {
                 write!(f, "checkpoint declares {declared} params but contains {actual}")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "state checkpoint version {v} is not supported")
             }
         }
     }
@@ -95,6 +110,109 @@ pub fn load_params(path: &Path) -> Result<Vec<f32>, CheckpointError> {
     Ok(params)
 }
 
+/// Everything a [`crate::PipelineTrainer`] needs to resume an
+/// asynchronous run exactly where it stopped. Produced by
+/// `PipelineTrainer::state` and consumed by `PipelineTrainer::restore`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainerState {
+    /// Optimizer steps completed.
+    pub step: usize,
+    /// Whether training had hit non-finite weights.
+    pub diverged: bool,
+    /// The optimizer's completed-step counter (Adam bias correction).
+    pub opt_steps: usize,
+    /// The retained weight-version window, oldest first, consecutively
+    /// numbered — the queue the delayed forward/backward reads slice.
+    pub history: Vec<(usize, Vec<f32>)>,
+    /// T2 EWMA velocity δ (empty when T2 is off).
+    pub delta: Vec<f32>,
+    /// Optimizer first-moment buffer (momentum `v` / Adam `m`).
+    pub opt_m: Vec<f32>,
+    /// Optimizer second-moment buffer (Adam `v`).
+    pub opt_v: Vec<f32>,
+}
+
+fn write_vec(f: &mut File, v: &[f32]) -> io::Result<()> {
+    f.write_all(&(v.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(v.len() * 4);
+    for &x in v {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    f.write_all(&buf)
+}
+
+fn read_u64(f: &mut File) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    f.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_vec(f: &mut File) -> io::Result<Vec<f32>> {
+    let len = read_u64(f)? as usize;
+    let mut buf = vec![0u8; len * 4];
+    f.read_exact(&mut buf)?;
+    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Writes a full trainer-state checkpoint (format v2) to `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn save_state(path: &Path, state: &TrainerState) -> Result<(), CheckpointError> {
+    let mut f = File::create(path)?;
+    f.write_all(STATE_MAGIC)?;
+    f.write_all(&STATE_VERSION.to_le_bytes())?;
+    f.write_all(&(state.step as u64).to_le_bytes())?;
+    f.write_all(&[state.diverged as u8])?;
+    f.write_all(&(state.opt_steps as u64).to_le_bytes())?;
+    f.write_all(&(state.history.len() as u64).to_le_bytes())?;
+    for (version, params) in &state.history {
+        f.write_all(&(*version as u64).to_le_bytes())?;
+        write_vec(&mut f, params)?;
+    }
+    write_vec(&mut f, &state.delta)?;
+    write_vec(&mut f, &state.opt_m)?;
+    write_vec(&mut f, &state.opt_v)?;
+    Ok(())
+}
+
+/// Reads a trainer-state checkpoint from `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure (including truncation), bad magic, or
+/// an unknown format version.
+pub fn load_state(path: &Path) -> Result<TrainerState, CheckpointError> {
+    let mut f = File::open(path)?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != STATE_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut ver = [0u8; 4];
+    f.read_exact(&mut ver)?;
+    let version = u32::from_le_bytes(ver);
+    if version != STATE_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let step = read_u64(&mut f)? as usize;
+    let mut flag = [0u8; 1];
+    f.read_exact(&mut flag)?;
+    let diverged = flag[0] != 0;
+    let opt_steps = read_u64(&mut f)? as usize;
+    let n_versions = read_u64(&mut f)? as usize;
+    let mut history = Vec::with_capacity(n_versions);
+    for _ in 0..n_versions {
+        let version = read_u64(&mut f)? as usize;
+        history.push((version, read_vec(&mut f)?));
+    }
+    let delta = read_vec(&mut f)?;
+    let opt_m = read_vec(&mut f)?;
+    let opt_v = read_vec(&mut f)?;
+    Ok(TrainerState { step, diverged, opt_steps, history, delta, opt_m, opt_v })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +263,58 @@ mod tests {
         let e = CheckpointError::BadLength { declared: 10, actual: 9 };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("9"));
+        assert!(CheckpointError::UnsupportedVersion(7).to_string().contains('7'));
+    }
+
+    fn sample_state() -> TrainerState {
+        TrainerState {
+            step: 12,
+            diverged: false,
+            opt_steps: 12,
+            history: vec![(10, vec![1.0, 2.0]), (11, vec![3.0, 4.0]), (12, vec![5.0, 6.0])],
+            delta: vec![0.25, -0.5],
+            opt_m: vec![0.1, 0.2],
+            opt_v: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let path = tmp("state_roundtrip");
+        let state = sample_state();
+        save_state(&path, &state).unwrap();
+        assert_eq!(load_state(&path).unwrap(), state);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_rejects_v1_file_and_vice_versa() {
+        let path = tmp("state_cross");
+        save_params(&path, &[1.0, 2.0]).unwrap();
+        assert!(matches!(load_state(&path), Err(CheckpointError::BadMagic)));
+        save_state(&path, &sample_state()).unwrap();
+        assert!(matches!(load_params(&path), Err(CheckpointError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_rejects_unknown_version() {
+        let path = tmp("state_version");
+        save_state(&path, &sample_state()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_state(&path), Err(CheckpointError::UnsupportedVersion(99))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_truncation_is_an_error() {
+        let path = tmp("state_trunc");
+        save_state(&path, &sample_state()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(load_state(&path), Err(CheckpointError::Io(_))));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -36,6 +36,36 @@ pub struct RecomputeCfg {
     pub t2: bool,
 }
 
+impl RecomputeCfg {
+    /// Recompute with `segments` checkpoint segments and no T2-for-
+    /// recompute correction.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments >= 1, "need at least one checkpoint segment");
+        RecomputeCfg { segments, t2: false }
+    }
+
+    /// The App. D near-memory-optimal configuration for a `stages`-stage
+    /// pipeline: segments of size ≈ √P (the memory model's
+    /// `optimal_segment`), with the T2 correction enabled.
+    pub fn optimal(stages: usize) -> Self {
+        let seg = pipemare_pipeline::ActivationModel { p: stages }.optimal_segment();
+        RecomputeCfg { segments: stages.div_ceil(seg), t2: true }
+    }
+
+    /// Enables the T2-for-recompute correction.
+    pub fn with_t2(mut self) -> Self {
+        self.t2 = true;
+        self
+    }
+
+    /// The stage-group size `S` implied by the segment count for a
+    /// `stages`-stage pipeline (ceil division; the last segment may be
+    /// short).
+    pub fn segment_size(&self, stages: usize) -> usize {
+        stages.div_ceil(self.segments.max(1)).max(1)
+    }
+}
+
 /// Full training configuration for a [`crate::PipelineTrainer`].
 pub struct TrainConfig {
     /// Delay semantics.
@@ -171,5 +201,20 @@ mod tests {
         assert_eq!(d.mode.method(), Some(Method::PipeDream));
         let h = TrainMode::Hogwild(HogwildDelays::from_pipeline_profile(4, 2));
         assert_eq!(h.method(), None);
+    }
+
+    #[test]
+    fn recompute_cfg_segment_size() {
+        let rc = RecomputeCfg::new(2);
+        assert!(!rc.t2);
+        assert!(rc.with_t2().t2);
+        assert_eq!(rc.segment_size(4), 2);
+        assert_eq!(rc.segment_size(9), 5, "ceil division leaves a short tail segment");
+        assert_eq!(RecomputeCfg::new(1).segment_size(3), 3);
+        // optimal(P) picks segments of size ≈ √P and turns the
+        // correction on.
+        let opt = RecomputeCfg::optimal(16);
+        assert!(opt.t2);
+        assert_eq!(opt.segment_size(16), 4);
     }
 }

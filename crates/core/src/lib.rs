@@ -25,7 +25,9 @@ pub mod runners;
 pub mod stats;
 pub mod trainer;
 
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::{
+    load_params, load_state, save_params, save_state, CheckpointError, TrainerState,
+};
 pub use config::{RecomputeCfg, TrainConfig, TrainMode};
 pub use metrics::TrainerMetrics;
 pub use runners::{

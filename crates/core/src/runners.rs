@@ -177,6 +177,11 @@ fn run_label(cfg: &TrainConfig) -> String {
     if cfg.warmup_steps > 0 {
         tags.push("T3");
     }
+    match cfg.recompute {
+        Some(rc) if rc.t2 => tags.push("RC*"),
+        Some(_) => tags.push("RC"),
+        None => {}
+    }
     if tags.is_empty() {
         mode
     } else {
@@ -402,6 +407,10 @@ mod tests {
         );
         cfg.warmup_steps = 5;
         assert_eq!(run_label(&cfg), "PipeMare+T1+T2+T3");
+        cfg.recompute = Some(crate::config::RecomputeCfg::new(2));
+        assert_eq!(run_label(&cfg), "PipeMare+T1+T2+T3+RC");
+        cfg.recompute = Some(crate::config::RecomputeCfg::new(2).with_t2());
+        assert_eq!(run_label(&cfg), "PipeMare+T1+T2+T3+RC*");
         let g = TrainConfig::gpipe(4, 2, sgd(), Box::new(ConstantLr(0.1)));
         assert_eq!(run_label(&g), "GPipe");
     }

@@ -8,6 +8,7 @@ use pipemare_optim::{clip_grad_norm, Optimizer};
 use pipemare_pipeline::{Method, PipelineClock, StagePartition, WeightHistory};
 use pipemare_theory::gamma_from_d;
 
+use crate::checkpoint::TrainerState;
 use crate::config::{TrainConfig, TrainMode};
 use crate::metrics::TrainerMetrics;
 use crate::stats::StepStats;
@@ -77,27 +78,40 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         model.init_params(&mut params, &mut rng);
         let history = WeightHistory::new(clock.history_depth() + 1, params);
         let opt = Optimizer::new(cfg.optimizer, total);
-        // Per-stage T2 decay from the nominal fractional delay gap.
-        let gammas: Vec<f64> = (0..cfg.stages)
-            .map(|s| {
-                let gap = match &cfg.mode {
-                    TrainMode::Pipeline(Method::PipeMare) => clock.nominal_tau_fwd(s),
-                    TrainMode::Pipeline(_) => 0.0,
-                    TrainMode::Hogwild(_) => 0.0,
-                };
-                cfg.t2_decay.map_or(0.0, |d| gamma_from_d(d, gap))
-            })
-            .collect();
         // Recompute delay slots: stages grouped into segments; stage j
         // within a segment has its activations recomputed 2(S−j) slots
         // before its backward pass (App. A.2/D).
         let recomp_slots: Vec<usize> = match cfg.recompute {
             None => vec![0; cfg.stages],
             Some(rc) => {
-                let seg = cfg.stages.div_ceil(rc.segments.max(1)).max(1);
-                (0..cfg.stages).map(|s| 2 * (seg - s % seg)).collect()
+                let seg = rc.segment_size(cfg.stages);
+                (0..cfg.stages).map(|s| clock.recomp_delay_slots(seg, s)).collect()
             }
         };
+        // Per-stage T2 decay from the nominal fractional delay gap. With
+        // recompute + T2, the backward consumes activations delayed by
+        // τ_recomp as well, so App. D widens the gap to the slower of the
+        // two discrepancies, max(τ_fwd, τ_recomp) − τ_bkwd; at late
+        // stages τ_recomp dominates τ_fwd and γ genuinely changes.
+        let gammas: Vec<f64> = (0..cfg.stages)
+            .map(|s| {
+                let gap = match &cfg.mode {
+                    TrainMode::Pipeline(Method::PipeMare) => {
+                        let tau_fwd = clock.nominal_tau_fwd(s);
+                        match cfg.recompute {
+                            Some(rc) if rc.t2 => {
+                                let seg = rc.segment_size(cfg.stages);
+                                tau_fwd.max(clock.nominal_tau_recomp(seg, s))
+                            }
+                            _ => tau_fwd,
+                        }
+                    }
+                    TrainMode::Pipeline(_) => 0.0,
+                    TrainMode::Hogwild(_) => 0.0,
+                };
+                cfg.t2_decay.map_or(0.0, |d| gamma_from_d(d, gap))
+            })
+            .collect();
         let hogwild_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
         PipelineTrainer {
             model,
@@ -156,6 +170,50 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
     /// Whether step `t` is still in the synchronous (T3) warmup phase.
     pub fn in_warmup(&self) -> bool {
         self.step < self.cfg.warmup_steps
+    }
+
+    /// Snapshots everything needed to resume this run exactly: the whole
+    /// weight-version window (delayed reads look backwards), the
+    /// optimizer's moment buffers and step counter, and the T2 EWMA
+    /// velocity δ. Persist it with [`crate::checkpoint::save_state`].
+    pub fn state(&self) -> TrainerState {
+        let (m, v, t) = self.opt.state();
+        TrainerState {
+            step: self.step,
+            diverged: self.diverged,
+            opt_steps: t,
+            history: self.history.snapshot(),
+            delta: self.delta.clone(),
+            opt_m: m.to_vec(),
+            opt_v: v.to_vec(),
+        }
+    }
+
+    /// Restores a snapshot from [`PipelineTrainer::state`] into a trainer
+    /// built with the same model and configuration. Deterministic
+    /// pipeline modes continue bit-identically to the uninterrupted run;
+    /// Hogwild mode restarts its delay-sampling stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shapes don't match this trainer (a
+    /// checkpoint from a different model, optimizer, or pipeline).
+    pub fn restore(&mut self, state: TrainerState) {
+        let total = self.partition.total_params();
+        assert_eq!(state.delta.len(), total, "restore: δ length mismatch");
+        for (_, p) in &state.history {
+            assert_eq!(p.len(), total, "restore: parameter length mismatch");
+        }
+        self.history = WeightHistory::from_versions(self.clock.history_depth() + 1, state.history);
+        assert_eq!(
+            self.history.latest_version(),
+            state.step,
+            "restore: history is out of step with the step counter"
+        );
+        self.opt.restore_state(state.opt_m, state.opt_v, state.opt_steps);
+        self.delta = state.delta;
+        self.step = state.step;
+        self.diverged = state.diverged;
     }
 
     /// Per-stage diagnostics: `(params, τ_fwd, τ_bkwd, γ)` for each stage
@@ -640,6 +698,85 @@ mod tests {
             1,
         );
         assert!(g.stage_report().iter().all(|r| r.tau_fwd == 0.0 && r.tau_bkwd == 0.0));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_async_run_bit_identically() {
+        use crate::checkpoint::{load_state, save_state};
+        use crate::config::RecomputeCfg;
+        use pipemare_optim::OptimizerKind;
+        // Full feature load: PipeMare + T1 + T2 + recompute + momentum,
+        // so the snapshot must carry δ and the moment buffer to resume.
+        let model = Mlp::new(&[4, 6, 2]);
+        let mk = || {
+            let mut cfg = TrainConfig::pipemare(
+                3,
+                2,
+                OptimizerKind::resnet_momentum(1e-4),
+                Box::new(ConstantLr(0.05)),
+                T1Rescheduler::new(20),
+                0.135,
+            );
+            cfg.recompute = Some(RecomputeCfg::new(2).with_t2());
+            cfg
+        };
+        let (micro, w) = blob_micro(8, 2, 4);
+        let mut full = PipelineTrainer::new(&model, mk(), 13);
+        for _ in 0..6 {
+            full.train_minibatch(&micro, &w);
+        }
+        let path =
+            std::env::temp_dir().join(format!("pipemare_trainer_state_{}", std::process::id()));
+        save_state(&path, &full.state()).unwrap();
+        let state = load_state(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(state.delta.iter().any(|&d| d != 0.0), "δ must survive the round trip");
+        assert!(state.opt_m.iter().any(|&m| m != 0.0), "momentum must survive");
+        assert!(state.history.len() > 1, "async resume needs the version window");
+        let mut resumed = PipelineTrainer::new(&model, mk(), 99);
+        resumed.restore(state);
+        assert_eq!(resumed.steps_done(), 6);
+        for _ in 0..6 {
+            let a = full.train_minibatch(&micro, &w);
+            let b = resumed.train_minibatch(&micro, &w);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(full.params(), resumed.params());
+        }
+    }
+
+    #[test]
+    fn app_d_gamma_widens_gap_at_late_stages() {
+        use crate::config::RecomputeCfg;
+        // P = 4, N = 2, two segments of size 2. Stage 3: τ_fwd = 0.5 but
+        // τ_recomp = 2(2 − 1)/2 = 1.0 → the recompute discrepancy
+        // dominates and γ must follow it (App. D).
+        let model = Mlp::new(&[4, 6, 2]);
+        let mk = |rc: Option<RecomputeCfg>| {
+            let mut cfg = TrainConfig::pipemare(
+                4,
+                2,
+                sgd(),
+                Box::new(ConstantLr(0.05)),
+                T1Rescheduler::new(20),
+                0.135,
+            );
+            cfg.recompute = rc;
+            cfg
+        };
+        let plain = PipelineTrainer::new(&model, mk(None), 1);
+        let rc = PipelineTrainer::new(&model, mk(Some(RecomputeCfg::new(2).with_t2())), 1);
+        let uncorrected = PipelineTrainer::new(&model, mk(Some(RecomputeCfg::new(2))), 1);
+        let g = |tr: &PipelineTrainer<Mlp>| {
+            tr.stage_report().iter().map(|r| r.gamma).collect::<Vec<_>>()
+        };
+        // Early stages: τ_fwd dominates, γ unchanged. Stage 0 has
+        // τ_fwd = 3.5 vs τ_recomp = 2.0.
+        assert_eq!(g(&plain)[0], g(&rc)[0]);
+        // Last stage: τ_recomp = 1.0 > τ_fwd = 0.5.
+        assert!((g(&rc)[3] - 0.135f64.powf(1.0 / 1.0)).abs() < 1e-12);
+        assert!((g(&plain)[3] - 0.135f64.powf(1.0 / 0.5)).abs() < 1e-12);
+        // Without the rc.t2 flag the gap stays τ_fwd.
+        assert_eq!(g(&plain), g(&uncorrected));
     }
 
     #[test]

@@ -54,6 +54,21 @@ impl Cache {
     pub fn child(&self, i: usize) -> &Cache {
         &self.children[i]
     }
+
+    /// Number of tensors stashed in this cache and all its children —
+    /// the unit the pipeline's activation ledger counts.
+    pub fn tensor_count(&self) -> usize {
+        self.tensors.len() + self.children.iter().map(|c| c.tensor_count()).sum::<usize>()
+    }
+
+    /// Bytes of activation storage held by this cache and all its
+    /// children (tensor payloads only; scalars and indices are noise).
+    /// This is what checkpointed forwards shrink and what the live
+    /// per-stage activation gauges report.
+    pub fn activation_bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.len() * std::mem::size_of::<f32>()).sum::<usize>()
+            + self.children.iter().map(|c| c.activation_bytes()).sum::<usize>()
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +83,16 @@ mod tests {
         let mut parent = Cache::new();
         parent.children.push(c);
         assert_eq!(parent.child(0).tensors.len(), 2);
+    }
+
+    #[test]
+    fn accounting_recurses_into_children() {
+        let leaf = Cache::with_tensors(vec![Tensor::ones(&[2, 3])]);
+        let mut parent = Cache::with_tensors(vec![Tensor::zeros(&[4])]);
+        parent.children.push(leaf);
+        parent.children.push(Cache::new());
+        assert_eq!(parent.tensor_count(), 2);
+        assert_eq!(parent.activation_bytes(), (6 + 4) * 4);
+        assert_eq!(Cache::new().activation_bytes(), 0);
     }
 }

@@ -49,6 +49,18 @@ pub trait Layer: Send + Sync {
     /// `params.len()` must equal [`Layer::param_len`].
     fn forward(&self, params: &[f32], x: &Tensor) -> (Tensor, Cache);
 
+    /// Forward pass without retaining a backward cache — the stash/replay
+    /// hook of PipeMare Recompute: checkpointed chains call this between
+    /// segment boundaries, then replay [`Layer::forward`] just before the
+    /// backward to rebuild the caches they skipped. The default builds
+    /// and discards the cache; layers with a cheaper cache-free path can
+    /// override. Replay only reproduces the original activations for
+    /// layers that are deterministic in `(params, x)` (per-call
+    /// stochastic layers like dropout re-draw their masks).
+    fn forward_no_cache(&self, params: &[f32], x: &Tensor) -> Tensor {
+        self.forward(params, x).0
+    }
+
     /// Backward pass: given the upstream gradient `dy` and the cache from
     /// a previous `forward`, computes the input gradient and the parameter
     /// gradient.

@@ -19,6 +19,11 @@ use crate::sequential::Sequential;
 pub struct Mlp {
     chain: Sequential,
     in_features: usize,
+    /// When set, `forward_loss` stashes activations only every
+    /// `recompute_segment` layers and `backward` replays each segment
+    /// (PipeMare Recompute). All Mlp layers are deterministic, so the
+    /// checkpointed path is bit-identical to stash-everything.
+    recompute_segment: Option<usize>,
 }
 
 impl Mlp {
@@ -37,7 +42,15 @@ impl Mlp {
                 chain = chain.push(Activation::relu());
             }
         }
-        Mlp { chain, in_features: widths[0] }
+        Mlp { chain, in_features: widths[0], recompute_segment: None }
+    }
+
+    /// Enables activation recomputation with the given segment size
+    /// (in chain layers, counting the interleaved activations).
+    pub fn with_recompute(mut self, segment: usize) -> Self {
+        assert!(segment >= 1, "segment size must be at least 1");
+        self.recompute_segment = Some(segment);
+        self
     }
 
     /// Computes class logits for a `(B, in)` or `(B, C, H, W)` input.
@@ -74,7 +87,10 @@ impl TrainModel for Mlp {
         let b = batch.x.shape()[0];
         let flat = batch.x.reshape(&[b, batch.x.len() / b]);
         assert_eq!(flat.shape()[1], self.in_features, "Mlp: input feature mismatch");
-        let (logits, chain_cache) = self.chain.forward(params, &flat);
+        let (logits, chain_cache) = match self.recompute_segment {
+            Some(seg) => self.chain.forward_checkpointed(params, &flat, seg),
+            None => self.chain.forward(params, &flat),
+        };
         let (loss, dlogits) = cross_entropy_logits(&logits, &batch.y, CrossEntropyCfg::default());
         let mut cache = Cache::new();
         cache.children.push(chain_cache);
@@ -84,7 +100,10 @@ impl TrainModel for Mlp {
 
     fn backward(&self, params: &[f32], cache: &Cache) -> Vec<f32> {
         let dlogits = cache.tensor(0);
-        let (_, grads) = self.chain.backward(params, cache.child(0), dlogits);
+        let (_, grads) = match self.recompute_segment {
+            Some(_) => self.chain.backward_checkpointed(params, cache.child(0), dlogits),
+            None => self.chain.backward(params, cache.child(0), dlogits),
+        };
         grads
     }
 }
@@ -126,6 +145,28 @@ mod tests {
         let (loss1, _) = model.forward_loss(&params, &batch);
         assert!(loss1 < loss0 * 0.2, "loss did not drop: {loss0} -> {loss1}");
         assert!(model.accuracy(&params, &batch) > 0.95);
+    }
+
+    #[test]
+    fn recompute_path_is_bit_identical() {
+        let plain = Mlp::new(&[4, 8, 6, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = vec![0.0; plain.param_len()];
+        plain.init_params(&mut params, &mut rng);
+        let batch = toy_batch(&mut rng);
+        let (loss0, cache0) = plain.forward_loss(&params, &batch);
+        let grads0 = plain.backward(&params, &cache0);
+        for seg in 1..=5 {
+            let rc = Mlp::new(&[4, 8, 6, 2]).with_recompute(seg);
+            let (loss, cache) = rc.forward_loss(&params, &batch);
+            assert_eq!(loss.to_bits(), loss0.to_bits(), "seg={seg}");
+            assert!(cache.activation_bytes() <= cache0.activation_bytes());
+            let grads = rc.backward(&params, &cache);
+            assert!(
+                grads.iter().zip(grads0.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "seg={seg}: recompute gradients diverge from stash-everything"
+            );
+        }
     }
 
     #[test]

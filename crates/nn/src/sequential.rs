@@ -54,6 +54,92 @@ impl Sequential {
         }
         offsets
     }
+
+    /// Forward pass that stashes only the inputs at segment boundaries
+    /// (layers `0, S, 2S, ...`) instead of every per-layer cache — the
+    /// model-side half of PipeMare Recompute (App. D). The returned cache
+    /// holds `indices = [segment]` and one tensor per segment;
+    /// [`Sequential::backward_checkpointed`] replays each segment forward
+    /// from its stashed input to rebuild the caches this pass discarded.
+    pub fn forward_checkpointed(
+        &self,
+        params: &[f32],
+        x: &Tensor,
+        segment: usize,
+    ) -> (Tensor, Cache) {
+        assert!(segment >= 1, "segment size must be at least 1");
+        let offsets = self.offsets();
+        let mut cache = Cache::new();
+        cache.indices.push(segment);
+        let mut cur = x.clone();
+        for (i, (l, &off)) in self.layers.iter().zip(offsets.iter()).enumerate() {
+            if i % segment == 0 {
+                cache.tensors.push(cur.clone());
+            }
+            cur = l.forward_no_cache(&params[off..off + l.param_len()], &cur);
+        }
+        (cur, cache)
+    }
+
+    /// Backward for a [`Sequential::forward_checkpointed`] cache, with
+    /// distinct weight versions for the replay and the gradient: each
+    /// segment is re-run forward with `replay_params` (the pipeline's
+    /// recompute-time weights, delayed by τ_recomp relative to the
+    /// original forward), then differentiated with `params` under the
+    /// usual async backward contract. With `replay_params == params ==`
+    /// the forward's weights, and deterministic layers, the result is
+    /// bit-identical to the plain stash-everything [`Layer::backward`].
+    pub fn backward_recomputed(
+        &self,
+        replay_params: &[f32],
+        params: &[f32],
+        cache: &Cache,
+        dy: &Tensor,
+    ) -> (Tensor, Vec<f32>) {
+        let segment = cache.indices[0];
+        let n = self.layers.len();
+        assert_eq!(
+            cache.tensors.len(),
+            n.div_ceil(segment),
+            "checkpoint cache does not match chain layout"
+        );
+        let offsets = self.offsets();
+        let mut grads = vec![0.0f32; self.param_len()];
+        let mut cur = dy.clone();
+        for seg_idx in (0..cache.tensors.len()).rev() {
+            let start = seg_idx * segment;
+            let end = (start + segment).min(n);
+            // Replay the segment forward from its stashed boundary input.
+            let mut seg_caches = Vec::with_capacity(end - start);
+            let mut h = cache.tensor(seg_idx).clone();
+            for (l, &off) in self.layers[start..end].iter().zip(&offsets[start..end]) {
+                let (y, c) = l.forward(&replay_params[off..off + l.param_len()], &h);
+                seg_caches.push(c);
+                h = y;
+            }
+            // Backward through the segment with the gradient-time weights.
+            for i in (start..end).rev() {
+                let l = &self.layers[i];
+                let off = offsets[i];
+                let (dx, dp) =
+                    l.backward(&params[off..off + l.param_len()], &seg_caches[i - start], &cur);
+                grads[off..off + l.param_len()].copy_from_slice(&dp);
+                cur = dx;
+            }
+        }
+        (cur, grads)
+    }
+
+    /// [`Sequential::backward_recomputed`] with a single weight version
+    /// for both the replay and the gradient.
+    pub fn backward_checkpointed(
+        &self,
+        params: &[f32],
+        cache: &Cache,
+        dy: &Tensor,
+    ) -> (Tensor, Vec<f32>) {
+        self.backward_recomputed(params, params, cache, dy)
+    }
 }
 
 impl Default for Sequential {
@@ -218,6 +304,86 @@ mod tests {
         assert_eq!(units[0].range(), 0..16);
         assert_eq!(units[1].range(), 16..16 + 10);
         crate::layer::validate_units(&units, chain.param_len()).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_forward_backward_match_plain() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new()
+            .push(Linear::new(3, 6))
+            .push(Activation::tanh())
+            .push(Linear::new(6, 5))
+            .push(Activation::relu())
+            .push(Linear::new(5, 2));
+        let mut rng = StdRng::seed_from_u64(23);
+        let params = init_layer(&chain, &mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let dy = Tensor::randn(&[4, 2], &mut rng);
+        let (y_plain, c_plain) = chain.forward(&params, &x);
+        let (dx_plain, g_plain) = chain.backward(&params, &c_plain, &dy);
+        // Every segment size, including S=1 (stash every input) and
+        // S > len (single segment), reproduces the plain pass exactly.
+        for segment in 1..=chain.len() + 1 {
+            let (y, c) = chain.forward_checkpointed(&params, &x, segment);
+            assert_eq!(y, y_plain, "S={segment}");
+            assert_eq!(c.tensors.len(), chain.len().div_ceil(segment));
+            let (dx, g) = chain.backward_checkpointed(&params, &c, &dy);
+            assert_eq!(dx, dx_plain, "S={segment}");
+            assert_eq!(g, g_plain, "S={segment}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_cache_is_smaller() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new()
+            .push(Linear::new(8, 8))
+            .push(Activation::tanh())
+            .push(Linear::new(8, 8))
+            .push(Activation::tanh())
+            .push(Linear::new(8, 8))
+            .push(Activation::tanh());
+        let mut rng = StdRng::seed_from_u64(29);
+        let params = init_layer(&chain, &mut rng);
+        let x = Tensor::randn(&[16, 8], &mut rng);
+        let (_, full) = chain.forward(&params, &x);
+        let (_, ckpt) = chain.forward_checkpointed(&params, &x, 3);
+        assert!(
+            ckpt.activation_bytes() < full.activation_bytes(),
+            "checkpointed cache {} B should undercut stash-everything {} B",
+            ckpt.activation_bytes(),
+            full.activation_bytes()
+        );
+        assert_eq!(ckpt.tensors.len(), 2);
+    }
+
+    #[test]
+    fn recomputed_backward_uses_replay_weights_for_activations() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new()
+            .push(Linear::new(3, 4))
+            .push(Activation::tanh())
+            .push(Linear::new(4, 2));
+        let mut rng = StdRng::seed_from_u64(31);
+        let params = init_layer(&chain, &mut rng);
+        let newer: Vec<f32> = params.iter().map(|p| p * 1.1 + 0.01).collect();
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let dy = Tensor::randn(&[4, 2], &mut rng);
+        let (_, ckpt) = chain.forward_checkpointed(&params, &x, 2);
+        // Replaying with the forward's own weights matches the plain
+        // async backward (stale activations, newer gradient weights)...
+        let (_, c_plain) = chain.forward(&params, &x);
+        let (dx_async, g_async) = chain.backward(&newer, &c_plain, &dy);
+        let (dx, g) = chain.backward_recomputed(&params, &newer, &ckpt, &dy);
+        assert_eq!(dx, dx_async);
+        assert_eq!(g, g_async);
+        // ...while replaying with drifted weights changes the result
+        // (that drift is exactly what τ_recomp measures).
+        let (dx2, g2) = chain.backward_recomputed(&newer, &newer, &ckpt, &dy);
+        assert!(dx2 != dx_async || g2 != g_async);
     }
 
     #[test]

@@ -165,6 +165,27 @@ impl Optimizer {
         }
     }
 
+    /// The mutable optimizer state `(m, v, t)` for checkpointing: first
+    /// and second moment buffers (empty when the rule keeps none) and the
+    /// completed step count.
+    pub fn state(&self) -> (&[f32], &[f32], usize) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Restores state captured by [`Optimizer::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths don't match what the update rule
+    /// allocated (a checkpoint from a different optimizer or model size).
+    pub fn restore_state(&mut self, m: Vec<f32>, v: Vec<f32>, t: usize) {
+        assert_eq!(m.len(), self.m.len(), "optimizer m-buffer length mismatch");
+        assert_eq!(v.len(), self.v.len(), "optimizer v-buffer length mismatch");
+        self.m = m;
+        self.v = v;
+        self.t = t;
+    }
+
     /// Whole-vector step: `begin_step` + one `step_range` over everything.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
         self.begin_step();
@@ -306,6 +327,36 @@ mod tests {
         assert_eq!(m.memory_copies(), 3);
         let a = Optimizer::new(OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }, 1);
         assert_eq!(a.memory_copies(), 4);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_momentum_exactly() {
+        let kind = OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 };
+        let mut full = Optimizer::new(kind, 3);
+        let mut w_full = vec![1.0f32, -2.0, 3.0];
+        for _ in 0..4 {
+            let g = quad_grad(&w_full);
+            full.step(&mut w_full, &g, 0.1);
+        }
+        let (m, v, t) = full.state();
+        let (m, v) = (m.to_vec(), v.to_vec());
+        let mut resumed = Optimizer::new(kind, 3);
+        resumed.restore_state(m, v, t);
+        let mut w_resumed = w_full.clone();
+        for _ in 0..4 {
+            let g = quad_grad(&w_full);
+            full.step(&mut w_full, &g, 0.1);
+            let g = quad_grad(&w_resumed);
+            resumed.step(&mut w_resumed, &g, 0.1);
+        }
+        assert_eq!(w_full, w_resumed, "resumed optimizer must continue bit-identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn restore_state_rejects_wrong_size() {
+        let mut opt = Optimizer::new(OptimizerKind::Momentum { beta: 0.9, weight_decay: 0.0 }, 3);
+        opt.restore_state(vec![0.0; 2], Vec::new(), 1);
     }
 
     #[test]

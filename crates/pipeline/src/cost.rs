@@ -152,6 +152,12 @@ impl ActivationModel {
 
     /// The segment size minimizing total recompute memory (≈ `√P`,
     /// App. A.2); found by exact search.
+    ///
+    /// Tie-breaking is explicit: among segment sizes with equal total
+    /// memory, the **smallest** `S` wins (`min_by_key` keeps the first
+    /// minimum of the ascending `1..=P` scan). Smaller segments replay
+    /// shorter spans, so τ_recomp = 2(S − s mod S)/N — the delay App. D
+    /// folds into T2 — is minimized at no memory cost.
     pub fn optimal_segment(&self) -> usize {
         (1..=self.p).min_by_key(|&s| self.total_recompute(s)).unwrap_or(1)
     }

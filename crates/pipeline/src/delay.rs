@@ -86,12 +86,45 @@ impl PipelineClock {
         self.delay_slots(s) as f64 / self.n_micro as f64
     }
 
+    /// Nominal forward delay *as experienced under a method* — Table 1's
+    /// τ_fwd column. GPipe flushes the pipeline every minibatch, so its
+    /// forward reads are never stale even though the slot distance
+    /// [`Self::delay_slots`] is unchanged.
+    pub fn nominal_tau_fwd_for(&self, method: Method, s: usize) -> f64 {
+        match method {
+            Method::GPipe => 0.0,
+            Method::PipeDream | Method::PipeMare => self.nominal_tau_fwd(s),
+        }
+    }
+
     /// Nominal backward delay for a method.
     pub fn nominal_tau_bkwd(&self, method: Method, s: usize) -> f64 {
         match method {
             Method::GPipe | Method::PipeMare => 0.0,
             Method::PipeDream => self.nominal_tau_fwd(s),
         }
+    }
+
+    /// Microbatch-slot distance between a weight's *recompute* (replay)
+    /// forward at stage `s` and its update, under segmented recomputation
+    /// with segment size `seg`: `2(S − (s mod S))` (App. D).
+    ///
+    /// The replay of a segment starts at its boundary `2S` slots before
+    /// the boundary's backward and sweeps forward one stage per slot, so
+    /// stage `j` within a segment replays `2(S − j)` slots before its own
+    /// backward. The boundary stage itself (`j = 0`) replays from its
+    /// stash `2S` slots early — the oldest read in the segment.
+    pub fn recomp_delay_slots(&self, seg: usize, s: usize) -> usize {
+        assert!(s < self.stages, "stage {s} out of range");
+        assert!(seg > 0, "segment size must be positive");
+        2 * (seg - s % seg)
+    }
+
+    /// Nominal (fractional) recompute delay in optimizer steps:
+    /// `τ_recomp,s = 2(S − (s mod S))/N` — the third delay App. D folds
+    /// into the T2 discrepancy correction.
+    pub fn nominal_tau_recomp(&self, seg: usize, s: usize) -> f64 {
+        self.recomp_delay_slots(seg, s) as f64 / self.n_micro as f64
     }
 
     /// The weight version stage `s` reads in the *forward* pass of
@@ -253,6 +286,68 @@ mod tests {
         let s = 7;
         assert_eq!(clk.fwd_version(Method::PipeMare, 10, 1, s), 10);
         assert_eq!(clk.fwd_version(Method::PipeMare, 10, 0, s), 9);
+    }
+
+    #[test]
+    fn nominal_tau_table_matches_closed_forms() {
+        // Table 1 (+ App. D's τ_recomp column) against the closed forms,
+        // for every method and stage.
+        for (p, n_micro, seg) in [(4usize, 2usize, 2usize), (9, 3, 3), (16, 4, 4), (5, 1, 2)] {
+            let clk = PipelineClock::new(p, n_micro);
+            for s in 0..p {
+                let closed = (2 * (p - 1 - s) + 1) as f64 / n_micro as f64;
+                assert_eq!(clk.nominal_tau_fwd(s), closed, "P={p} s={s}");
+                // τ_fwd: 0 for GPipe, (2(P−i)+1)/N otherwise.
+                assert_eq!(clk.nominal_tau_fwd_for(Method::GPipe, s), 0.0);
+                assert_eq!(clk.nominal_tau_fwd_for(Method::PipeDream, s), closed);
+                assert_eq!(clk.nominal_tau_fwd_for(Method::PipeMare, s), closed);
+                // τ_bkwd: 0 for GPipe and PipeMare, = τ_fwd for PipeDream.
+                assert_eq!(clk.nominal_tau_bkwd(Method::GPipe, s), 0.0);
+                assert_eq!(clk.nominal_tau_bkwd(Method::PipeDream, s), closed);
+                assert_eq!(clk.nominal_tau_bkwd(Method::PipeMare, s), 0.0);
+                // τ_recomp: 2(S − s mod S)/N, independent of method.
+                let recomp = (2 * (seg - s % seg)) as f64 / n_micro as f64;
+                assert_eq!(clk.nominal_tau_recomp(seg, s), recomp, "P={p} s={s} S={seg}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_stage_pipeline() {
+        // P = 1: a pipeline of one stage still has one slot between its
+        // forward read and the weight update (τ_fwd = 1/N), zero τ_bkwd
+        // for the async methods, and a trivial recompute segment.
+        for n_micro in [1usize, 2, 4] {
+            let clk = PipelineClock::new(1, n_micro);
+            assert_eq!(clk.delay_slots(0), 1);
+            assert_eq!(clk.nominal_tau_fwd(0), 1.0 / n_micro as f64);
+            for m in Method::ALL {
+                assert_eq!(
+                    clk.nominal_tau_bkwd(m, 0),
+                    if m == Method::PipeDream { 1.0 / n_micro as f64 } else { 0.0 }
+                );
+            }
+            assert_eq!(clk.nominal_tau_fwd_for(Method::GPipe, 0), 0.0);
+            assert_eq!(clk.recomp_delay_slots(1, 0), 2);
+            assert_eq!(clk.nominal_tau_recomp(1, 0), 2.0 / n_micro as f64);
+            // Versions stay valid in the degenerate pipeline.
+            assert_eq!(clk.fwd_version(Method::PipeMare, 0, 0, 0), 0);
+            assert!(clk.fwd_version(Method::PipeMare, 5, 0, 0) <= 5);
+        }
+    }
+
+    #[test]
+    fn recomp_delay_slots_follow_segment_layout() {
+        let clk = PipelineClock::new(16, 4);
+        // Segment size 4: boundary stages replay 8 slots early, the last
+        // stage of a segment only 2.
+        for s in 0..16 {
+            let j = s % 4;
+            assert_eq!(clk.recomp_delay_slots(4, s), 2 * (4 - j));
+        }
+        // Boundary (j = 0) is the most-delayed replay in its segment.
+        assert_eq!(clk.recomp_delay_slots(4, 0), 8);
+        assert_eq!(clk.recomp_delay_slots(4, 3), 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crossbeam_channel::{bounded, select, unbounded};
 use pipemare_telemetry::{NullRecorder, Recorder, SpanKind, NO_MICROBATCH};
 
 use crate::delay::Method;
+use crate::recompute::{stage_timelines, ActivationLedger, RecomputePolicy, StageOpKind};
 
 /// Result of a threaded pipeline run.
 #[derive(Clone, Copy, Debug)]
@@ -305,6 +306,251 @@ pub fn run_threaded_pipeline_traced<R: Recorder>(
     }
 }
 
+/// Result of a recompute-aware threaded pipeline run.
+#[derive(Clone, Debug)]
+pub struct RecomputePipelineReport {
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Microbatches fully processed (forward + backward).
+    pub microbatches: usize,
+    /// Microbatches per second.
+    pub throughput: f64,
+    /// Measured per-stage peak live activation-buffer counts — must
+    /// equal [`RecomputePolicy::expected_peaks`] once the run is long
+    /// enough to fill the steady state (`≥ 2P−1` microbatches).
+    pub peak_activations: Vec<usize>,
+    /// Replay (recompute) forward passes executed across all stages.
+    pub recompute_ops: usize,
+}
+
+/// Runs `minibatches × n_micro` microbatches through a `stages`-thread
+/// pipeline under an activation [`RecomputePolicy`], with continuous
+/// (PipeMare-style) injection. Forward and replay work each take
+/// `work_per_stage`; backward takes 2×.
+///
+/// Unlike [`run_threaded_pipeline`], every stage executes a
+/// precomputed op timeline (see [`stage_timelines`]): forwards and
+/// backwards in 1F1B slot order, plus — for segmented policies — the
+/// replay sweep that recovers discarded activations just before each
+/// backward. Activation buffers are acquired and released exactly where
+/// the timeline says, so the measured peaks are deterministic and
+/// comparable to the analytical memory model.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero, or if a segmented policy's size is
+/// outside `1..=stages`.
+pub fn run_recompute_pipeline(
+    policy: RecomputePolicy,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+) -> RecomputePipelineReport {
+    let ledger = ActivationLedger::new(stages, 1);
+    run_recompute_pipeline_traced(
+        policy,
+        stages,
+        n_micro,
+        minibatches,
+        work_per_stage,
+        &NullRecorder,
+        &ledger,
+    )
+}
+
+/// [`run_recompute_pipeline`] with a telemetry [`Recorder`] and a
+/// caller-supplied [`ActivationLedger`] (build it
+/// [`ActivationLedger::with_registry`] to publish live per-stage
+/// activation-byte gauges). Replay passes emit [`SpanKind::Recompute`]
+/// spans on the stage's track.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero, if a segmented policy's size is
+/// outside `1..=stages`, or if the ledger was built for a different
+/// stage count.
+pub fn run_recompute_pipeline_traced<R: Recorder>(
+    policy: RecomputePolicy,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+    recorder: &R,
+    ledger: &ActivationLedger,
+) -> RecomputePipelineReport {
+    assert!(stages > 0 && n_micro > 0 && minibatches > 0);
+    assert_eq!(ledger.peaks().len(), stages, "ledger sized for a different stage count");
+    let total = n_micro * minibatches;
+    let seg = policy.segment_size(stages);
+    let timelines = stage_timelines(policy, stages, total);
+    let recompute_ops: usize = timelines
+        .iter()
+        .map(|ops| ops.iter().filter(|op| op.kind == StageOpKind::Recomp).count())
+        .sum();
+
+    // All channels are unbounded: each stage's fixed slot-ordered op list
+    // is itself the throttle (a stage blocks on the token its next op
+    // needs), and every dependency points to a strictly earlier slot, so
+    // the run cannot deadlock. Tokens arrive in microbatch order on every
+    // channel; the receive asserts check the protocol.
+    let mut fwd_tx = Vec::new();
+    let mut fwd_rx = Vec::new();
+    let mut bwd_tx = Vec::new();
+    let mut bwd_rx = Vec::new();
+    let mut replay_tx = Vec::new();
+    let mut replay_rx = Vec::new();
+    for _ in 0..stages {
+        let (tx, rx) = unbounded::<usize>();
+        fwd_tx.push(tx);
+        fwd_rx.push(rx);
+        let (tx, rx) = unbounded::<usize>();
+        bwd_tx.push(tx);
+        bwd_rx.push(rx);
+        let (tx, rx) = unbounded::<usize>();
+        replay_tx.push(tx);
+        replay_rx.push(rx);
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (s, ops) in timelines.into_iter().enumerate() {
+            let my_fwd_rx = fwd_rx[s].clone();
+            let my_bwd_rx = bwd_rx[s].clone();
+            let my_replay_rx = replay_rx[s].clone();
+            let next_fwd_tx = if s + 1 < stages { Some(fwd_tx[s + 1].clone()) } else { None };
+            let prev_bwd_tx = if s > 0 { Some(bwd_tx[s - 1].clone()) } else { None };
+            // The replay wave continues to s+1 while it stays inside the
+            // same segment.
+            let next_replay_tx = if s + 1 < stages && (s + 1) % seg != 0 {
+                Some(replay_tx[s + 1].clone())
+            } else {
+                None
+            };
+            scope.spawn(move || {
+                // One thread per stage already saturates the host; tensor
+                // kernels invoked from a stage run serially (pool-nesting
+                // rule), same as the plain executor.
+                pipemare_tensor::pool::serial_scope(|| {
+                    let track = s as u32;
+                    let stage = s as u32;
+                    for op in ops {
+                        match op.kind {
+                            StageOpKind::Fwd => {
+                                if s > 0 {
+                                    let wait_start = recorder.now_us();
+                                    let id = my_fwd_rx.recv().expect("upstream stage alive");
+                                    assert_eq!(id, op.micro, "forward token out of order");
+                                    recorder.record_span(
+                                        SpanKind::QueueWaitFwd,
+                                        track,
+                                        stage,
+                                        NO_MICROBATCH,
+                                        wait_start,
+                                        recorder.now_us(),
+                                    );
+                                }
+                                if op.acquires {
+                                    ledger.acquire(s);
+                                }
+                                let t0 = recorder.now_us();
+                                work_for(work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Forward,
+                                    track,
+                                    stage,
+                                    op.micro as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
+                                if let Some(tx) = &next_fwd_tx {
+                                    tx.send(op.micro).expect("downstream stage alive");
+                                }
+                            }
+                            StageOpKind::Recomp => {
+                                // Boundary stages start the wave from
+                                // their own stash; the rest wait for it.
+                                if s % seg != 0 {
+                                    let wait_start = recorder.now_us();
+                                    let id = my_replay_rx.recv().expect("segment stage alive");
+                                    assert_eq!(id, op.micro, "replay token out of order");
+                                    recorder.record_span(
+                                        SpanKind::QueueWaitFwd,
+                                        track,
+                                        stage,
+                                        NO_MICROBATCH,
+                                        wait_start,
+                                        recorder.now_us(),
+                                    );
+                                }
+                                if op.acquires {
+                                    ledger.acquire(s);
+                                }
+                                let t0 = recorder.now_us();
+                                work_for(work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Recompute,
+                                    track,
+                                    stage,
+                                    op.micro as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
+                                if let Some(tx) = &next_replay_tx {
+                                    tx.send(op.micro).expect("segment stage alive");
+                                }
+                            }
+                            StageOpKind::Bkwd => {
+                                if s + 1 < stages {
+                                    let wait_start = recorder.now_us();
+                                    let id = my_bwd_rx.recv().expect("downstream stage alive");
+                                    assert_eq!(id, op.micro, "backward token out of order");
+                                    recorder.record_span(
+                                        SpanKind::QueueWaitBkwd,
+                                        track,
+                                        stage,
+                                        NO_MICROBATCH,
+                                        wait_start,
+                                        recorder.now_us(),
+                                    );
+                                }
+                                let t0 = recorder.now_us();
+                                work_for(2 * work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Backward,
+                                    track,
+                                    stage,
+                                    op.micro as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
+                                ledger.release(s);
+                                if let Some(tx) = &prev_bwd_tx {
+                                    tx.send(op.micro).expect("upstream stage alive");
+                                }
+                            }
+                        }
+                    }
+                })
+            });
+        }
+        drop(fwd_tx);
+        drop(bwd_tx);
+        drop(replay_tx);
+        drop(fwd_rx);
+        drop(bwd_rx);
+        drop(replay_rx);
+    });
+    let elapsed = start.elapsed();
+    RecomputePipelineReport {
+        elapsed,
+        microbatches: total,
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        peak_activations: ledger.peaks(),
+        recompute_ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +599,56 @@ mod tests {
     fn single_stage_degenerate_case() {
         let r = run_threaded_pipeline(Method::GPipe, 1, 2, 3, Duration::from_micros(20));
         assert_eq!(r.microbatches, 6);
+    }
+
+    #[test]
+    fn recompute_run_peaks_match_memory_model() {
+        use crate::cost::ActivationModel;
+        // 8 microbatches ≥ 2P−1 = 7 fills the steady state at P = 4.
+        let work = Duration::from_micros(20);
+        let model = ActivationModel { p: 4 };
+        let r = run_recompute_pipeline(RecomputePolicy::Segmented { segment: 2 }, 4, 4, 2, work);
+        assert_eq!(r.microbatches, 8);
+        assert_eq!(r.peak_activations, model.profile_recompute(2));
+        // Stages 0 and 1 form the only replay segment: one replay per
+        // microbatch per stage.
+        assert_eq!(r.recompute_ops, 2 * 8);
+        let stash = run_recompute_pipeline(RecomputePolicy::StashAll, 4, 4, 2, work);
+        assert_eq!(stash.peak_activations, model.profile_no_recompute());
+        assert_eq!(stash.recompute_ops, 0);
+    }
+
+    #[test]
+    fn recompute_run_emits_replay_spans() {
+        use pipemare_telemetry::TraceRecorder;
+        let recorder = TraceRecorder::new();
+        let ledger = ActivationLedger::new(4, 1);
+        run_recompute_pipeline_traced(
+            RecomputePolicy::Segmented { segment: 2 },
+            4,
+            2,
+            4,
+            Duration::from_micros(20),
+            &recorder,
+            &ledger,
+        );
+        let events = recorder.events();
+        let replays = events.iter().filter(|e| e.kind == SpanKind::Recompute).count();
+        assert_eq!(replays, 2 * 8, "one replay span per microbatch on stages 0 and 1");
+        assert!(events.iter().all(|e| e.kind != SpanKind::Recompute || e.stage < 2));
+    }
+
+    #[test]
+    fn recompute_single_stage_degenerate_case() {
+        let r = run_recompute_pipeline(
+            RecomputePolicy::Segmented { segment: 1 },
+            1,
+            2,
+            2,
+            Duration::from_micros(20),
+        );
+        assert_eq!(r.microbatches, 4);
+        assert_eq!(r.peak_activations, vec![1]);
+        assert_eq!(r.recompute_ops, 0);
     }
 }

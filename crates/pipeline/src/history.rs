@@ -68,6 +68,29 @@ impl WeightHistory {
         self.versions.len()
     }
 
+    /// All retained versions, oldest first — the checkpointing snapshot.
+    /// Resuming an asynchronous run needs the whole window, not just the
+    /// latest vector: the next minibatches read delayed versions.
+    pub fn snapshot(&self) -> Vec<(usize, Vec<f32>)> {
+        self.versions.iter().cloned().collect()
+    }
+
+    /// Rebuilds a history from a [`WeightHistory::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `versions` is empty, not consecutively numbered, or
+    /// longer than `capacity`.
+    pub fn from_versions(capacity: usize, versions: Vec<(usize, Vec<f32>)>) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        assert!(!versions.is_empty(), "snapshot must hold at least one version");
+        assert!(versions.len() <= capacity, "snapshot larger than history capacity");
+        for w in versions.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1, "snapshot versions must be consecutive");
+        }
+        WeightHistory { versions: versions.into(), capacity }
+    }
+
     /// Whether only the initial version is present.
     pub fn is_empty(&self) -> bool {
         false // never empty by construction; kept for API symmetry
@@ -105,5 +128,26 @@ mod tests {
     fn non_consecutive_push_rejected() {
         let mut h = WeightHistory::new(3, vec![0.0]);
         h.push(2, vec![2.0]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_window() {
+        let mut h = WeightHistory::new(3, vec![0.0]);
+        for v in 1..=4 {
+            h.push(v, vec![v as f32]);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, 2, "oldest retained version");
+        let r = WeightHistory::from_versions(3, snap);
+        assert_eq!(r.latest_version(), 4);
+        assert_eq!(r.get(2), h.get(2));
+        assert_eq!(r.get(0), r.get(2), "clamping matches the original window");
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn from_versions_rejects_gaps() {
+        WeightHistory::from_versions(3, vec![(0, vec![0.0]), (2, vec![2.0])]);
     }
 }

@@ -18,6 +18,9 @@
 //!   (App. A.1–A.2, Tables 4–5, Figure 6).
 //! * [`executor`]: a real multi-threaded pipeline (crossbeam channels)
 //!   used to validate the throughput model on wall-clock time.
+//! * [`recompute`]: PipeMare Recompute (§2.2, App. A.2, App. D) — the
+//!   segmented activation-recomputation runtime whose measured per-stage
+//!   peaks must equal the analytical `profile_recompute`.
 //! * [`hogwild`]: truncated-exponential stochastic delays (App. E).
 
 pub mod cost;
@@ -26,6 +29,7 @@ pub mod executor;
 pub mod history;
 pub mod hogwild;
 pub mod partition;
+pub mod recompute;
 pub mod schedule;
 
 pub use cost::{
@@ -33,8 +37,15 @@ pub use cost::{
     MemoryModel,
 };
 pub use delay::{Method, PipelineClock};
-pub use executor::{run_threaded_pipeline, run_threaded_pipeline_traced, ThreadedPipelineReport};
+pub use executor::{
+    run_recompute_pipeline, run_recompute_pipeline_traced, run_threaded_pipeline,
+    run_threaded_pipeline_traced, RecomputePipelineReport, ThreadedPipelineReport,
+};
 pub use history::WeightHistory;
 pub use hogwild::HogwildDelays;
 pub use partition::StagePartition;
+pub use recompute::{
+    is_segment_boundary, simulate_peaks, stage_replays, stage_timelines, ActivationLedger,
+    RecomputePolicy, StageOp, StageOpKind,
+};
 pub use schedule::{Schedule, SlotOp};

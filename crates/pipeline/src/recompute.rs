@@ -1,0 +1,456 @@
+//! PipeMare Recompute (§2.2, App. A.2, App. D): segmented activation
+//! recomputation for the threaded pipeline executor.
+//!
+//! With plain 1F1B the activation of microbatch `m` at stage `s` stays
+//! live for the whole forward→backward window of `2(P−1−s)+1` slots, so
+//! total activation memory grows as `O(P²)`. PipeMare Recompute divides
+//! the pipeline into segments of `S` consecutive stages. Only the first
+//! stage of each segment (the *boundary*) stashes its input activation
+//! for the full window; the other stages discard theirs after the
+//! forward and recover them just in time by *replaying* the segment's
+//! forward pass, started at the boundary `2S` slots before the
+//! boundary's backward and sweeping forward one stage per slot. Stage
+//! `j` inside a segment therefore holds its recomputed activation for
+//! only `2(S−j)` slots, and the per-stage peak becomes
+//! `min(2(S−j), 2(P−1−s)+1)` — exactly
+//! [`ActivationModel::profile_recompute`]. At the optimal `S ≈ √P`
+//! (see [`ActivationModel::optimal_segment`]) the total drops to
+//! `O(P^{3/2})` (Table 5).
+//!
+//! The final segment of the pipeline is special: its stages sit so close
+//! to the forward→backward turnaround that the backward wave arrives no
+//! later than a replay could (`2(S−j) ≥ 2(P−1−s)+1` holds for *every*
+//! stage of the last segment and no stage of any earlier segment), so
+//! those stages simply keep their forward activations. This is the `min`
+//! cap in the analytical profile, realized rather than assumed.
+//!
+//! This module derives, from the closed-form full-throughput schedule
+//! (forward of microbatch `m` at stage `s` in slot `m+s`, backward in
+//! slot `m+2P−s−1`), the exact per-stage op timeline — forwards,
+//! replays, backwards, and the activation acquire/release each op
+//! performs. The executor runs that timeline on real threads (see
+//! [`crate::executor::run_recompute_pipeline`]) and the
+//! [`ActivationLedger`] checks the live/peak counts against the model.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pipemare_telemetry::{Gauge, MetricsRegistry};
+
+use crate::cost::ActivationModel;
+
+/// How the executor manages activation memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecomputePolicy {
+    /// Keep every activation from forward until backward (the 1F1B
+    /// default): per-stage peak `2(P−1−s)+1`.
+    StashAll,
+    /// PipeMare Recompute with segments of `segment` consecutive stages:
+    /// per-stage peak `min(2(S − s mod S), 2(P−1−s)+1)`.
+    Segmented {
+        /// Segment size `S` in stages (`1 ≤ S ≤ P`).
+        segment: usize,
+    },
+}
+
+impl RecomputePolicy {
+    /// The recompute policy with the memory-optimal segment size
+    /// `S ≈ √P` for a `p`-stage pipeline.
+    pub fn optimal(p: usize) -> Self {
+        RecomputePolicy::Segmented { segment: ActivationModel { p }.optimal_segment() }
+    }
+
+    /// The segment size this policy uses on a `p`-stage pipeline
+    /// (`StashAll` behaves like one segment spanning the pipeline).
+    pub fn segment_size(&self, p: usize) -> usize {
+        match *self {
+            RecomputePolicy::StashAll => p,
+            RecomputePolicy::Segmented { segment } => {
+                assert!(segment >= 1 && segment <= p, "segment size {segment} outside 1..={p}");
+                segment
+            }
+        }
+    }
+
+    /// The per-stage peak activation counts the analytical model
+    /// predicts for this policy — what a run's measured peaks must equal.
+    pub fn expected_peaks(&self, p: usize) -> Vec<usize> {
+        let model = ActivationModel { p };
+        match *self {
+            RecomputePolicy::StashAll => model.profile_no_recompute(),
+            RecomputePolicy::Segmented { segment } => model.profile_recompute(segment),
+        }
+    }
+}
+
+/// What a stage does in one schedule slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageOpKind {
+    /// Backward pass; releases the stage's activation of this microbatch.
+    Bkwd,
+    /// Replay forward pass; non-boundary stages acquire their activation
+    /// buffer here, boundary stages re-read their stash.
+    Recomp,
+    /// Forward pass; acquires an activation buffer on stages that stash
+    /// (boundaries and the final segment's stages).
+    Fwd,
+}
+
+/// One entry of a stage's op timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageOp {
+    /// Schedule slot of the idealized full-throughput timeline.
+    pub slot: usize,
+    /// Operation kind. Within a slot, ops execute `Bkwd` → `Recomp` →
+    /// `Fwd` (the release-before-acquire order of 1F1B, which is what
+    /// makes the steady-state live count equal the analytical window).
+    pub kind: StageOpKind,
+    /// Microbatch id.
+    pub micro: usize,
+    /// Whether this op acquires an activation buffer at this stage.
+    pub acquires: bool,
+}
+
+fn kind_priority(kind: StageOpKind) -> usize {
+    match kind {
+        StageOpKind::Bkwd => 0,
+        StageOpKind::Recomp => 1,
+        StageOpKind::Fwd => 2,
+    }
+}
+
+/// Whether stage `s` opens a segment under segment size `seg`.
+pub fn is_segment_boundary(seg: usize, s: usize) -> bool {
+    s.is_multiple_of(seg)
+}
+
+/// Whether stage `s` of a `p`-stage pipeline belongs to a *replay*
+/// segment — one whose activations are recomputed. The final segment
+/// (every `s` with `(s/S)·S + S ≥ P`) keeps its activations instead: the
+/// backward wave reaches it no later than a replay could.
+pub fn stage_replays(p: usize, seg: usize, s: usize) -> bool {
+    (s / seg) * seg + seg < p
+}
+
+/// The per-stage op timelines of `total` microbatches flowing through a
+/// `p`-stage pipeline under `policy`, in the idealized full-throughput
+/// schedule: forward of microbatch `m` at stage `s` in slot `m+s`,
+/// backward in slot `m + 2P − s − 1`, and — for replay segments — the
+/// segment replay sweeping stages `B..B+S` in slots
+/// `m + 2P − B − 2S − 1 + j`. Each stage's list is sorted by
+/// `(slot, Bkwd < Recomp < Fwd)`, the order its thread executes.
+///
+/// # Panics
+///
+/// Panics if `p` or `total` is zero, or if a segmented policy's size is
+/// outside `1..=p`.
+pub fn stage_timelines(policy: RecomputePolicy, p: usize, total: usize) -> Vec<Vec<StageOp>> {
+    assert!(p > 0, "pipeline needs at least one stage");
+    assert!(total > 0, "need at least one microbatch");
+    let seg = policy.segment_size(p);
+    let mut ops: Vec<Vec<StageOp>> = vec![Vec::with_capacity(3 * total); p];
+    for m in 0..total {
+        for (s, stage_ops) in ops.iter_mut().enumerate() {
+            let replays = stage_replays(p, seg, s);
+            let boundary = is_segment_boundary(seg, s);
+            // A stage stashes at forward time unless its activation will
+            // be recovered by a replay (non-boundary stage of a replay
+            // segment).
+            let stash_at_fwd = boundary || !replays;
+            stage_ops.push(StageOp {
+                slot: m + s,
+                kind: StageOpKind::Fwd,
+                micro: m,
+                acquires: stash_at_fwd,
+            });
+            stage_ops.push(StageOp {
+                slot: m + 2 * p - s - 1,
+                kind: StageOpKind::Bkwd,
+                micro: m,
+                acquires: false,
+            });
+            // Replay segments of width ≥ 2 run the recompute sweep; a
+            // width-1 segment is all boundary and has nothing to replay.
+            if replays && seg >= 2 {
+                let b = (s / seg) * seg;
+                let j = s - b;
+                stage_ops.push(StageOp {
+                    slot: m + 2 * p - b - 2 * seg - 1 + j,
+                    kind: StageOpKind::Recomp,
+                    micro: m,
+                    // The boundary replays out of its stash; the others
+                    // recover (acquire) their activation here.
+                    acquires: j > 0,
+                });
+            }
+        }
+    }
+    for stage_ops in &mut ops {
+        stage_ops.sort_by_key(|op| (op.slot, kind_priority(op.kind), op.micro));
+    }
+    ops
+}
+
+/// Live/peak activation-buffer accounting, one slot per stage.
+///
+/// Each stage's counters are only ever written by that stage's executor
+/// thread (acquire on stash/replay, release on backward), so the
+/// measured peaks are deterministic regardless of thread interleaving.
+/// When built [`ActivationLedger::with_registry`], the ledger also
+/// drives live `pipeline.stage.<s>.activation.{current,peak}_bytes`
+/// gauges in a telemetry [`MetricsRegistry`].
+#[derive(Debug)]
+pub struct ActivationLedger {
+    stages: Vec<StageCounters>,
+    bytes_per_activation: usize,
+}
+
+#[derive(Debug)]
+struct StageCounters {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    current_bytes: Option<Arc<Gauge>>,
+    peak_bytes: Option<Arc<Gauge>>,
+}
+
+impl ActivationLedger {
+    /// A ledger for `stages` stages where each activation buffer counts
+    /// as `bytes_per_activation` bytes (use the microbatch activation
+    /// footprint of the model being simulated, or 1 to count buffers).
+    pub fn new(stages: usize, bytes_per_activation: usize) -> Self {
+        ActivationLedger {
+            stages: (0..stages)
+                .map(|_| StageCounters {
+                    current: AtomicUsize::new(0),
+                    peak: AtomicUsize::new(0),
+                    current_bytes: None,
+                    peak_bytes: None,
+                })
+                .collect(),
+            bytes_per_activation,
+        }
+    }
+
+    /// Like [`ActivationLedger::new`], additionally publishing per-stage
+    /// `pipeline.stage.<s>.activation.current_bytes` / `.peak_bytes`
+    /// gauges so dashboards can watch memory live during a run.
+    pub fn with_registry(
+        stages: usize,
+        bytes_per_activation: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let mut ledger = ActivationLedger::new(stages, bytes_per_activation);
+        for (s, counters) in ledger.stages.iter_mut().enumerate() {
+            counters.current_bytes =
+                Some(registry.gauge(&format!("pipeline.stage.{s}.activation.current_bytes")));
+            counters.peak_bytes =
+                Some(registry.gauge(&format!("pipeline.stage.{s}.activation.peak_bytes")));
+        }
+        ledger
+    }
+
+    /// Records one activation buffer coming live at `stage`.
+    pub fn acquire(&self, stage: usize) {
+        let c = &self.stages[stage];
+        let now = c.current.fetch_add(1, Ordering::Relaxed) + 1;
+        c.peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(g) = &c.current_bytes {
+            g.set((now * self.bytes_per_activation) as f64);
+        }
+        if let Some(g) = &c.peak_bytes {
+            let peak = self.stages[stage].peak.load(Ordering::Relaxed);
+            g.set((peak * self.bytes_per_activation) as f64);
+        }
+    }
+
+    /// Records one activation buffer freed at `stage`.
+    pub fn release(&self, stage: usize) {
+        let c = &self.stages[stage];
+        let prev = c.current.fetch_sub(1, Ordering::Relaxed);
+        assert!(prev > 0, "release without matching acquire at stage {stage}");
+        if let Some(g) = &c.current_bytes {
+            g.set(((prev - 1) * self.bytes_per_activation) as f64);
+        }
+    }
+
+    /// Buffers currently live at `stage`.
+    pub fn current(&self, stage: usize) -> usize {
+        self.stages[stage].current.load(Ordering::Relaxed)
+    }
+
+    /// Per-stage peak buffer counts seen so far.
+    pub fn peaks(&self) -> Vec<usize> {
+        self.stages.iter().map(|c| c.peak.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Per-stage peaks in bytes.
+    pub fn peak_bytes(&self) -> Vec<usize> {
+        self.peaks().into_iter().map(|n| n * self.bytes_per_activation).collect()
+    }
+}
+
+/// Replays the op timelines serially in global slot order and returns
+/// the per-stage peak activation counts — the analytical cross-check the
+/// threaded executor is validated against (both must equal
+/// [`RecomputePolicy::expected_peaks`] once `total ≥ 2P−1` fills the
+/// steady state).
+pub fn simulate_peaks(policy: RecomputePolicy, p: usize, total: usize) -> Vec<usize> {
+    let mut all: Vec<(usize, StageOp)> = stage_timelines(policy, p, total)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(s, ops)| ops.into_iter().map(move |op| (s, op)))
+        .collect();
+    all.sort_by_key(|(s, op)| (op.slot, kind_priority(op.kind), *s, op.micro));
+    let ledger = ActivationLedger::new(p, 1);
+    for (s, op) in all {
+        if op.acquires {
+            ledger.acquire(s);
+        }
+        if op.kind == StageOpKind::Bkwd {
+            ledger.release(s);
+        }
+    }
+    ledger.peaks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_policy_uses_model_segment() {
+        for p in [1usize, 4, 9, 16, 25] {
+            let seg = ActivationModel { p }.optimal_segment();
+            assert_eq!(RecomputePolicy::optimal(p), RecomputePolicy::Segmented { segment: seg });
+        }
+    }
+
+    #[test]
+    fn timelines_are_slot_sorted_and_causal() {
+        let ops = stage_timelines(RecomputePolicy::Segmented { segment: 3 }, 9, 20);
+        for (s, stage_ops) in ops.iter().enumerate() {
+            for w in stage_ops.windows(2) {
+                assert!(
+                    (w[0].slot, kind_priority(w[0].kind)) <= (w[1].slot, kind_priority(w[1].kind)),
+                    "stage {s}: ops out of order"
+                );
+            }
+            for m in 0..20 {
+                let slot_of = |kind| {
+                    stage_ops.iter().find(|op| op.kind == kind && op.micro == m).map(|op| op.slot)
+                };
+                let f = slot_of(StageOpKind::Fwd).unwrap();
+                let b = slot_of(StageOpKind::Bkwd).unwrap();
+                assert!(f < b, "stage {s} micro {m}: backward before forward");
+                if let Some(r) = slot_of(StageOpKind::Recomp) {
+                    assert!(f <= r && r < b, "stage {s} micro {m}: replay outside [fwd, bkwd)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_wave_moves_one_stage_per_slot() {
+        // Within a replay segment, the recompute of microbatch m visits
+        // consecutive stages in consecutive slots (the boundary first).
+        let p = 9;
+        let seg = 3;
+        let ops = stage_timelines(RecomputePolicy::Segmented { segment: seg }, p, 20);
+        let m = 5;
+        for b in (0..p).step_by(seg) {
+            if !stage_replays(p, seg, b) {
+                continue;
+            }
+            let slots: Vec<usize> = (b..b + seg)
+                .map(|s| {
+                    ops[s]
+                        .iter()
+                        .find(|op| op.kind == StageOpKind::Recomp && op.micro == m)
+                        .expect("replay segment stage has a recompute op")
+                        .slot
+                })
+                .collect();
+            for w in slots.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "replay wave must advance one stage per slot");
+            }
+        }
+    }
+
+    #[test]
+    fn final_segment_never_replays() {
+        for (p, seg) in [(4usize, 2usize), (9, 3), (16, 4), (10, 3), (7, 7)] {
+            let ops = stage_timelines(RecomputePolicy::Segmented { segment: seg }, p, 8);
+            for (s, stage_ops) in ops.iter().enumerate() {
+                let has_recomp = stage_ops.iter().any(|op| op.kind == StageOpKind::Recomp);
+                assert_eq!(
+                    has_recomp,
+                    stage_replays(p, seg, s) && seg >= 2,
+                    "P={p} S={seg} stage {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_peaks_match_analytical_profile() {
+        // The headline invariant at simulation level, across a dense
+        // sweep of (P, S) — the threaded executor is checked against the
+        // same profiles in the integration tests.
+        for p in 1..=12usize {
+            let total = 2 * p + 4;
+            let model = ActivationModel { p };
+            assert_eq!(
+                simulate_peaks(RecomputePolicy::StashAll, p, total),
+                model.profile_no_recompute(),
+                "P={p} stash-all"
+            );
+            for seg in 1..=p {
+                assert_eq!(
+                    simulate_peaks(RecomputePolicy::Segmented { segment: seg }, p, total),
+                    model.profile_recompute(seg),
+                    "P={p} S={seg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_peaks_never_exceed_steady_state() {
+        // With fewer microbatches than the pipeline window the peaks are
+        // capped by the microbatch count, never above the profile.
+        let p = 8;
+        let model = ActivationModel { p };
+        for total in 1..2 * p {
+            let peaks = simulate_peaks(RecomputePolicy::StashAll, p, total);
+            for (s, (&got, &cap)) in
+                peaks.iter().zip(model.profile_no_recompute().iter()).enumerate()
+            {
+                assert_eq!(got, cap.min(total), "P={p} total={total} stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_current_and_peak() {
+        let reg = MetricsRegistry::new();
+        let ledger = ActivationLedger::with_registry(2, 100, &reg);
+        ledger.acquire(0);
+        ledger.acquire(0);
+        ledger.acquire(1);
+        ledger.release(0);
+        assert_eq!(ledger.current(0), 1);
+        assert_eq!(ledger.peaks(), vec![2, 1]);
+        assert_eq!(ledger.peak_bytes(), vec![200, 100]);
+        let current = reg.gauge("pipeline.stage.0.activation.current_bytes");
+        let peak = reg.gauge("pipeline.stage.0.activation.peak_bytes");
+        assert_eq!(current.get(), 100.0);
+        assert_eq!(peak.get(), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching acquire")]
+    fn ledger_rejects_unmatched_release() {
+        let ledger = ActivationLedger::new(1, 1);
+        ledger.release(0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests over the recompute memory model and its runtime
+//! realization.
+
+use proptest::prelude::*;
+
+use pipemare_pipeline::{simulate_peaks, ActivationModel, RecomputePolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimal_segment_never_loses_to_stash_all(p in 1usize..=64) {
+        let am = ActivationModel { p };
+        let s = am.optimal_segment();
+        prop_assert!(s >= 1 && s <= p);
+        prop_assert!(
+            am.total_recompute(s) <= am.total_no_recompute(),
+            "P={p}: optimal segment {s} uses {} > stash-all {}",
+            am.total_recompute(s),
+            am.total_no_recompute()
+        );
+    }
+
+    #[test]
+    fn optimal_segment_is_smallest_minimum(p in 1usize..=64) {
+        // The documented tie-break: every smaller segment size costs
+        // strictly more memory.
+        let am = ActivationModel { p };
+        let s = am.optimal_segment();
+        let best = am.total_recompute(s);
+        for smaller in 1..s {
+            prop_assert!(
+                am.total_recompute(smaller) > best,
+                "P={p}: S={smaller} ties or beats the reported optimum S={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_peaks_equal_analytical_profile(p in 1usize..=24, seg_frac in 0.0f64..1.0) {
+        // Steady state (≥ 2P−1 microbatches): the op-timeline replay must
+        // land exactly on the closed-form profile for any segment size.
+        let seg = 1 + (seg_frac * (p - 1) as f64).round() as usize;
+        let am = ActivationModel { p };
+        let peaks = simulate_peaks(RecomputePolicy::Segmented { segment: seg }, p, 2 * p + 3);
+        prop_assert_eq!(peaks, am.profile_recompute(seg), "P={} S={}", p, seg);
+    }
+}

@@ -20,6 +20,9 @@ pub enum SpanKind {
     Forward,
     /// Backward compute of one microbatch at one stage.
     Backward,
+    /// Replay forward of one microbatch at one stage (PipeMare Recompute
+    /// recovering a discarded activation just before its backward).
+    Recompute,
     /// Time a stage spent blocked waiting for forward input.
     QueueWaitFwd,
     /// Time a stage spent blocked waiting for backward input.
@@ -38,6 +41,7 @@ impl SpanKind {
         match self {
             SpanKind::Forward => "forward",
             SpanKind::Backward => "backward",
+            SpanKind::Recompute => "recompute",
             SpanKind::QueueWaitFwd => "wait_fwd",
             SpanKind::QueueWaitBkwd => "wait_bkwd",
             SpanKind::Inject => "inject",

@@ -17,6 +17,8 @@ pub struct StageTimeline {
     pub fwd_us: u64,
     /// Microseconds of backward compute.
     pub bkwd_us: u64,
+    /// Microseconds of replay (recompute) forward compute.
+    pub recomp_us: u64,
     /// Microseconds spent blocked waiting on either queue.
     pub wait_us: u64,
     /// Fraction of the run span this stage spent computing.
@@ -27,6 +29,12 @@ pub struct StageTimeline {
     /// start. Comparable to the nominal `2(P−1−s)+1` slots; divide by
     /// `N` for optimizer steps.
     pub measured_delay_slots: f64,
+    /// Measured mean recompute delay in microbatch slots: the number of
+    /// backward starts at this stage between a microbatch's replay start
+    /// and its backward start. Comparable to the nominal `2(S − s mod S)`
+    /// of App. D (divide by `N` for τ_recomp in optimizer steps); 0 when
+    /// the stage never replays.
+    pub measured_recomp_delay_slots: f64,
 }
 
 /// Aggregate view of one recorded pipeline run.
@@ -73,10 +81,12 @@ impl PipelineTimelineSummary {
         for s in 0..n_stages as u32 {
             let mut fwd_us = 0;
             let mut bkwd_us = 0;
+            let mut recomp_us = 0;
             let mut wait_us = 0;
             // (microbatch, ts) pairs for delay measurement.
             let mut fwd_starts = Vec::new();
             let mut bkwd_starts = Vec::new();
+            let mut recomp_starts = Vec::new();
             for e in events.iter().filter(|e| e.stage == s) {
                 match e.kind {
                     SpanKind::Forward => {
@@ -87,19 +97,28 @@ impl PipelineTimelineSummary {
                         bkwd_us += e.dur_us;
                         bkwd_starts.push((e.microbatch, e.ts_us));
                     }
+                    SpanKind::Recompute => {
+                        recomp_us += e.dur_us;
+                        recomp_starts.push((e.microbatch, e.ts_us));
+                    }
                     SpanKind::QueueWaitFwd | SpanKind::QueueWaitBkwd => wait_us += e.dur_us,
                     _ => {}
                 }
             }
-            let utilization =
-                if span_us == 0 { 0.0 } else { (fwd_us + bkwd_us) as f64 / span_us as f64 };
+            let utilization = if span_us == 0 {
+                0.0
+            } else {
+                (fwd_us + bkwd_us + recomp_us) as f64 / span_us as f64
+            };
             stages.push(StageTimeline {
                 stage: s,
                 fwd_us,
                 bkwd_us,
+                recomp_us,
                 wait_us,
                 utilization,
                 measured_delay_slots: measured_delay_slots(&fwd_starts, &bkwd_starts),
+                measured_recomp_delay_slots: backward_starts_between(&recomp_starts, &bkwd_starts),
             });
         }
 
@@ -124,6 +143,16 @@ impl PipelineTimelineSummary {
         2.0 * (stages - 1 - s) as f64 + 1.0
     }
 
+    /// App. D's nominal recompute delay in microbatch slots for stage `s`
+    /// under segmented recomputation with segment size `seg`:
+    /// `2(S − s mod S)` — what
+    /// [`StageTimeline::measured_recomp_delay_slots`] is compared to on
+    /// stages that replay.
+    pub fn nominal_recomp_delay_slots(seg: usize, s: usize) -> f64 {
+        assert!(seg > 0);
+        2.0 * (seg - s % seg) as f64
+    }
+
     /// JSON rendering (used by experiment logs and the trace example).
     pub fn to_json(&self) -> Value {
         let stages = self
@@ -134,9 +163,11 @@ impl PipelineTimelineSummary {
                     .set("stage", st.stage as u64)
                     .set("fwd_us", st.fwd_us)
                     .set("bkwd_us", st.bkwd_us)
+                    .set("recomp_us", st.recomp_us)
                     .set("wait_us", st.wait_us)
                     .set("utilization", st.utilization)
                     .set("measured_delay_slots", st.measured_delay_slots)
+                    .set("measured_recomp_delay_slots", st.measured_recomp_delay_slots)
             })
             .collect();
         Value::obj()
@@ -163,6 +194,35 @@ fn measured_delay_slots(fwd_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -
         let between =
             bkwd_starts.iter().filter(|&&(b, ts)| b != mb && ts >= fwd_ts && ts < bkwd_ts).count();
         total += (between + 1) as f64;
+        measured += 1;
+    }
+    if measured == 0 {
+        0.0
+    } else {
+        total / measured as f64
+    }
+}
+
+/// Mean over microbatches with a replay of the number of backward starts
+/// at this stage in `[recomp_start(m), bkwd_start(m))` — the executable
+/// analogue of App. D's `2(S − s mod S)` recompute delay (no `+1` here:
+/// the replay reads weights already updated by this stage's own last
+/// backward, unlike the forward whose staleness includes its own update).
+fn backward_starts_between(recomp_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -> f64 {
+    if recomp_starts.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut measured = 0usize;
+    for &(mb, recomp_ts) in recomp_starts {
+        let Some(&(_, bkwd_ts)) = bkwd_starts.iter().find(|(b, _)| *b == mb) else {
+            continue;
+        };
+        let between = bkwd_starts
+            .iter()
+            .filter(|&&(b, ts)| b != mb && ts >= recomp_ts && ts < bkwd_ts)
+            .count();
+        total += between as f64;
         measured += 1;
     }
     if measured == 0 {
@@ -239,6 +299,35 @@ mod tests {
         assert!((PipelineTimelineSummary::nominal_gpipe_bubble_fraction(4, 2) - 0.6).abs() < 1e-12);
         assert_eq!(PipelineTimelineSummary::nominal_delay_slots(4, 0), 7.0);
         assert_eq!(PipelineTimelineSummary::nominal_delay_slots(4, 3), 1.0);
+        // App. D: segment size 4 → boundary replays 8 slots early, the
+        // segment's last stage only 2.
+        assert_eq!(PipelineTimelineSummary::nominal_recomp_delay_slots(4, 0), 8.0);
+        assert_eq!(PipelineTimelineSummary::nominal_recomp_delay_slots(4, 3), 2.0);
+        assert_eq!(PipelineTimelineSummary::nominal_recomp_delay_slots(3, 7), 4.0);
+    }
+
+    #[test]
+    fn recompute_spans_are_aggregated_and_measured() {
+        // Stage 0: replay of mb2 starts at 35; backwards of mb0 (40) and
+        // mb1 (50) land before mb2's backward at 60 → 2 measured slots.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 0, 5),
+            span(SpanKind::Forward, 0, 1, 10, 5),
+            span(SpanKind::Forward, 0, 2, 20, 5),
+            span(SpanKind::Recompute, 0, 2, 35, 5),
+            span(SpanKind::Backward, 0, 0, 40, 5),
+            span(SpanKind::Backward, 0, 1, 50, 5),
+            span(SpanKind::Backward, 0, 2, 60, 5),
+        ];
+        let s = PipelineTimelineSummary::from_events(&events);
+        assert_eq!(s.stages[0].recomp_us, 5);
+        assert!((s.stages[0].measured_recomp_delay_slots - 2.0).abs() < 1e-12);
+        // Replay time counts as compute, not bubble.
+        assert_eq!(s.stages[0].fwd_us + s.stages[0].bkwd_us + s.stages[0].recomp_us, 35);
+        let j = s.to_json();
+        let row = &j.get("stages").unwrap().as_arr().unwrap()[0];
+        assert!(row.get("recomp_us").is_some());
+        assert!(row.get("measured_recomp_delay_slots").is_some());
     }
 
     #[test]

@@ -42,6 +42,7 @@ benches=(
   table3_ablation
   table4_activation_memory
   table5_task_activation_memory
+  recompute_memory
   ablation_gamma_choice
   ablation_partitioning
 )
@@ -53,5 +54,8 @@ done
 
 echo "=== trace_pipeline (Chrome traces + metrics snapshot) ==="
 cargo run --release --example trace_pipeline 2>&1 | tee "$out/trace_pipeline.txt"
+
+echo "=== recompute_pipeline (live activation accounting + τ_recomp) ==="
+cargo run --release --example recompute_pipeline 2>&1 | tee "$out/recompute_pipeline.txt"
 
 echo "All artifact logs and traces in $out/"
