@@ -7,7 +7,10 @@
 //! the kernel layer is tracked across commits.
 //!
 //! Passing `--test` anywhere on the command line runs a seconds-long
-//! smoke version (tiny shapes, correctness cross-check, no JSON) for CI.
+//! smoke version (tiny shapes, correctness cross-check) for CI. The
+//! smoke run writes the JSON too — timing series for its own tiny
+//! shapes, no 512³ headline scalars — so `scripts/check_bench.sh` can
+//! verify the log's structure against the checked-in baseline.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -150,11 +153,6 @@ fn main() {
         group.finish();
     }
 
-    if smoke {
-        println!("\ngemm_kernels smoke OK ({} shapes, bit-exact across variants)", shapes.len());
-        return;
-    }
-
     for (name, secs) in &times {
         log.push_series(&format!("seconds.{name}"), secs.iter().copied());
         let gflops = shapes
@@ -163,16 +161,22 @@ fn main() {
             .map(|(&(_, m, k, n), &s)| 2.0 * (m * k * n) as f64 / s / 1e9);
         log.push_series(&format!("gflops.{name}"), gflops);
     }
-    // Headline scalars at 512^3 (shape index 2).
-    let idx512 = 2;
-    let naive = times[0].1[idx512];
-    let blocked = times[1].1[idx512];
-    log.push_scalar("speedup_blocked_vs_naive_512", naive / blocked);
-    for (name, secs) in times.iter().skip(2) {
-        log.push_scalar(&format!("speedup_{name}_vs_naive_512"), naive / secs[idx512]);
+    if !smoke {
+        // Headline scalars at 512^3 (shape index 2); the smoke shapes
+        // don't include it.
+        let idx512 = 2;
+        let naive = times[0].1[idx512];
+        let blocked = times[1].1[idx512];
+        log.push_scalar("speedup_blocked_vs_naive_512", naive / blocked);
+        for (name, secs) in times.iter().skip(2) {
+            log.push_scalar(&format!("speedup_{name}_vs_naive_512"), naive / secs[idx512]);
+        }
     }
     match log.save() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+    if smoke {
+        println!("\ngemm_kernels smoke OK ({} shapes, bit-exact across variants)", shapes.len());
     }
 }

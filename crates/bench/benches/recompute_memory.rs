@@ -14,7 +14,10 @@
 //! Writes `bench_recompute_memory.json` (an [`ExperimentLog`]); the
 //! checked-in copy at the repo root is `BENCH_recompute_memory.json`.
 //! Passing `--test` runs a seconds-long smoke version (small P, zero
-//! injected work, no JSON) for CI.
+//! injected work) for CI; the smoke run still writes the JSON — with the
+//! sweep series truncated to the smoke prefix and the full-sweep-only
+//! scalars omitted — so `scripts/check_bench.sh` can diff it against the
+//! checked-in baseline.
 
 use std::time::Duration;
 
@@ -95,19 +98,23 @@ fn main() {
         log.push_scalar(&format!("table5.{p}.ratio"), exact);
     }
 
-    if smoke {
-        println!("\nrecompute_memory smoke OK ({} pipelines, peaks exact)", sweep.len());
-        return;
-    }
-
     log.push_series("stages", stages_series);
     log.push_series("memory_ratio_measured", ratio_series.iter().copied());
     log.push_series("memory_ratio_table5_model", model_series);
     log.push_series("throughput_overhead", overhead_series.iter().copied());
-    log.push_scalar("memory_ratio_p25", *ratio_series.last().expect("sweep non-empty"));
-    log.push_scalar("throughput_overhead_p25", *overhead_series.last().expect("sweep non-empty"));
+    if !smoke {
+        // The P = 25 headline scalars only exist on the full sweep.
+        log.push_scalar("memory_ratio_p25", *ratio_series.last().expect("sweep non-empty"));
+        log.push_scalar(
+            "throughput_overhead_p25",
+            *overhead_series.last().expect("sweep non-empty"),
+        );
+    }
     match log.save() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+    if smoke {
+        println!("\nrecompute_memory smoke OK ({} pipelines, peaks exact)", sweep.len());
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod health;
 pub mod metrics;
 pub mod runners;
 pub mod stats;
@@ -29,10 +30,12 @@ pub use checkpoint::{
     load_params, load_state, save_params, save_state, CheckpointError, TrainerState,
 };
 pub use config::{RecomputeCfg, TrainConfig, TrainMode};
+pub use health::{AnomalyPolicy, HealthHook};
 pub use metrics::TrainerMetrics;
 pub use runners::{
-    run_image_training, run_image_training_with_metrics, run_regression_training,
-    run_translation_training, ClassifierModel,
+    run_image_training, run_image_training_observed, run_image_training_with_metrics,
+    run_regression_training, run_regression_training_observed, run_translation_training,
+    ClassifierModel,
 };
 pub use stats::{EpochRecord, RunHistory, StepStats};
 pub use trainer::{PipelineTrainer, StageInfo};

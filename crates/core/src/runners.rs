@@ -10,6 +10,7 @@ use pipemare_nn::{
 use pipemare_tensor::Tensor;
 
 use crate::config::{TrainConfig, TrainMode};
+use crate::health::HealthHook;
 use crate::metrics::TrainerMetrics;
 use crate::stats::{epoch_time, EpochRecord, RunHistory};
 use crate::trainer::PipelineTrainer;
@@ -97,6 +98,37 @@ pub fn run_image_training<M: ClassifierModel>(
 pub fn run_image_training_with_metrics<M: ClassifierModel>(
     model: &M,
     ds: &ImageDataset,
+    cfg: TrainConfig,
+    epochs: usize,
+    minibatch: usize,
+    warmup_epochs: usize,
+    eval_cap: usize,
+    seed: u64,
+    metrics: Option<TrainerMetrics>,
+) -> RunHistory {
+    run_image_training_observed(
+        model,
+        ds,
+        cfg,
+        epochs,
+        minibatch,
+        warmup_epochs,
+        eval_cap,
+        seed,
+        metrics,
+        None,
+    )
+}
+
+/// [`run_image_training_with_metrics`] with an optional [`HealthHook`]
+/// attached as well. The health monitor observes every optimizer step;
+/// if its halt policy stops the run, the history's `halted` flag is set
+/// and the epoch loop exits early. Keep an `Arc` clone of the hook's
+/// monitor to build the [`pipemare_telemetry::RunReport`] afterwards.
+#[allow(clippy::too_many_arguments)]
+pub fn run_image_training_observed<M: ClassifierModel>(
+    model: &M,
+    ds: &ImageDataset,
     mut cfg: TrainConfig,
     epochs: usize,
     minibatch: usize,
@@ -104,6 +136,7 @@ pub fn run_image_training_with_metrics<M: ClassifierModel>(
     eval_cap: usize,
     seed: u64,
     metrics: Option<TrainerMetrics>,
+    health: Option<HealthHook>,
 ) -> RunHistory {
     let mut it = MinibatchIter::new(ds.train_len(), minibatch, seed);
     let steps_per_epoch = it.batches_per_epoch();
@@ -113,6 +146,9 @@ pub fn run_image_training_with_metrics<M: ClassifierModel>(
     let mut trainer = PipelineTrainer::new(model, cfg, seed);
     if let Some(m) = metrics {
         trainer.set_metrics(m);
+    }
+    if let Some(h) = health {
+        trainer.set_health(h);
     }
     let n_micro = trainer.clock().n_micro;
     let (test_x, test_y) = ds.test_batch();
@@ -145,6 +181,17 @@ pub fn run_image_training_with_metrics<M: ClassifierModel>(
                     metric: 0.0,
                     time,
                     param_norm: f32::INFINITY,
+                });
+                break 'outer;
+            }
+            if trainer.health_halted() {
+                history.halted = true;
+                history.epochs.push(EpochRecord {
+                    epoch,
+                    train_loss: f32::NAN,
+                    metric: 0.0,
+                    time,
+                    param_norm: last_norm,
                 });
                 break 'outer;
             }
@@ -262,7 +309,24 @@ pub fn run_regression_training(
     steps: usize,
     seed: u64,
 ) -> (Vec<f32>, bool) {
+    run_regression_training_observed(model, ds, cfg, steps, seed, None)
+}
+
+/// [`run_regression_training`] with an optional [`HealthHook`]. The loop
+/// exits early when the hook's halt policy fires (in addition to the
+/// usual divergence exit); query the hook's monitor for the verdicts.
+pub fn run_regression_training_observed(
+    model: &LinearRegression,
+    ds: &RegressionDataset,
+    cfg: TrainConfig,
+    steps: usize,
+    seed: u64,
+    health: Option<HealthHook>,
+) -> (Vec<f32>, bool) {
     let mut trainer = PipelineTrainer::new(model, cfg, seed);
+    if let Some(h) = health {
+        trainer.set_health(h);
+    }
     let n_micro = trainer.clock().n_micro;
     let n = ds.len();
     let idx: Vec<usize> = (0..n).collect();
@@ -287,6 +351,9 @@ pub fn run_regression_training(
         losses.push(stats.loss);
         if stats.diverged {
             return (losses, true);
+        }
+        if trainer.health_halted() {
+            break;
         }
     }
     (losses, false)

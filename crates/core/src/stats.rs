@@ -39,6 +39,9 @@ pub struct RunHistory {
     pub epochs: Vec<EpochRecord>,
     /// Whether the run diverged.
     pub diverged: bool,
+    /// Whether the run was stopped early by the health monitor's halt
+    /// policy (see [`crate::HealthHook`]).
+    pub halted: bool,
     /// Label for reports.
     pub label: String,
 }
@@ -90,7 +93,13 @@ impl std::fmt::Display for RunHistory {
             self.best_metric(),
             self.final_metric(),
             self.epochs.last().map(|e| e.time).unwrap_or(0.0),
-            if self.diverged { " (diverged)" } else { "" }
+            if self.diverged {
+                " (diverged)"
+            } else if self.halted {
+                " (halted)"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -143,6 +152,7 @@ mod tests {
                 })
                 .collect(),
             diverged: false,
+            halted: false,
             label: "test".into(),
         }
     }

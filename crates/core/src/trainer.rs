@@ -8,8 +8,15 @@ use pipemare_optim::{clip_grad_norm, Optimizer};
 use pipemare_pipeline::{Method, PipelineClock, StagePartition, WeightHistory};
 use pipemare_theory::gamma_from_d;
 
+use std::sync::Arc;
+
+use pipemare_telemetry::{
+    HealthEvent, HealthEventKind, HealthMonitor, Severity, StageObservation, StepObservation,
+};
+
 use crate::checkpoint::TrainerState;
 use crate::config::{TrainConfig, TrainMode};
+use crate::health::{AnomalyPolicy, HealthHook};
 use crate::metrics::TrainerMetrics;
 use crate::stats::StepStats;
 
@@ -54,6 +61,14 @@ pub struct PipelineTrainer<'m, M: TrainModel> {
     diverged: bool,
     hogwild_rng: StdRng,
     metrics: Option<TrainerMetrics>,
+    health: Option<HealthHook>,
+    /// Latched by [`AnomalyPolicy::Halt`]; freezes further updates.
+    halted: bool,
+    /// Previous step's (pre-clip) gradient, for the λ̂ secant estimate.
+    prev_grad: Option<Vec<f32>>,
+    /// Previous step's forward-version weights, for the λ̂ secant
+    /// denominator.
+    prev_fwd: Option<Vec<f32>>,
 }
 
 impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
@@ -127,6 +142,10 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             diverged: false,
             hogwild_rng,
             metrics: None,
+            health: None,
+            halted: false,
+            prev_grad: None,
+            prev_fwd: None,
         }
     }
 
@@ -134,6 +153,33 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
     /// [`PipelineTrainer::train_minibatch`] records into them.
     pub fn set_metrics(&mut self, metrics: TrainerMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches a health hook; every subsequent
+    /// [`PipelineTrainer::train_minibatch`] feeds the hook's
+    /// [`HealthMonitor`] a per-stage [`StepObservation`] and applies the
+    /// hook's snapshot/halt policy to the events that come back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was built for a different stage count.
+    pub fn set_health(&mut self, hook: HealthHook) {
+        assert_eq!(
+            hook.monitor.n_stages(),
+            self.cfg.stages,
+            "health monitor stage count must match the trainer"
+        );
+        self.health = Some(hook);
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health_monitor(&self) -> Option<&Arc<HealthMonitor>> {
+        self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// Whether the anomaly policy has halted training.
+    pub fn health_halted(&self) -> bool {
+        self.halted
     }
 
     /// The latest (most up-to-date) parameter vector.
@@ -243,6 +289,26 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             .collect()
     }
 
+    /// The T1 learning-rate multiplier for stage `s` at async step
+    /// `t_async` — shared by the update loop and the health observation
+    /// so the monitored α is exactly the α applied.
+    fn t1_scale(&self, s: usize, t_async: usize, sync_phase: bool) -> f32 {
+        match (&self.cfg.t1, sync_phase, self.cfg.mode.method()) {
+            (Some(t1), false, Some(Method::PipeMare)) => {
+                t1.scale(t_async, self.clock.nominal_tau_fwd(s))
+            }
+            (Some(t1), false, None) => {
+                // Hogwild: rescale by the stage's mean delay.
+                if let TrainMode::Hogwild(h) = &self.cfg.mode {
+                    t1.scale(t_async, h.means[s])
+                } else {
+                    1.0
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
     fn assemble(&self, buf: &mut [f32], version_of: impl Fn(usize) -> usize) {
         for s in 0..self.cfg.stages {
             let (lo, hi) = self.partition.range(s);
@@ -276,19 +342,26 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         let sync_phase = t < self.cfg.warmup_steps;
         let total = self.partition.total_params();
 
-        if self.diverged {
-            // Once diverged, report without updating (runners stop early).
+        if self.diverged || self.halted {
+            // Once diverged (or halted by the anomaly policy), report
+            // without updating (runners stop early).
             self.step += 1;
             let base_lr = self.cfg.schedule.lr(t);
+            let param_norm = if self.diverged {
+                f32::INFINITY
+            } else {
+                self.history.latest().iter().map(|&w| w as f64 * w as f64).sum::<f64>().sqrt()
+                    as f32
+            };
             if let (Some(m), Some(s)) = (&self.metrics, started) {
-                m.record_step(s, f32::NAN, base_lr, 0.0, 0.0, f32::INFINITY, false, true);
+                m.record_step(s, f32::NAN, base_lr, 0.0, 0.0, param_norm, false, self.diverged);
             }
             return StepStats {
                 step: t,
                 loss: f32::NAN,
-                param_norm: f32::INFINITY,
+                param_norm,
                 base_lr,
-                diverged: true,
+                diverged: self.diverged,
             };
         }
 
@@ -384,6 +457,11 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             }
         }
 
+        // The health monitor's curvature secant wants the raw gradient of
+        // the loss — clipping rescales it and would bias λ̂ — so capture
+        // it before the clip. Only paid when a hook is attached.
+        let health_grad = self.health.as_ref().map(|_| grad.clone());
+
         let mut clipped = false;
         if let Some(clip) = self.cfg.grad_clip {
             clipped = clip_grad_norm(&mut grad, clip) > clip;
@@ -399,20 +477,7 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
             let t_async = t.saturating_sub(self.cfg.warmup_steps);
             for s in 0..self.cfg.stages {
                 let (lo, hi) = self.partition.range(s);
-                let scale = match (&self.cfg.t1, sync_phase, method) {
-                    (Some(t1), false, Some(Method::PipeMare)) => {
-                        t1.scale(t_async, self.clock.nominal_tau_fwd(s))
-                    }
-                    (Some(t1), false, None) => {
-                        // Hogwild: rescale by the stage's mean delay.
-                        if let TrainMode::Hogwild(h) = &self.cfg.mode {
-                            t1.scale(t_async, h.means[s])
-                        } else {
-                            1.0
-                        }
-                    }
-                    _ => 1.0,
-                };
+                let scale = self.t1_scale(s, t_async, sync_phase);
                 if s == 0 {
                     stage0_lr = base_lr * scale;
                 }
@@ -455,7 +520,140 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                 self.diverged,
             );
         }
+        if let Some(hg) = health_grad {
+            self.observe_health(t, sync_phase, loss_acc, &hg, &fwd_buf, base_lr);
+        }
         StepStats { step: t, loss: loss_acc, param_norm, base_lr, diverged: self.diverged }
+    }
+
+    /// Feeds the attached [`HealthMonitor`] one observation for the step
+    /// just completed and applies the hook's snapshot/halt policy to the
+    /// events it raises.
+    ///
+    /// `grad` is the pre-clip minibatch gradient and `fwd` the last
+    /// microbatch's forward-assembled weights: successive differences of
+    /// the two give the monitor its curvature secant
+    /// λ̂ ≈ ‖g_t − g_{t−1}‖ / ‖u_t − u_{t−1}‖ per stage. Using the
+    /// forward version (rather than `w_new − w_old`) keeps the
+    /// denominator on the same weight trajectory the gradient was
+    /// evaluated on, so the estimate stays unbiased even while the
+    /// iterates grow.
+    fn observe_health(
+        &mut self,
+        t: usize,
+        sync_phase: bool,
+        loss: f32,
+        grad: &[f32],
+        fwd: &[f32],
+        base_lr: f32,
+    ) {
+        let Some(hook) = &self.health else { return };
+        let monitor = Arc::clone(&hook.monitor);
+        let t_async = t.saturating_sub(self.cfg.warmup_steps);
+        let slice_norm = |v: &[f32], lo: usize, hi: usize| -> f64 {
+            v[lo..hi].iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
+        };
+        let diff_norm = |a: &[f32], b: &[f32], lo: usize, hi: usize| -> f64 {
+            a[lo..hi]
+                .iter()
+                .zip(b[lo..hi].iter())
+                .map(|(&x, &y)| (x as f64 - y as f64) * (x as f64 - y as f64))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let latest = self.history.latest();
+        let t2_on = self.cfg.t2_decay.is_some();
+        let mut stages = Vec::with_capacity(self.cfg.stages);
+        for s in 0..self.cfg.stages {
+            let (lo, hi) = self.partition.range(s);
+            let (grad_diff_norm, fwd_diff_norm) = match (&self.prev_grad, &self.prev_fwd) {
+                (Some(pg), Some(pf)) => (diff_norm(grad, pg, lo, hi), diff_norm(fwd, pf, lo, hi)),
+                _ => (f64::NAN, f64::NAN),
+            };
+            // During T3 warmup every read is synchronous, so the margin
+            // is judged at τ = 0; afterwards at the nominal delays.
+            let (tau_fwd, tau_bkwd) = if sync_phase {
+                (0.0, 0.0)
+            } else {
+                match &self.cfg.mode {
+                    TrainMode::Pipeline(m) => (
+                        match m {
+                            Method::GPipe => 0.0,
+                            _ => self.clock.nominal_tau_fwd(s),
+                        },
+                        self.clock.nominal_tau_bkwd(*m, s),
+                    ),
+                    TrainMode::Hogwild(h) => (h.means[s], h.means[s]),
+                }
+            };
+            stages.push(StageObservation {
+                grad_norm: slice_norm(grad, lo, hi),
+                grad_diff_norm,
+                fwd_diff_norm,
+                weight_norm: slice_norm(latest, lo, hi),
+                delta_norm: if t2_on { slice_norm(&self.delta, lo, hi) } else { 0.0 },
+                alpha: base_lr as f64 * self.t1_scale(s, t_async, sync_phase) as f64,
+                tau_fwd,
+                tau_bkwd,
+                gamma: self.gammas[s],
+            });
+        }
+        let obs = StepObservation {
+            step: t,
+            loss: loss as f64,
+            grad_norm: slice_norm(grad, 0, grad.len()),
+            diverged: self.diverged,
+            stages,
+        };
+        let events = monitor.observe(&obs);
+        self.prev_grad = Some(grad.to_vec());
+        self.prev_fwd = Some(fwd.to_vec());
+
+        let worst = events.iter().map(|e| e.severity).max();
+        let hook = self.health.as_ref().expect("hook checked above");
+        let want_snapshot = !hook.snapshot_taken
+            && hook.snapshot_dir.is_some()
+            && worst.is_some_and(|w| w >= hook.snapshot_severity);
+        let want_halt =
+            hook.policy == AnomalyPolicy::Halt && worst.is_some_and(|w| w >= hook.halt_severity);
+        if want_snapshot {
+            // The state already includes this step's update (and, on
+            // divergence, the preserved last-finite weights), so resuming
+            // from it replays the rest of the run bit-identically.
+            let state = self.state();
+            let dir = self.health.as_ref().and_then(|h| h.snapshot_dir.clone()).unwrap();
+            let path = dir.join(format!("anomaly_step{}.ckpt", state.step));
+            let saved = std::fs::create_dir_all(&dir)
+                .map_err(crate::checkpoint::CheckpointError::from)
+                .and_then(|()| crate::checkpoint::save_state(&path, &state));
+            match saved {
+                Ok(()) => {
+                    self.health.as_mut().expect("hook checked above").snapshot_taken = true;
+                    monitor.record_snapshot(t, &path.display().to_string());
+                }
+                Err(e) => monitor.record_event(HealthEvent {
+                    step: t,
+                    stage: None,
+                    kind: HealthEventKind::Snapshot,
+                    severity: Severity::Warn,
+                    value: f64::NAN,
+                    threshold: f64::NAN,
+                    message: format!("snapshot-on-anomaly failed: {e}"),
+                }),
+            }
+        }
+        if want_halt && !self.halted {
+            self.halted = true;
+            monitor.record_event(HealthEvent {
+                step: t,
+                stage: None,
+                kind: HealthEventKind::Halt,
+                severity: Severity::Info,
+                value: f64::NAN,
+                threshold: f64::NAN,
+                message: format!("anomaly policy halted training after step {t}"),
+            });
+        }
     }
 }
 

@@ -23,5 +23,5 @@ pub mod translation;
 pub use batcher::{split_microbatches, MinibatchIter};
 pub use images::{ImageDataset, SyntheticImages};
 pub use metrics::{accuracy, corpus_bleu, perplexity};
-pub use regression::{cpusmall_like, RegressionDataset};
+pub use regression::{cpusmall_like, isotropic_regression, RegressionDataset};
 pub use translation::{batch_by_tokens, batch_pairs, SyntheticTranslation, TranslationDataset};

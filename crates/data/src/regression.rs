@@ -63,6 +63,36 @@ pub fn cpusmall_like(n: usize, seed: u64) -> RegressionDataset {
     RegressionDataset { x, y, max_curvature }
 }
 
+/// A regression dataset whose MSE Hessian is *exactly*
+/// `diag(λ, …, λ, 2)` over the `d` weights and the bias: rows come in
+/// pairs `±s·e_j` with `s = √(d·λ/2)`, so `XᵀX = 2s²·I`, the ± pairing
+/// cancels the weight–bias cross terms, and `y ≡ 0` puts the optimum at
+/// the origin with zero loss.
+///
+/// Because the Hessian is diagonal and the curvature is uniform across
+/// the weight coordinates, any contiguous stage partition sees curvature
+/// exactly `λ` on its slice (the bias-holding stage sees `{λ, 2}`), which
+/// makes the health monitor's secant estimate λ̂ land on `λ` exactly —
+/// the controlled setting for validating online stability margins
+/// against Lemma 1.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `lambda` is not positive.
+pub fn isotropic_regression(d: usize, lambda: f32) -> RegressionDataset {
+    assert!(d > 0, "need at least one feature");
+    assert!(lambda > 0.0, "curvature must be positive");
+    let s = (d as f32 * lambda / 2.0).sqrt();
+    let n = 2 * d;
+    let mut x = Tensor::zeros(&[n, d]);
+    for j in 0..d {
+        x.data_mut()[(2 * j) * d + j] = s;
+        x.data_mut()[(2 * j + 1) * d + j] = -s;
+    }
+    let y = Tensor::zeros(&[n]);
+    RegressionDataset { x, y, max_curvature: lambda.max(2.0) }
+}
+
 fn crate_randn(rng: &mut StdRng) -> f32 {
     // Box–Muller (shared with pipemare-tensor's init, re-derived here to
     // keep the data crate self-contained for scalar draws).

@@ -20,7 +20,10 @@
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, select, unbounded};
-use pipemare_telemetry::{NullRecorder, Recorder, SpanKind, NO_MICROBATCH};
+use pipemare_telemetry::{
+    HealthMonitor, NullRecorder, PipelineTimelineSummary, Recorder, SpanKind, TraceRecorder,
+    NO_MICROBATCH,
+};
 
 use crate::delay::Method;
 use crate::recompute::{stage_timelines, ActivationLedger, RecomputePolicy, StageOpKind};
@@ -66,6 +69,43 @@ pub fn run_threaded_pipeline(
         work_per_stage,
         &NullRecorder,
     )
+}
+
+/// [`run_threaded_pipeline_traced`] with a [`HealthMonitor`] sampling
+/// the measured delays: the run is traced into a fresh
+/// [`TraceRecorder`], the recorded events are fed to
+/// [`HealthMonitor::ingest_events`] (filling the
+/// `pipeline.stage{i}.tau_fwd` / `.tau_recomp` histograms when the
+/// monitor carries a registry), and the derived
+/// [`PipelineTimelineSummary`] is returned alongside the wall-clock
+/// report for the end-of-run [`pipemare_telemetry::RunReport`].
+///
+/// The monitor's stage count need not match `stages`; extra stages in
+/// the trace are ignored and missing ones leave empty histograms.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn run_threaded_pipeline_health(
+    method: Method,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+    monitor: &HealthMonitor,
+) -> (ThreadedPipelineReport, PipelineTimelineSummary) {
+    let recorder = TraceRecorder::new();
+    let report = run_threaded_pipeline_traced(
+        method,
+        stages,
+        n_micro,
+        minibatches,
+        work_per_stage,
+        &recorder,
+    );
+    let events = recorder.events();
+    monitor.ingest_events(&events);
+    (report, PipelineTimelineSummary::from_events(&events))
 }
 
 /// [`run_threaded_pipeline`] with a telemetry [`Recorder`].

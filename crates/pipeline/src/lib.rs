@@ -39,7 +39,8 @@ pub use cost::{
 pub use delay::{Method, PipelineClock};
 pub use executor::{
     run_recompute_pipeline, run_recompute_pipeline_traced, run_threaded_pipeline,
-    run_threaded_pipeline_traced, RecomputePipelineReport, ThreadedPipelineReport,
+    run_threaded_pipeline_health, run_threaded_pipeline_traced, RecomputePipelineReport,
+    ThreadedPipelineReport,
 };
 pub use history::WeightHistory;
 pub use hogwild::HogwildDelays;

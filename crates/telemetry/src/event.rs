@@ -50,6 +50,21 @@ impl SpanKind {
         }
     }
 
+    /// Inverse of [`SpanKind::name`], for trace readers.
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        Some(match name {
+            "forward" => SpanKind::Forward,
+            "backward" => SpanKind::Backward,
+            "recompute" => SpanKind::Recompute,
+            "wait_fwd" => SpanKind::QueueWaitFwd,
+            "wait_bkwd" => SpanKind::QueueWaitBkwd,
+            "inject" => SpanKind::Inject,
+            "flush" => SpanKind::Flush,
+            "step" => SpanKind::Step,
+            _ => return None,
+        })
+    }
+
     /// Whether events of this kind are instants (zero duration) rather
     /// than spans.
     pub fn is_instant(&self) -> bool {

@@ -10,7 +10,7 @@
 use std::io;
 use std::path::Path;
 
-use crate::event::{TraceEvent, NO_MICROBATCH};
+use crate::event::{SpanKind, TraceEvent, NO_MICROBATCH};
 use crate::json::Value;
 
 fn event_args(ev: &TraceEvent) -> Value {
@@ -92,6 +92,66 @@ pub fn event_to_jsonl(ev: &TraceEvent) -> String {
         obj = obj.set("microbatch", ev.microbatch as u64);
     }
     obj.to_compact()
+}
+
+/// Parses one JSONL row (as written by [`event_to_jsonl`]) back into a
+/// [`TraceEvent`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing field.
+pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
+    let v = crate::json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let kind_name = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"kind\"".to_string())?;
+    let kind =
+        SpanKind::from_name(kind_name).ok_or_else(|| format!("unknown span kind {kind_name:?}"))?;
+    let num = |field: &str| -> Result<u64, String> {
+        let n = v
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing numeric field {field:?}"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("field {field:?} = {n} is not a non-negative integer"));
+        }
+        Ok(n as u64)
+    };
+    Ok(TraceEvent {
+        kind,
+        track: num("track")? as u32,
+        stage: num("stage")? as u32,
+        microbatch: if v.get("microbatch").is_some() {
+            num("microbatch")? as u32
+        } else {
+            NO_MICROBATCH
+        },
+        ts_us: num("ts_us")?,
+        dur_us: num("dur_us")?,
+    })
+}
+
+/// Reads a JSONL event log back into memory (inverse of [`write_jsonl`];
+/// blank lines are skipped).
+///
+/// # Errors
+///
+/// Propagates I/O failures; malformed rows surface as
+/// [`io::ErrorKind::InvalidData`] with the line number.
+pub fn read_jsonl(path: &Path) -> io::Result<Vec<TraceEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = event_from_jsonl(line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
 }
 
 /// Writes events as a JSONL log, one event per line.
@@ -205,6 +265,71 @@ mod tests {
         }
         // The flush row (no microbatch) must omit the field.
         assert!(json::parse(&lines[3]).unwrap().get("microbatch").is_none());
+    }
+
+    #[test]
+    fn jsonl_event_roundtrip_is_exact() {
+        for ev in sample_events() {
+            let back = event_from_jsonl(&event_to_jsonl(&ev)).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn jsonl_reader_rejects_malformed_rows() {
+        assert!(event_from_jsonl("not json").is_err());
+        assert!(event_from_jsonl("{\"kind\":\"warp\",\"track\":0}").is_err());
+        assert!(event_from_jsonl("{\"kind\":\"forward\",\"track\":0,\"stage\":0}").is_err());
+        assert!(event_from_jsonl(
+            "{\"kind\":\"forward\",\"track\":-1,\"stage\":0,\"ts_us\":0,\"dur_us\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn jsonl_file_roundtrip_reproduces_timeline_summary() {
+        use crate::summary::PipelineTimelineSummary;
+
+        // A two-stage trace with interleaved backwards, waits, a replay
+        // and a driver flush — every field the summary folds over.
+        let mut events = sample_events();
+        events.extend([
+            TraceEvent {
+                kind: SpanKind::QueueWaitFwd,
+                track: 1,
+                stage: 1,
+                microbatch: NO_MICROBATCH,
+                ts_us: 2,
+                dur_us: 9,
+            },
+            TraceEvent {
+                kind: SpanKind::Recompute,
+                track: 0,
+                stage: 0,
+                microbatch: 0,
+                ts_us: 14,
+                dur_us: 3,
+            },
+            TraceEvent {
+                kind: SpanKind::Backward,
+                track: 0,
+                stage: 0,
+                microbatch: 0,
+                ts_us: 20,
+                dur_us: 8,
+            },
+        ]);
+        let dir = std::env::temp_dir().join("pipemare-telemetry-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        write_jsonl(&events, &path).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(
+            PipelineTimelineSummary::from_events(&back),
+            PipelineTimelineSummary::from_events(&events)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`summary`]: [`PipelineTimelineSummary`] — per-stage utilization,
 //!   bubble fraction, and measured-vs-nominal forward delay derived from
 //!   a recorded trace.
+//! * [`health`]: the training [`health::HealthMonitor`] — EWMA anomaly
+//!   baselines, measured delay histograms, online Lemma 1 / T2 stability
+//!   margins from a trajectory curvature estimate λ̂, and end-of-run
+//!   [`health::RunReport`]s.
 //! * [`json`]: the minimal JSON document model the exporters are built
 //!   on (the workspace has no serde).
 //!
@@ -45,12 +49,19 @@
 
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod summary;
 
 pub use event::{NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH};
-pub use export::{chrome_trace, event_to_jsonl, write_chrome_trace, write_jsonl};
+pub use export::{
+    chrome_trace, event_from_jsonl, event_to_jsonl, read_jsonl, write_chrome_trace, write_jsonl,
+};
+pub use health::{
+    HealthConfig, HealthEvent, HealthEventKind, HealthMonitor, RunReport, Severity,
+    StageObservation, StageVerdict, StepObservation,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
 };

@@ -66,13 +66,14 @@ pub struct Histogram {
 
 impl Histogram {
     /// Creates a histogram with the given strictly increasing upper
-    /// bounds.
+    /// bounds. Empty `bounds` is allowed and degenerates to a single
+    /// overflow bucket: counts and sums still work, but quantiles have no
+    /// bound to report and come back NaN.
     ///
     /// # Panics
     ///
-    /// Panics if `bounds` is empty or not strictly increasing.
+    /// Panics if `bounds` is not strictly increasing.
     pub fn with_bounds(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing: {bounds:?}"
@@ -162,25 +163,28 @@ impl HistogramSnapshot {
 
     /// Approximate quantile (`q` in `[0, 1]`) from the bucket counts,
     /// interpolating linearly within the containing bucket. NaN when
-    /// empty; observations in the overflow bucket report the last bound.
+    /// empty; observations in the overflow bucket report the last bound,
+    /// or NaN when there are no bounds at all (an empty-bounds histogram
+    /// has no finite upper edge to attribute its mass to).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
         if self.count == 0 {
             return f64::NAN;
         }
+        let last_bound = self.bounds.last().copied().unwrap_or(f64::NAN);
         let rank = q * self.count as f64;
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             let next = cum + c;
             if (next as f64) >= rank && c > 0 {
                 let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let hi = *self.bounds.get(i).unwrap_or(self.bounds.last().unwrap());
+                let hi = self.bounds.get(i).copied().unwrap_or(last_bound);
                 let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
                 return lo + (hi - lo) * frac;
             }
             cum = next;
         }
-        *self.bounds.last().unwrap()
+        last_bound
     }
 }
 
@@ -421,6 +425,85 @@ mod tests {
         let s = Histogram::with_bounds(&[1.0]).snapshot();
         assert!(s.mean().is_nan());
         assert!(s.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_is_monotonic_in_q() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.1, 0.5, 1.5, 1.7, 3.0, 3.9, 5.0, 7.5, 9.0, 20.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = s.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < quantile at previous q = {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        h.observe(1.6);
+        h.observe(3.0);
+        let s = h.snapshot();
+        // q = 0 sits at the lower edge of the first non-empty bucket.
+        assert_eq!(s.quantile(0.0), 1.0);
+        // q = 1 sits at the upper edge of the last non-empty bucket.
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_single_bucket() {
+        let h = Histogram::with_bounds(&[10.0]);
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            let v = s.quantile(q);
+            assert!((0.0..=10.0).contains(&v), "quantile({q}) = {v} outside bucket [0, 10]");
+        }
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_last_bound() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 2]);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+    }
+
+    #[test]
+    fn empty_bounds_histogram_does_not_panic() {
+        // Regression test: quantile (and to_text/to_json through it) used
+        // to panic on `bounds.last().unwrap()` for a boundless histogram.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("boundless", &[]);
+        h.observe(5.0);
+        h.observe(7.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean() - 6.0).abs() < 1e-12);
+        assert!(s.quantile(0.0).is_nan());
+        assert!(s.quantile(0.5).is_nan());
+        assert!(s.quantile(1.0).is_nan());
+        let snap = reg.snapshot();
+        assert!(snap.to_text().contains("boundless{le=+inf} 2"));
+        // NaN quantiles serialize as null — the document must still parse.
+        let parsed = crate::json::parse(&snap.to_json().to_compact()).unwrap();
+        assert_eq!(
+            parsed.get("boundless").and_then(|m| m.get("count")).and_then(Value::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]

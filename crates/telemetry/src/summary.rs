@@ -9,7 +9,7 @@ use crate::event::{SpanKind, TraceEvent};
 use crate::json::Value;
 
 /// Per-stage aggregate of one recorded run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StageTimeline {
     /// Stage index.
     pub stage: u32,
@@ -38,7 +38,7 @@ pub struct StageTimeline {
 }
 
 /// Aggregate view of one recorded pipeline run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineTimelineSummary {
     /// Per-stage aggregates, indexed by stage.
     pub stages: Vec<StageTimeline>,
@@ -178,29 +178,45 @@ impl PipelineTimelineSummary {
     }
 }
 
+/// Per-microbatch delay samples in slots: for each microbatch with both a
+/// start in `starts` and a backward start, the number of *other* backward
+/// starts at this stage in `[start(m), bkwd_start(m))`, plus `own_update`
+/// (1 for forward delays — a microbatch's staleness includes its own
+/// update — 0 for replay delays, which read weights this stage's last
+/// backward already wrote). The health monitor feeds these raw samples
+/// into per-stage delay histograms.
+pub(crate) fn delay_slot_samples(
+    starts: &[(u32, u64)],
+    bkwd_starts: &[(u32, u64)],
+    own_update: usize,
+) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for &(mb, start_ts) in starts {
+        let Some(&(_, bkwd_ts)) = bkwd_starts.iter().find(|(b, _)| *b == mb) else {
+            continue;
+        };
+        let between = bkwd_starts
+            .iter()
+            .filter(|&&(b, ts)| b != mb && ts >= start_ts && ts < bkwd_ts)
+            .count();
+        samples.push((between + own_update) as f64);
+    }
+    samples
+}
+
+fn mean_or_zero(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
 /// Mean over microbatches of the number of backward starts at this stage
 /// in `[fwd_start(m), bkwd_start(m))`, plus one for the microbatch's own
 /// update — the executable analogue of Table 1's `2(P−i)+1` slot delay.
 fn measured_delay_slots(fwd_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -> f64 {
-    if fwd_starts.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    let mut measured = 0usize;
-    for &(mb, fwd_ts) in fwd_starts {
-        let Some(&(_, bkwd_ts)) = bkwd_starts.iter().find(|(b, _)| *b == mb) else {
-            continue;
-        };
-        let between =
-            bkwd_starts.iter().filter(|&&(b, ts)| b != mb && ts >= fwd_ts && ts < bkwd_ts).count();
-        total += (between + 1) as f64;
-        measured += 1;
-    }
-    if measured == 0 {
-        0.0
-    } else {
-        total / measured as f64
-    }
+    mean_or_zero(&delay_slot_samples(fwd_starts, bkwd_starts, 1))
 }
 
 /// Mean over microbatches with a replay of the number of backward starts
@@ -209,27 +225,7 @@ fn measured_delay_slots(fwd_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -
 /// the replay reads weights already updated by this stage's own last
 /// backward, unlike the forward whose staleness includes its own update).
 fn backward_starts_between(recomp_starts: &[(u32, u64)], bkwd_starts: &[(u32, u64)]) -> f64 {
-    if recomp_starts.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    let mut measured = 0usize;
-    for &(mb, recomp_ts) in recomp_starts {
-        let Some(&(_, bkwd_ts)) = bkwd_starts.iter().find(|(b, _)| *b == mb) else {
-            continue;
-        };
-        let between = bkwd_starts
-            .iter()
-            .filter(|&&(b, ts)| b != mb && ts >= recomp_ts && ts < bkwd_ts)
-            .count();
-        total += between as f64;
-        measured += 1;
-    }
-    if measured == 0 {
-        0.0
-    } else {
-        total / measured as f64
-    }
+    mean_or_zero(&delay_slot_samples(recomp_starts, bkwd_starts, 0))
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
-//! Numerical stability-threshold search.
+//! Numerical stability-threshold search and online stability margins.
 
+use crate::bounds::lemma1_max_alpha_frac;
+use crate::companion::char_poly_t2;
 use crate::poly::{spectral_radius, Polynomial};
 
 /// Finds the largest step size `α ∈ (0, alpha_hi]` for which the
@@ -34,6 +36,54 @@ pub fn max_stable_alpha(
         }
     }
     lo
+}
+
+/// Lemma 1 stability margin: the ratio of the closed-form bound
+/// `(2/λ)·sin(π/(4τ+2))` at curvature `lambda` and delay `tau` to the
+/// step size `alpha` actually in use. `> 1` means headroom, `< 1` means
+/// the delayed quadratic model predicts divergence. Degenerate inputs
+/// (non-positive or non-finite `lambda`/`alpha`) report `+∞` — no
+/// curvature evidence means no instability evidence.
+pub fn lemma1_alpha_margin(lambda: f64, tau: f64, alpha: f64) -> f64 {
+    if !(lambda > 0.0 && lambda.is_finite() && alpha > 0.0 && alpha.is_finite() && tau >= 0.0) {
+        return f64::INFINITY;
+    }
+    lemma1_max_alpha_frac(lambda, tau) / alpha
+}
+
+/// Largest stable step size of the T2-corrected discrepancy system
+/// ([`char_poly_t2`] spectral radius ≤ 1), for possibly fractional
+/// pipeline delays. Fractional `tau_fwd` is rounded up and `tau_bkwd`
+/// down — widening the delay gap, the conservative direction. Degenerate
+/// `lambda` reports `+∞` (a flat direction is never the binding
+/// constraint).
+pub fn t2_max_alpha(lambda: f64, delta: f64, tau_fwd: f64, tau_bkwd: f64, gamma: f64) -> f64 {
+    if !(lambda > 0.0 && lambda.is_finite()) {
+        return f64::INFINITY;
+    }
+    let tf = tau_fwd.max(0.0).ceil() as usize;
+    let tb = (tau_bkwd.max(0.0).floor() as usize).min(tf);
+    let delta = delta.max(0.0);
+    // Lemma 1's τ = 0 bound, 2/λ·sin(π/2) = 2/λ, caps every delayed
+    // variant; searching slightly above it keeps the bisection bracketed.
+    max_stable_alpha(&|a| char_poly_t2(lambda, delta, a, tf, tb, gamma), 2.1 / lambda, 1e-3)
+}
+
+/// T2-corrected stability margin: [`t2_max_alpha`] over the step size in
+/// use, with the same degenerate-input convention as
+/// [`lemma1_alpha_margin`].
+pub fn t2_alpha_margin(
+    lambda: f64,
+    delta: f64,
+    tau_fwd: f64,
+    tau_bkwd: f64,
+    gamma: f64,
+    alpha: f64,
+) -> f64 {
+    if !(lambda > 0.0 && lambda.is_finite() && alpha > 0.0 && alpha.is_finite()) {
+        return f64::INFINITY;
+    }
+    t2_max_alpha(lambda, delta, tau_fwd, tau_bkwd, gamma) / alpha
 }
 
 #[cfg(test)]
@@ -101,6 +151,41 @@ mod tests {
                 "τf={tau_f}, τb={tau_b}, Δ={delta}: T2 threshold {fixed} < plain {plain}"
             );
         }
+    }
+
+    #[test]
+    fn lemma1_margin_crosses_one_at_the_bound() {
+        let (lambda, tau) = (8.0, 7.0);
+        let bound = crate::bounds::lemma1_max_alpha_frac(lambda, tau);
+        assert!((lemma1_alpha_margin(lambda, tau, bound) - 1.0).abs() < 1e-12);
+        assert!(lemma1_alpha_margin(lambda, tau, 0.5 * bound) > 1.9);
+        assert!(lemma1_alpha_margin(lambda, tau, 2.0 * bound) < 0.6);
+        // Degenerate inputs are never "unstable".
+        assert_eq!(lemma1_alpha_margin(0.0, tau, bound), f64::INFINITY);
+        assert_eq!(lemma1_alpha_margin(f64::NAN, tau, bound), f64::INFINITY);
+        assert_eq!(lemma1_alpha_margin(lambda, tau, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn t2_max_alpha_matches_lemma1_without_discrepancy() {
+        // With Δ = 0 the T2 polynomial factors into (ω − γ) times the
+        // basic delayed system, so the threshold is Lemma 1's.
+        for &(tau, gamma) in &[(7usize, 0.75), (5, 0.0), (3, 0.5)] {
+            let lambda = 2.0;
+            let found = t2_max_alpha(lambda, 0.0, tau as f64, 0.0, gamma);
+            let expected = lemma1_max_alpha(lambda, tau);
+            assert!(
+                (found - expected).abs() / expected < 5e-3,
+                "τ = {tau}, γ = {gamma}: {found} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn t2_margin_degenerate_inputs_are_infinite() {
+        assert_eq!(t2_alpha_margin(0.0, 0.0, 7.0, 0.0, 0.5, 0.01), f64::INFINITY);
+        assert_eq!(t2_alpha_margin(1.0, 0.0, 7.0, 0.0, 0.5, 0.0), f64::INFINITY);
+        assert_eq!(t2_max_alpha(-1.0, 0.0, 7.0, 0.0, 0.5), f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Training health monitor demo: theory-backed stability margins,
+//! anomaly detection, snapshot-on-anomaly, and run reports.
+//!
+//! Two runs of the same pipelined linear-regression problem, built so
+//! the MSE Hessian is exactly `diag(λ·I, 2)` and every stage's online
+//! curvature estimate λ̂ lands on the true λ:
+//!
+//! * **Run A** (naive async) sets the step size 30% above the Lemma 1
+//!   bound for the deepest stage (τ₀ = 2(P−1)+1). The monitor's
+//!   `alpha_margin` for stage 0 drops below 1 and raises a warn event
+//!   hundreds of steps *before* the loss blows up; the trainer writes a
+//!   resumable snapshot at the first warn and a divergence event when
+//!   the recurrence finally overflows.
+//! * **Run B** (PipeMare T1 + T2) trains the same problem well inside
+//!   the bound: every margin — including the T2-corrected one — stays
+//!   above 1 and the report comes back clean.
+//!
+//! Both runs also feed a threaded-executor trace into the monitor so
+//! the measured per-stage `tau_fwd` histograms and the pipeline
+//! timeline land in the reports, written as `*.report.{json,txt}` under
+//! `PIPEMARE_EXPERIMENTS_DIR` (default `target/experiments`).
+//!
+//! ```text
+//! cargo run --release --example health_monitor
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipemare::core::{run_regression_training_observed, HealthHook, TrainConfig};
+use pipemare::data::isotropic_regression;
+use pipemare::nn::LinearRegression;
+use pipemare::optim::{ConstantLr, OptimizerKind, T1Rescheduler};
+use pipemare::pipeline::{run_threaded_pipeline_health, Method};
+use pipemare::telemetry::{
+    HealthConfig, HealthEventKind, HealthMonitor, MetricsRegistry, Severity,
+};
+use pipemare::theory::lemma1_max_alpha_frac;
+
+fn main() {
+    let out = std::env::var_os("PIPEMARE_EXPERIMENTS_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"));
+    let (p, d, lambda) = (4usize, 12usize, 8.0f64);
+    let ds = isotropic_regression(d, lambda as f32);
+    let model = LinearRegression::new(d);
+    let sgd = OptimizerKind::Sgd { weight_decay: 0.0 };
+    // N = 1 microbatch: the deepest stage reads forward weights
+    // τ₀ = 2(P−1)+1 optimizer steps stale.
+    let tau0 = (2 * (p - 1) + 1) as f64;
+    let bound = lemma1_max_alpha_frac(lambda, tau0);
+    println!("isotropic regression: λ = {lambda}, P = {p}, N = 1 → stage-0 delay τ = {tau0}");
+    println!("Lemma 1 step-size bound for stage 0: α* = {bound:.5}");
+
+    // --- Run A: naive async at α = 1.3 α* — stage 0 is doomed, the
+    // shallower stages (τ = 5, 3, 1) are still inside their bounds.
+    let alpha_bad = (1.3 * bound) as f32;
+    println!("\n=== run A: naive async at α = 1.3 α* = {alpha_bad:.5} ===");
+    let registry_a = MetricsRegistry::new();
+    let monitor_a = Arc::new(HealthMonitor::with_registry(HealthConfig::default(), p, &registry_a));
+    let hook = HealthHook::new(Arc::clone(&monitor_a))
+        .snapshot_on(Severity::Warn, out.join("health_snapshots"));
+    let cfg = TrainConfig::naive_async(p, 1, sgd, Box::new(ConstantLr(alpha_bad)));
+    let (losses, diverged) =
+        run_regression_training_observed(&model, &ds, cfg, 20_000, 7, Some(hook));
+    assert!(diverged, "run A should diverge (it is 30% above the Lemma 1 bound)");
+
+    let events = monitor_a.events();
+    let breach = events
+        .iter()
+        .find(|e| e.kind == HealthEventKind::MarginBreach)
+        .expect("stage-0 margin breach");
+    let diverge =
+        events.iter().find(|e| e.kind == HealthEventKind::Divergence).expect("divergence event");
+    println!(
+        "margin breach on stage {} at step {} — {} steps of warning before divergence at step {}",
+        breach.stage.map(|s| s.to_string()).unwrap_or_default(),
+        breach.step,
+        diverge.step - breach.step,
+        diverge.step,
+    );
+    println!("({} steps trained before the loss went non-finite)", losses.len());
+
+    // Measured slot delays + timeline from the threaded executor.
+    let (_, timeline_a) = run_threaded_pipeline_health(
+        Method::PipeMare,
+        p,
+        4,
+        6,
+        Duration::from_micros(500),
+        &monitor_a,
+    );
+    let report_a = monitor_a
+        .report("naive-async @ 1.3x Lemma-1 bound")
+        .with_metrics(&registry_a.snapshot())
+        .with_timeline(&timeline_a);
+    println!("\n{}", report_a.to_text());
+    let (json_a, text_a) = report_a.save(&out, "health_naive_async").expect("write run A report");
+    println!("wrote {} and {}", json_a.display(), text_a.display());
+
+    // --- Run B: PipeMare T1 + T2 at α = 0.3 α* — same problem, same
+    // pipeline shape, but inside the stability envelope.
+    let alpha_good = (0.3 * bound) as f32;
+    println!("\n=== run B: PipeMare T1+T2 at α = 0.3 α* = {alpha_good:.5} ===");
+    let registry_b = MetricsRegistry::new();
+    let monitor_b = Arc::new(HealthMonitor::with_registry(HealthConfig::default(), p, &registry_b));
+    let hook = HealthHook::new(Arc::clone(&monitor_b))
+        .snapshot_on(Severity::Warn, out.join("health_snapshots"))
+        .halt_on(Severity::Critical);
+    let cfg = TrainConfig::pipemare(
+        p,
+        1,
+        sgd,
+        Box::new(ConstantLr(alpha_good)),
+        T1Rescheduler::new(100),
+        0.135,
+    );
+    let (losses, diverged) = run_regression_training_observed(&model, &ds, cfg, 300, 7, Some(hook));
+    assert!(!diverged, "run B must not diverge");
+    assert_eq!(monitor_b.anomaly_count(), 0, "run B must be anomaly-free");
+    println!(
+        "trained {} steps, loss {:.3e} → {:.3e}, zero anomalies",
+        losses.len(),
+        losses.first().copied().unwrap_or(f32::NAN),
+        losses.last().copied().unwrap_or(f32::NAN),
+    );
+
+    let (_, timeline_b) = run_threaded_pipeline_health(
+        Method::PipeMare,
+        p,
+        4,
+        6,
+        Duration::from_micros(500),
+        &monitor_b,
+    );
+    let report_b = monitor_b
+        .report("PipeMare T1+T2 @ 0.3x Lemma-1 bound")
+        .with_metrics(&registry_b.snapshot())
+        .with_timeline(&timeline_b);
+    assert_eq!(report_b.verdict(), "healthy");
+    println!("\n{}", report_b.to_text());
+    let (json_b, text_b) = report_b.save(&out, "health_pipemare").expect("write run B report");
+    println!("wrote {} and {}", json_b.display(), text_b.display());
+}
