@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use pipemare_telemetry::{HealthMonitor, Severity};
+use pipemare_telemetry::{FlightRecorder, HealthMonitor, Severity};
 
 /// What the trainer does when a health event at or above
 /// [`HealthHook::halt_severity`] fires.
@@ -49,6 +49,20 @@ pub struct HealthHook {
     pub snapshot_severity: Severity,
     /// Whether the one-shot snapshot has been written already.
     pub(crate) snapshot_taken: bool,
+    /// Always-on flight recorder whose rings are dumped as a black box
+    /// next to the anomaly snapshot (`None` disables dumping). Share
+    /// the same `Arc` with the pipeline executor so the dump carries
+    /// per-stage compute/wait spans, not just the trainer's step spans.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Directory for the black-box JSONL dump.
+    pub black_box_dir: Option<PathBuf>,
+    /// Trailing window dumped from the rings, in microseconds of
+    /// recorder time (events still in flight at `now − window` are
+    /// kept). Rings may hold less history than this; the dump is
+    /// whatever survives.
+    pub black_box_window_us: u64,
+    /// Whether the one-shot black-box dump has been written already.
+    pub(crate) black_box_taken: bool,
 }
 
 impl HealthHook {
@@ -62,6 +76,10 @@ impl HealthHook {
             snapshot_dir: None,
             snapshot_severity: Severity::Warn,
             snapshot_taken: false,
+            flight: None,
+            black_box_dir: None,
+            black_box_window_us: 30_000_000,
+            black_box_taken: false,
         }
     }
 
@@ -84,6 +102,30 @@ impl HealthHook {
     pub fn snapshot_taken(&self) -> bool {
         self.snapshot_taken
     }
+
+    /// Dumps the flight recorder's rings into `dir` as a JSONL black box
+    /// the first time an event reaches [`HealthHook::snapshot_severity`]
+    /// (one dump per run, same gate as the snapshot). The trainer also
+    /// starts recording its optimizer-step spans into `flight`, so even
+    /// a trainer-only run leaves a timeline; to capture per-stage
+    /// pipeline spans, run the executor with the same recorder.
+    pub fn black_box_on(mut self, flight: Arc<FlightRecorder>, dir: impl Into<PathBuf>) -> Self {
+        self.flight = Some(flight);
+        self.black_box_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the trailing window (microseconds) kept in the
+    /// black-box dump. Default: 30 seconds.
+    pub fn black_box_window_us(mut self, window_us: u64) -> Self {
+        self.black_box_window_us = window_us;
+        self
+    }
+
+    /// Whether the one-shot black-box dump has been written.
+    pub fn black_box_taken(&self) -> bool {
+        self.black_box_taken
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +145,18 @@ mod tests {
         assert_eq!(hook.snapshot_severity, Severity::Critical);
         assert_eq!(hook.snapshot_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert!(!hook.snapshot_taken());
+    }
+
+    #[test]
+    fn builder_wires_black_box() {
+        let monitor = Arc::new(HealthMonitor::new(HealthConfig::default(), 2));
+        let hook = HealthHook::new(monitor);
+        assert!(hook.flight.is_none());
+        assert!(!hook.black_box_taken());
+        let flight = Arc::new(FlightRecorder::for_pipeline(2));
+        let hook = hook.black_box_on(Arc::clone(&flight), "/tmp/bb").black_box_window_us(5_000_000);
+        assert!(hook.flight.is_some());
+        assert_eq!(hook.black_box_dir.as_deref(), Some(std::path::Path::new("/tmp/bb")));
+        assert_eq!(hook.black_box_window_us, 5_000_000);
     }
 }

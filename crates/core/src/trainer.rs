@@ -11,7 +11,8 @@ use pipemare_theory::gamma_from_d;
 use std::sync::Arc;
 
 use pipemare_telemetry::{
-    HealthEvent, HealthEventKind, HealthMonitor, Severity, StageObservation, StepObservation,
+    HealthEvent, HealthEventKind, HealthMonitor, Recorder, Severity, SpanKind, StageObservation,
+    StepObservation,
 };
 
 use crate::checkpoint::TrainerState;
@@ -338,6 +339,9 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         // Clock read only when metrics are attached — the bare trainer's
         // hot path is unchanged.
         let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        // Flight-recorder step span: one clock read at the start, one at
+        // the end — the ring write itself is lock-free.
+        let flight_t0 = self.health.as_ref().and_then(|h| h.flight.as_ref()).map(|f| f.now_us());
         let t = self.step;
         let sync_phase = t < self.cfg.warmup_steps;
         let total = self.partition.total_params();
@@ -520,6 +524,15 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                 self.diverged,
             );
         }
+        // Record the step span before observe_health so a black-box dump
+        // triggered by this step's anomaly includes the step itself. The
+        // driver track (`stages`) mirrors the threaded executor's layout.
+        if let Some(t0) = flight_t0 {
+            let flight =
+                self.health.as_ref().and_then(|h| h.flight.as_ref()).expect("flight_t0 set");
+            let t1 = flight.now_us();
+            flight.record_span(SpanKind::Step, self.cfg.stages as u32, 0, t as u32, t0, t1);
+        }
         if let Some(hg) = health_grad {
             self.observe_health(t, sync_phase, loss_acc, &hg, &fwd_buf, base_lr);
         }
@@ -614,6 +627,13 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         let want_snapshot = !hook.snapshot_taken
             && hook.snapshot_dir.is_some()
             && worst.is_some_and(|w| w >= hook.snapshot_severity);
+        // Black-box dump rides the same severity gate as the snapshot but
+        // is independently enabled, so bounded flight recording works
+        // without checkpointing and vice versa.
+        let want_black_box = !hook.black_box_taken
+            && hook.flight.is_some()
+            && hook.black_box_dir.is_some()
+            && worst.is_some_and(|w| w >= hook.snapshot_severity);
         let want_halt =
             hook.policy == AnomalyPolicy::Halt && worst.is_some_and(|w| w >= hook.halt_severity);
         if want_snapshot {
@@ -639,6 +659,32 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
                     value: f64::NAN,
                     threshold: f64::NAN,
                     message: format!("snapshot-on-anomaly failed: {e}"),
+                }),
+            }
+        }
+        if want_black_box {
+            let hook = self.health.as_ref().expect("hook checked above");
+            let flight = Arc::clone(hook.flight.as_ref().expect("gated above"));
+            let dir = hook.black_box_dir.clone().expect("gated above");
+            let window_us = hook.black_box_window_us;
+            // Whatever the rings still hold from the trailing window:
+            // trainer step spans plus any executor stage spans recorded
+            // into the same shared recorder.
+            let dump = flight.recent(window_us);
+            let path = dir.join(format!("blackbox_step{t}.jsonl"));
+            match pipemare_telemetry::write_jsonl(&dump, &path) {
+                Ok(()) => {
+                    self.health.as_mut().expect("hook checked above").black_box_taken = true;
+                    monitor.record_black_box(t, &path.display().to_string(), dump.len());
+                }
+                Err(e) => monitor.record_event(HealthEvent {
+                    step: t,
+                    stage: None,
+                    kind: HealthEventKind::BlackBoxDump,
+                    severity: Severity::Warn,
+                    value: f64::NAN,
+                    threshold: f64::NAN,
+                    message: format!("black-box dump failed: {e}"),
                 }),
             }
         }

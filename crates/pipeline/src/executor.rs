@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, select, unbounded};
 use pipemare_telemetry::{
-    HealthMonitor, NullRecorder, PipelineTimelineSummary, Recorder, SpanKind, TraceRecorder,
+    EventSource, HealthMonitor, NullRecorder, PipelineTimelineSummary, Recorder, SpanKind,
     NO_MICROBATCH,
 };
 
@@ -72,13 +72,22 @@ pub fn run_threaded_pipeline(
 }
 
 /// [`run_threaded_pipeline_traced`] with a [`HealthMonitor`] sampling
-/// the measured delays: the run is traced into a fresh
-/// [`TraceRecorder`], the recorded events are fed to
-/// [`HealthMonitor::ingest_events`] (filling the
-/// `pipeline.stage{i}.tau_fwd` / `.tau_recomp` histograms when the
-/// monitor carries a registry), and the derived
+/// the measured delays: the run is traced into the caller's `recorder`,
+/// the events it retained are fed to [`HealthMonitor::ingest_events`]
+/// (filling the `pipeline.stage{i}.tau_fwd` / `.tau_recomp` histograms
+/// when the monitor carries a registry), and the derived
 /// [`PipelineTimelineSummary`] is returned alongside the wall-clock
 /// report for the end-of-run [`pipemare_telemetry::RunReport`].
+///
+/// The recorder can be any tier that is also an [`EventSource`]: a
+/// [`pipemare_telemetry::TraceRecorder`] keeps the complete trace
+/// (unbounded memory), while
+/// a [`pipemare_telemetry::FlightRecorder`] keeps only the most recent
+/// events per track in bounded rings — health monitoring then composes
+/// with always-on black-box recording without growing with run length
+/// (the histograms just sample whatever history the ring still holds).
+/// Pass `&TraceRecorder::with_tracks(stages + 1)` to recover the old
+/// behavior exactly.
 ///
 /// The monitor's stage count need not match `stages`; extra stages in
 /// the trace are ignored and missing ones leave empty histograms.
@@ -86,24 +95,24 @@ pub fn run_threaded_pipeline(
 /// # Panics
 ///
 /// Panics if any dimension is zero.
-pub fn run_threaded_pipeline_health(
+pub fn run_threaded_pipeline_health<R: Recorder + EventSource>(
     method: Method,
     stages: usize,
     n_micro: usize,
     minibatches: usize,
     work_per_stage: Duration,
+    recorder: &R,
     monitor: &HealthMonitor,
 ) -> (ThreadedPipelineReport, PipelineTimelineSummary) {
-    let recorder = TraceRecorder::new();
     let report = run_threaded_pipeline_traced(
         method,
         stages,
         n_micro,
         minibatches,
         work_per_stage,
-        &recorder,
+        recorder,
     );
-    let events = recorder.events();
+    let events = recorder.snapshot_events();
     monitor.ingest_events(&events);
     (report, PipelineTimelineSummary::from_events(&events))
 }

@@ -1,0 +1,517 @@
+//! Trace analysis: the engine behind the `pmtrace` CLI.
+//!
+//! Answers the questions the repo used to re-derive ad hoc from raw
+//! traces: per-stage utilization and wait breakdown, the measured bubble
+//! fraction against the `N/(N+P−1)` throughput model, measured-vs-
+//! nominal `τ_fwd`/`τ_recomp` delay tables, straggler / critical-path
+//! identification, windowed drift over time, and a structured diff of
+//! two runs. Everything here takes a plain `&[TraceEvent]` so it works
+//! identically on full [`crate::TraceRecorder`] exports, flight-recorder
+//! black-box dumps, and Chrome traces read back via
+//! [`crate::export::chrome_trace_events`].
+
+use std::io;
+use std::path::Path;
+
+use crate::event::{SpanKind, TraceEvent};
+use crate::export::{chrome_trace_events, event_from_jsonl};
+use crate::json::Value;
+use crate::summary::{delay_slot_samples, PipelineTimelineSummary};
+
+/// Loads a trace from disk, auto-detecting the format: a leading `[`
+/// means a Chrome `trace_event` JSON array, anything else is treated as
+/// a JSONL event log.
+///
+/// # Errors
+///
+/// Propagates I/O failures; malformed content surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_trace(path: &Path) -> io::Result<Vec<TraceEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    if text.trim_start().starts_with('[') {
+        let doc = crate::json::parse(&text).map_err(|e| invalid(format!("bad JSON: {e}")))?;
+        return chrome_trace_events(&doc).map_err(invalid);
+    }
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(event_from_jsonl(line).map_err(|e| invalid(format!("line {}: {e}", i + 1)))?);
+    }
+    Ok(events)
+}
+
+/// Microbatches per minibatch inferred from the driver's `Flush` spans:
+/// GPipe traces flush once per minibatch (plus the final drain), so
+/// `N = microbatches / (flushes − 1)`; continuous-injection traces have
+/// only the final drain flush and behave like one giant minibatch.
+fn infer_n_per_minibatch(events: &[TraceEvent], microbatches: usize) -> usize {
+    let flushes = events.iter().filter(|e| e.kind == SpanKind::Flush).count();
+    if flushes >= 2 && microbatches > 0 {
+        (microbatches / (flushes - 1)).max(1)
+    } else {
+        microbatches.max(1)
+    }
+}
+
+/// The stage with the most compute time (the pipeline's critical path /
+/// straggler: throughput is bound by the busiest stage) and the stage
+/// with the most queue-wait time (the most starved), as
+/// `(bottleneck, starved)` stage indices. `None` on empty traces.
+pub fn stragglers(summary: &PipelineTimelineSummary) -> Option<(u32, u32)> {
+    let bottleneck = summary
+        .stages
+        .iter()
+        .max_by_key(|st| st.fwd_us + st.bkwd_us + st.recomp_us)
+        .map(|st| st.stage)?;
+    let starved = summary.stages.iter().max_by_key(|st| st.wait_us).map(|st| st.stage)?;
+    Some((bottleneck, starved))
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1000.0)
+}
+
+/// Renders the per-stage utilization / wait-breakdown / measured-vs-
+/// nominal τ table for one trace. `seg` is the recompute segment size,
+/// if known, used for the nominal `2(S − s mod S)` column.
+pub fn summary_text(events: &[TraceEvent], label: &str, seg: Option<usize>) -> String {
+    let s = PipelineTimelineSummary::from_events(events);
+    let mut out = String::new();
+    out.push_str(&format!("== trace summary: {label} ==\n"));
+    if s.stages.is_empty() {
+        out.push_str("no compute events\n");
+        return out;
+    }
+    let p = s.stages.len();
+    let n = infer_n_per_minibatch(events, s.microbatches);
+    let nominal_bubble = PipelineTimelineSummary::nominal_gpipe_bubble_fraction(p, n);
+    out.push_str(&format!(
+        "events: {}   stages: {p}   microbatches: {}   span: {} ms\n",
+        events.len(),
+        s.microbatches,
+        fmt_ms(s.span_us),
+    ));
+    out.push_str(&format!(
+        "bubble fraction: {:.3} measured   ({:.3} GPipe model (P-1)/(N+P-1) at N = {n})\n\n",
+        s.bubble_fraction, nominal_bubble,
+    ));
+    out.push_str(
+        "stage   util    fwd_ms   bkwd_ms  recomp_ms  wait_fwd_ms  wait_bkwd_ms  \
+         tau_fwd meas/nom   tau_recomp meas/nom\n",
+    );
+    for st in &s.stages {
+        let nom_fwd = PipelineTimelineSummary::nominal_delay_slots(p, st.stage as usize);
+        let nom_recomp =
+            seg.map(|g| PipelineTimelineSummary::nominal_recomp_delay_slots(g, st.stage as usize));
+        let recomp_col = if st.measured_recomp_delay_slots > 0.0 {
+            match nom_recomp {
+                Some(nr) => format!("{:.2}/{nr:.1}", st.measured_recomp_delay_slots),
+                None => format!("{:.2}/-", st.measured_recomp_delay_slots),
+            }
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:>5}   {:<5.3}   {:>6}   {:>7}   {:>8}   {:>10}   {:>11}   {:>16}   {:>19}\n",
+            st.stage,
+            st.utilization,
+            fmt_ms(st.fwd_us),
+            fmt_ms(st.bkwd_us),
+            fmt_ms(st.recomp_us),
+            fmt_ms(st.wait_fwd_us),
+            fmt_ms(st.wait_bkwd_us),
+            format!("{:.2}/{nom_fwd:.1}", st.measured_delay_slots),
+            recomp_col,
+        ));
+    }
+    if let Some((bottleneck, starved)) = stragglers(&s) {
+        let busy = &s.stages[bottleneck as usize];
+        out.push_str(&format!(
+            "\ncritical path: stage {bottleneck} ({} ms busy, {:.0}% of span)   \
+             most starved: stage {starved} ({} ms waiting)\n",
+            fmt_ms(busy.fwd_us + busy.bkwd_us + busy.recomp_us),
+            if s.span_us == 0 {
+                0.0
+            } else {
+                100.0 * (busy.fwd_us + busy.bkwd_us + busy.recomp_us) as f64 / s.span_us as f64
+            },
+            fmt_ms(s.stages[starved as usize].wait_us),
+        ));
+    }
+    out
+}
+
+/// JSON rendering of [`summary_text`]'s content (the timeline summary
+/// plus the nominal models and straggler identification).
+pub fn summary_json(events: &[TraceEvent], label: &str, seg: Option<usize>) -> Value {
+    let s = PipelineTimelineSummary::from_events(events);
+    let mut obj = Value::obj().set("label", label).set("timeline", s.to_json());
+    if !s.stages.is_empty() {
+        let p = s.stages.len();
+        let n = infer_n_per_minibatch(events, s.microbatches);
+        let nominal: Vec<Value> = (0..p)
+            .map(|st| {
+                let mut row = Value::obj()
+                    .set("stage", st as u64)
+                    .set("tau_fwd", PipelineTimelineSummary::nominal_delay_slots(p, st));
+                if let Some(g) = seg {
+                    row = row.set(
+                        "tau_recomp",
+                        PipelineTimelineSummary::nominal_recomp_delay_slots(g, st),
+                    );
+                }
+                row
+            })
+            .collect();
+        obj = obj
+            .set("microbatches_per_minibatch", n as u64)
+            .set(
+                "nominal_bubble_fraction",
+                PipelineTimelineSummary::nominal_gpipe_bubble_fraction(p, n),
+            )
+            .set("nominal_delays", Value::Arr(nominal));
+        if let Some((bottleneck, starved)) = stragglers(&s) {
+            obj = obj
+                .set("critical_path_stage", bottleneck as u64)
+                .set("most_starved_stage", starved as u64);
+        }
+    }
+    obj
+}
+
+/// Per-window measured statistics for [`drift_text`].
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    /// Window start/end, microseconds since trace start.
+    pub t0_us: u64,
+    /// Window end.
+    pub t1_us: u64,
+    /// `1 −` mean per-stage busy fraction inside the window.
+    pub bubble_fraction: f64,
+    /// Mean measured forward delay (slots) per stage, for microbatches
+    /// whose forward starts inside the window; NaN when no sample.
+    pub tau_fwd: Vec<f64>,
+    /// Mean measured recompute delay (slots) per stage; NaN when no
+    /// sample.
+    pub tau_recomp: Vec<f64>,
+}
+
+/// Splits the trace span into `n_windows` equal windows and measures
+/// each: busy-time (clipped to window overlap, so straddling spans are
+/// attributed exactly) and the measured τ of the microbatches whose
+/// forward / replay starts fall inside the window. This is how τ *drift
+/// over time* becomes visible — a stage whose measured delay walks away
+/// from the nominal `2(P−1−s)+1` shows up window by window.
+pub fn windowed_stats(events: &[TraceEvent], n_windows: usize) -> Vec<WindowStats> {
+    assert!(n_windows > 0);
+    let n_stages = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Forward | SpanKind::Backward))
+        .map(|e| e.stage + 1)
+        .max()
+        .unwrap_or(0) as usize;
+    if n_stages == 0 {
+        return Vec::new();
+    }
+    let start = events.iter().map(|e| e.ts_us).min().unwrap();
+    let end = events.iter().map(|e| e.ts_us + e.dur_us).max().unwrap().max(start + 1);
+    let width = (end - start).div_ceil(n_windows as u64).max(1);
+
+    // Per-stage starts for delay samples (windowed by fwd/replay start).
+    let mut out = Vec::with_capacity(n_windows);
+    for w in 0..n_windows as u64 {
+        let t0 = start + w * width;
+        let t1 = (t0 + width).min(end);
+        let mut busy = vec![0u64; n_stages];
+        for e in events {
+            if !matches!(e.kind, SpanKind::Forward | SpanKind::Backward | SpanKind::Recompute) {
+                continue;
+            }
+            let lo = e.ts_us.max(t0);
+            let hi = (e.ts_us + e.dur_us).min(t1);
+            if hi > lo {
+                busy[e.stage as usize] += hi - lo;
+            }
+        }
+        let span = (t1 - t0) as f64;
+        let mean_util = busy.iter().map(|&b| b as f64 / span).sum::<f64>() / n_stages as f64;
+        let mut tau_fwd = Vec::with_capacity(n_stages);
+        let mut tau_recomp = Vec::with_capacity(n_stages);
+        for s in 0..n_stages as u32 {
+            let in_window = |ts: u64| ts >= t0 && ts < t1;
+            let mut fwd_starts = Vec::new();
+            let mut bkwd_starts = Vec::new();
+            let mut recomp_starts = Vec::new();
+            for e in events.iter().filter(|e| e.stage == s) {
+                match e.kind {
+                    SpanKind::Forward if in_window(e.ts_us) => {
+                        fwd_starts.push((e.microbatch, e.ts_us));
+                    }
+                    SpanKind::Recompute if in_window(e.ts_us) => {
+                        recomp_starts.push((e.microbatch, e.ts_us));
+                    }
+                    // Backward starts are needed globally: a forward that
+                    // starts in this window may turn around in a later one.
+                    SpanKind::Backward => bkwd_starts.push((e.microbatch, e.ts_us)),
+                    _ => {}
+                }
+            }
+            let mean = |samples: Vec<f64>| {
+                if samples.is_empty() {
+                    f64::NAN
+                } else {
+                    samples.iter().sum::<f64>() / samples.len() as f64
+                }
+            };
+            tau_fwd.push(mean(delay_slot_samples(&fwd_starts, &bkwd_starts, 1)));
+            tau_recomp.push(mean(delay_slot_samples(&recomp_starts, &bkwd_starts, 0)));
+        }
+        out.push(WindowStats {
+            t0_us: t0 - start,
+            t1_us: t1 - start,
+            bubble_fraction: 1.0 - mean_util,
+            tau_fwd,
+            tau_recomp,
+        });
+    }
+    out
+}
+
+/// Renders the windowed bubble-fraction and per-stage measured-τ drift
+/// table (vs the nominal `2(P−1−s)+1` in the header).
+pub fn drift_text(events: &[TraceEvent], n_windows: usize, label: &str) -> String {
+    let windows = windowed_stats(events, n_windows);
+    let mut out = String::new();
+    out.push_str(&format!("== tau/bubble drift: {label} ({n_windows} windows) ==\n"));
+    let Some(first) = windows.first() else {
+        out.push_str("no compute events\n");
+        return out;
+    };
+    let p = first.tau_fwd.len();
+    let noms: Vec<String> = (0..p)
+        .map(|s| format!("{:.0}", PipelineTimelineSummary::nominal_delay_slots(p, s)))
+        .collect();
+    out.push_str(&format!("nominal tau_fwd per stage (slots): [{}]\n\n", noms.join(", ")));
+    out.push_str("window          bubble   tau_fwd per stage (slots)\n");
+    for w in &windows {
+        let taus: Vec<String> = w
+            .tau_fwd
+            .iter()
+            .map(|t| if t.is_finite() { format!("{t:.2}") } else { "-".to_string() })
+            .collect();
+        let has_recomp = w.tau_recomp.iter().any(|t| t.is_finite());
+        let recomp = if has_recomp {
+            let rs: Vec<String> = w
+                .tau_recomp
+                .iter()
+                .map(|t| if t.is_finite() { format!("{t:.2}") } else { "-".to_string() })
+                .collect();
+            format!("   tau_recomp: [{}]", rs.join(", "))
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{:>6}-{:<6}   {:<6.3}   [{}]{recomp}\n",
+            fmt_ms(w.t0_us),
+            fmt_ms(w.t1_us),
+            w.bubble_fraction,
+            taus.join(", "),
+        ));
+    }
+    out
+}
+
+fn pct_delta(a: f64, b: f64) -> String {
+    if a == 0.0 && b == 0.0 {
+        "0%".to_string()
+    } else if a == 0.0 {
+        "new".to_string()
+    } else {
+        format!("{:+.1}%", 100.0 * (b - a) / a)
+    }
+}
+
+/// Compares two runs stage by stage: utilization, wait, measured delays,
+/// bubble fraction, and throughput — e.g. recompute on vs off, or two
+/// builds of the same pipeline.
+pub fn diff_text(
+    a_events: &[TraceEvent],
+    b_events: &[TraceEvent],
+    a_label: &str,
+    b_label: &str,
+) -> String {
+    let a = PipelineTimelineSummary::from_events(a_events);
+    let b = PipelineTimelineSummary::from_events(b_events);
+    let mut out = String::new();
+    out.push_str(&format!("== trace diff: A = {a_label}   B = {b_label} ==\n"));
+    let thr = |s: &PipelineTimelineSummary| {
+        if s.span_us == 0 {
+            0.0
+        } else {
+            s.microbatches as f64 / (s.span_us as f64 / 1e6)
+        }
+    };
+    out.push_str(&format!(
+        "span:        A {} ms   B {} ms   ({})\n",
+        fmt_ms(a.span_us),
+        fmt_ms(b.span_us),
+        pct_delta(a.span_us as f64, b.span_us as f64),
+    ));
+    out.push_str(&format!(
+        "throughput:  A {:.1} mb/s   B {:.1} mb/s   ({})\n",
+        thr(&a),
+        thr(&b),
+        pct_delta(thr(&a), thr(&b)),
+    ));
+    out.push_str(&format!(
+        "bubble:      A {:.3}   B {:.3}\n\n",
+        a.bubble_fraction, b.bubble_fraction,
+    ));
+    out.push_str("stage   util A->B        wait_ms A->B        tau_fwd A->B     tau_recomp A->B\n");
+    let stages = a.stages.len().max(b.stages.len());
+    for s in 0..stages {
+        let sa = a.stages.get(s);
+        let sb = b.stages.get(s);
+        let util = |st: Option<&crate::summary::StageTimeline>| {
+            st.map(|x| format!("{:.3}", x.utilization)).unwrap_or_else(|| "-".into())
+        };
+        let wait = |st: Option<&crate::summary::StageTimeline>| {
+            st.map(|x| fmt_ms(x.wait_us)).unwrap_or_else(|| "-".into())
+        };
+        let tau = |st: Option<&crate::summary::StageTimeline>| {
+            st.map(|x| format!("{:.2}", x.measured_delay_slots)).unwrap_or_else(|| "-".into())
+        };
+        let taur = |st: Option<&crate::summary::StageTimeline>| {
+            st.map(|x| {
+                if x.measured_recomp_delay_slots > 0.0 {
+                    format!("{:.2}", x.measured_recomp_delay_slots)
+                } else {
+                    "-".into()
+                }
+            })
+            .unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "{s:>5}   {:>6} -> {:<6}   {:>7} -> {:<7}   {:>5} -> {:<5}   {:>5} -> {:<5}\n",
+            util(sa),
+            util(sb),
+            wait(sa),
+            wait(sb),
+            tau(sa),
+            tau(sb),
+            taur(sa),
+            taur(sb),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_MICROBATCH;
+    use crate::export::{write_chrome_trace, write_jsonl};
+
+    fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+    }
+
+    /// A 2-stage trace: stage 1 is the bottleneck (3× the compute),
+    /// stage 0 waits on the backward queue.
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            span(SpanKind::Forward, 0, 0, 0, 10),
+            span(SpanKind::Forward, 1, 0, 10, 30),
+            span(SpanKind::QueueWaitBkwd, 0, NO_MICROBATCH, 10, 60),
+            span(SpanKind::Backward, 1, 0, 40, 30),
+            span(SpanKind::Backward, 0, 0, 70, 20),
+            span(SpanKind::Flush, 2, 0, 90, 5),
+        ]
+    }
+
+    #[test]
+    fn load_trace_autodetects_both_formats() {
+        let dir = std::env::temp_dir().join("pipemare-analyze-load");
+        let _ = std::fs::remove_dir_all(&dir);
+        let events = sample_trace();
+        let jsonl = dir.join("t.jsonl");
+        let chrome = dir.join("t.trace.json");
+        write_jsonl(&events, &jsonl).unwrap();
+        write_chrome_trace(&events, 2, &chrome).unwrap();
+        assert_eq!(load_trace(&jsonl).unwrap(), events);
+        assert_eq!(load_trace(&chrome).unwrap(), events);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_identifies_stragglers_and_waits() {
+        let s = PipelineTimelineSummary::from_events(&sample_trace());
+        assert_eq!(stragglers(&s), Some((1, 0)));
+        let text = summary_text(&sample_trace(), "unit", None);
+        assert!(text.contains("critical path: stage 1"), "{text}");
+        assert!(text.contains("most starved: stage 0"), "{text}");
+        assert!(text.contains("bubble fraction"), "{text}");
+        // Wait breakdown columns are present.
+        assert!(text.contains("wait_fwd_ms"), "{text}");
+        assert!(text.contains("wait_bkwd_ms"), "{text}");
+        // Measured-vs-nominal τ: stage 0 of P = 2 is nominally 3 slots.
+        assert!(text.contains("/3.0"), "{text}");
+    }
+
+    #[test]
+    fn summary_json_carries_nominal_models() {
+        let j = summary_json(&sample_trace(), "unit", Some(2));
+        assert_eq!(j.get("critical_path_stage").and_then(Value::as_f64), Some(1.0));
+        let noms = j.get("nominal_delays").unwrap().as_arr().unwrap();
+        assert_eq!(noms.len(), 2);
+        assert_eq!(noms[0].get("tau_fwd").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(noms[0].get("tau_recomp").and_then(Value::as_f64), Some(4.0));
+        assert!(j.get("nominal_bubble_fraction").is_some());
+        // Empty traces degrade gracefully.
+        let empty = summary_json(&[], "none", None);
+        assert!(empty.get("nominal_delays").is_none());
+        assert!(summary_text(&[], "none", None).contains("no compute events"));
+    }
+
+    #[test]
+    fn windowed_stats_clip_straddling_spans() {
+        // One stage busy 0..40 of an 80 µs span: window 1 fully busy,
+        // window 2 fully idle.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 0, 40),
+            span(SpanKind::Backward, 0, 0, 40, 0),
+            span(SpanKind::Inject, 0, 1, 80, 0),
+        ];
+        let w = windowed_stats(&events, 2);
+        assert_eq!(w.len(), 2);
+        assert!((w[0].bubble_fraction - 0.0).abs() < 1e-9, "{w:?}");
+        assert!((w[1].bubble_fraction - 1.0).abs() < 1e-9, "{w:?}");
+        // The forward starting in window 0 gets its τ sample there.
+        assert!((w[0].tau_fwd[0] - 1.0).abs() < 1e-9);
+        assert!(w[1].tau_fwd[0].is_nan());
+        let text = drift_text(&events, 2, "unit");
+        assert!(text.contains("nominal tau_fwd"), "{text}");
+        assert!(drift_text(&[], 2, "none").contains("no compute events"));
+    }
+
+    #[test]
+    fn diff_reports_per_stage_deltas() {
+        let a = sample_trace();
+        // B: stage 1 twice as slow.
+        let b = vec![
+            span(SpanKind::Forward, 0, 0, 0, 10),
+            span(SpanKind::Forward, 1, 0, 10, 60),
+            span(SpanKind::Backward, 1, 0, 70, 60),
+            span(SpanKind::Backward, 0, 0, 130, 20),
+        ];
+        let text = diff_text(&a, &b, "fast", "slow");
+        assert!(text.contains("A = fast"), "{text}");
+        assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains("stage"), "{text}");
+        // Span grew: the delta is positive.
+        assert!(text.contains("+"), "{text}");
+    }
+}

@@ -9,6 +9,10 @@
 //! (track) appends to its own buffer behind its own mutex, so stages
 //! never contend with each other on the hot path; a push is a lock of an
 //! uncontended mutex plus an amortized `Vec` append of a `Copy` struct.
+//! The third tier, [`crate::FlightRecorder`], trades completeness for a
+//! bound: fixed-capacity lock-free rings cheap enough to leave on for
+//! the life of a run. [`EventSource`] is the matching read side — any
+//! enabled recorder tier can hand back a snapshot of what it holds.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -128,9 +132,34 @@ pub trait Recorder: Sync {
     }
 }
 
+/// The read side of an enabled recorder: a point-in-time copy of the
+/// events it currently holds, sorted by `(ts_us, track)`.
+///
+/// Implemented by every recorder tier so analysis entry points (the
+/// health monitor's `run_threaded_pipeline_health`, black-box dumps)
+/// compose with whichever tier the run pays for: [`TraceRecorder`]
+/// returns everything, [`crate::FlightRecorder`] the retained ring
+/// contents, [`NullRecorder`] nothing.
+pub trait EventSource {
+    /// Copies out the currently held events, sorted by `(ts_us, track)`.
+    fn snapshot_events(&self) -> Vec<TraceEvent>;
+}
+
+impl<S: EventSource + ?Sized> EventSource for &S {
+    fn snapshot_events(&self) -> Vec<TraceEvent> {
+        (**self).snapshot_events()
+    }
+}
+
 /// A recorder that drops everything; the disabled hot path.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullRecorder;
+
+impl EventSource for NullRecorder {
+    fn snapshot_events(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
 
 impl Recorder for NullRecorder {
     #[inline(always)]
@@ -147,11 +176,21 @@ impl Recorder for NullRecorder {
     fn record(&self, _ev: TraceEvent) {}
 }
 
-/// Number of independent buffers in a [`TraceRecorder`]; tracks map onto
-/// shards by modulo, so pipelines up to this deep are contention-free.
+/// Default number of independent buffers in a [`TraceRecorder`]; tracks
+/// map onto shards by modulo, so pipelines up to this deep are
+/// contention-free.
 const SHARDS: usize = 32;
 
 /// An enabled recorder collecting events into per-track shards.
+///
+/// **Track/shard invariant**: a track owns shard `track % n_shards`.
+/// [`TraceRecorder::new`] allocates [`SHARDS`] (32) shards, so tracks
+/// `0..32` are contention-free; deeper pipelines alias — tracks 32 and 0
+/// share a shard, which is *correct* (events carry their own `track`
+/// field and [`TraceRecorder::events`] sorts globally) but makes the
+/// aliased tracks contend on one mutex. Use
+/// [`TraceRecorder::with_tracks`] when the track count is known up front
+/// so every track gets its own shard.
 pub struct TraceRecorder {
     origin: Instant,
     shards: Vec<Mutex<Vec<TraceEvent>>>,
@@ -164,21 +203,42 @@ impl Default for TraceRecorder {
 }
 
 impl TraceRecorder {
-    /// Creates a recorder whose time origin is "now".
+    /// Creates a recorder whose time origin is "now", with the default
+    /// [`SHARDS`] shard count.
     pub fn new() -> Self {
+        Self::with_tracks(SHARDS)
+    }
+
+    /// Creates a recorder with at least `n_tracks` shards (never fewer
+    /// than the default [`SHARDS`]), so a pipeline `n_tracks` deep
+    /// records contention-free — no two of its tracks alias one shard.
+    pub fn with_tracks(n_tracks: usize) -> Self {
         TraceRecorder {
             origin: Instant::now(),
-            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            shards: (0..n_tracks.max(SHARDS)).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
+    /// Total events recorded so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no events have been recorded (lets callers skip exporting
+    /// or summarizing empty traces).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
     /// All events recorded so far, sorted by start timestamp.
+    ///
+    /// Copies every shard into one pre-sized allocation (no intermediate
+    /// per-shard clones) and sorts once.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut all: Vec<TraceEvent> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.lock().unwrap().iter().copied().collect::<Vec<_>>())
-            .collect();
+        let mut all = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            all.extend_from_slice(&s.lock().unwrap());
+        }
         all.sort_by_key(|e| (e.ts_us, e.track));
         all
     }
@@ -188,6 +248,12 @@ impl TraceRecorder {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
+    }
+}
+
+impl EventSource for TraceRecorder {
+    fn snapshot_events(&self) -> Vec<TraceEvent> {
+        self.events()
     }
 }
 
@@ -201,7 +267,9 @@ impl Recorder for TraceRecorder {
     }
 
     fn record(&self, ev: TraceEvent) {
-        self.shards[ev.track as usize % SHARDS].lock().unwrap().push(ev);
+        // Tracks beyond the shard count alias (see the type docs); the
+        // event's own `track` field keeps attribution exact regardless.
+        self.shards[ev.track as usize % self.shards.len()].lock().unwrap().push(ev);
     }
 }
 
@@ -257,6 +325,58 @@ mod tests {
         assert!(evs[0].ts_us <= evs[1].ts_us);
         r.clear();
         assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_recorded_events() {
+        let r = TraceRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        r.record_instant(SpanKind::Inject, 3, 0, 0);
+        r.record_instant(SpanKind::Inject, 40, 0, 1); // aliases shard 8
+        assert!(!r.is_empty());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.snapshot_events().len(), 2);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deep_pipelines_get_dedicated_shards_and_aliasing_stays_correct() {
+        // with_tracks(64): tracks 0..64 each own a shard.
+        let wide = TraceRecorder::with_tracks(64);
+        for track in 0..64u32 {
+            wide.record(TraceEvent {
+                kind: SpanKind::Forward,
+                track,
+                stage: track,
+                microbatch: 0,
+                ts_us: track as u64,
+                dur_us: 1,
+            });
+        }
+        assert_eq!(wide.len(), 64);
+        // Default recorder: tracks 0 and 32 alias one shard, but events()
+        // still attributes and orders both exactly.
+        let narrow = TraceRecorder::new();
+        narrow.record(TraceEvent {
+            kind: SpanKind::Forward,
+            track: 32,
+            stage: 32,
+            microbatch: 0,
+            ts_us: 10,
+            dur_us: 1,
+        });
+        narrow.record(TraceEvent {
+            kind: SpanKind::Forward,
+            track: 0,
+            stage: 0,
+            microbatch: 0,
+            ts_us: 5,
+            dur_us: 1,
+        });
+        let evs = narrow.events();
+        assert_eq!(evs.iter().map(|e| e.track).collect::<Vec<_>>(), vec![0, 32]);
     }
 
     #[test]

@@ -80,6 +80,61 @@ pub fn write_chrome_trace(events: &[TraceEvent], n_stages: u32, path: &Path) -> 
     std::fs::write(path, chrome_trace(events, n_stages).to_compact())
 }
 
+/// Parses a Chrome `trace_event` JSON document (as produced by
+/// [`chrome_trace`]) back into events — the inverse used by `pmtrace` so
+/// it can analyze either export format. Metadata (`"ph": "M"`) rows are
+/// skipped; span and instant rows must carry the fields this crate
+/// writes.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed row.
+pub fn chrome_trace_events(doc: &Value) -> Result<Vec<TraceEvent>, String> {
+    let rows = doc.as_arr().ok_or_else(|| "chrome trace must be a JSON array".to_string())?;
+    let mut events = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| {
+            row.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("row {i}: missing numeric field {name:?}"))
+        };
+        let ph = row
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing \"ph\""))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "X" && ph != "i" {
+            return Err(format!("row {i}: unsupported phase {ph:?}"));
+        }
+        let name = row
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing \"name\""))?;
+        let kind = SpanKind::from_name(name)
+            .ok_or_else(|| format!("row {i}: unknown span kind {name:?}"))?;
+        let args = row.get("args").ok_or_else(|| format!("row {i}: missing \"args\""))?;
+        let stage = args
+            .get("stage")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing args.stage"))?;
+        let microbatch = match args.get("microbatch").and_then(Value::as_f64) {
+            Some(mb) => mb as u32,
+            None => NO_MICROBATCH,
+        };
+        events.push(TraceEvent {
+            kind,
+            track: field("tid")? as u32,
+            stage: stage as u32,
+            microbatch,
+            ts_us: field("ts")? as u64,
+            dur_us: if ph == "X" { field("dur")? as u64 } else { 0 },
+        });
+    }
+    Ok(events)
+}
+
 /// Renders one event as a single-line JSON object (the JSONL row shape).
 pub fn event_to_jsonl(ev: &TraceEvent) -> String {
     let mut obj = Value::obj()
@@ -252,6 +307,34 @@ mod tests {
         for (tid, ts) in per_track {
             assert!(ts.windows(2).all(|w| w[0] <= w[1]), "track {tid} ts not monotone: {ts:?}");
         }
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_the_reader() {
+        let events = sample_events();
+        let doc = chrome_trace(&events, 2);
+        // The writer serializes in input order, so the reader gives the
+        // same vector back (metadata rows skipped).
+        let back = chrome_trace_events(&doc).unwrap();
+        assert_eq!(back, events);
+        // And survives a serialize/parse cycle too.
+        let reparsed = json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(chrome_trace_events(&reparsed).unwrap(), events);
+    }
+
+    #[test]
+    fn chrome_trace_reader_rejects_malformed_docs() {
+        assert!(chrome_trace_events(&Value::obj()).is_err());
+        let bad_phase = Value::Arr(vec![Value::obj().set("ph", "B").set("name", "forward")]);
+        assert!(chrome_trace_events(&bad_phase).is_err());
+        let bad_kind = Value::Arr(vec![Value::obj()
+            .set("ph", "X")
+            .set("name", "warp")
+            .set("tid", 0u64)
+            .set("ts", 0u64)
+            .set("dur", 0u64)
+            .set("args", Value::obj().set("stage", 0u64))]);
+        assert!(chrome_trace_events(&bad_kind).is_err());
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub enum HealthEventKind {
     Halt,
     /// A snapshot-on-anomaly checkpoint was written.
     Snapshot,
+    /// A flight-recorder black-box trace dump was written.
+    BlackBoxDump,
 }
 
 impl HealthEventKind {
@@ -103,6 +105,7 @@ impl HealthEventKind {
             HealthEventKind::Divergence => "divergence",
             HealthEventKind::Halt => "halt",
             HealthEventKind::Snapshot => "snapshot",
+            HealthEventKind::BlackBoxDump => "black_box_dump",
         }
     }
 }
@@ -282,6 +285,7 @@ struct MonitorInner {
     max_severity: Option<Severity>,
     events: Vec<HealthEvent>,
     snapshots: Vec<(usize, String)>,
+    black_boxes: Vec<(usize, String)>,
     stages: Vec<StageState>,
 }
 
@@ -359,6 +363,7 @@ impl HealthMonitor {
                 max_severity: None,
                 events: Vec::new(),
                 snapshots: Vec::new(),
+                black_boxes: Vec::new(),
                 stages: (0..n_stages).map(|_| StageState::new()).collect(),
             }),
             anomaly_counter: registry.map(|r| r.counter("health.anomalies")),
@@ -683,6 +688,21 @@ impl HealthMonitor {
         self.inner.lock().unwrap().snapshots.push((step, path.to_string()));
     }
 
+    /// Records that a flight-recorder black-box trace dump was written
+    /// (`events` is the number of trace events it holds).
+    pub fn record_black_box(&self, step: usize, path: &str, events: usize) {
+        self.record_event(HealthEvent {
+            step,
+            stage: None,
+            kind: HealthEventKind::BlackBoxDump,
+            severity: Severity::Info,
+            value: events as f64,
+            threshold: f64::NAN,
+            message: format!("black-box dump ({events} trace events) written to {path}"),
+        });
+        self.inner.lock().unwrap().black_boxes.push((step, path.to_string()));
+    }
+
     /// Feeds measured per-microbatch delay samples from an executor
     /// trace into the per-stage `tau_fwd` / `tau_recomp` histograms
     /// (units: microbatch slots, comparable to the nominal
@@ -753,6 +773,7 @@ impl HealthMonitor {
             stages,
             events: inner.events.clone(),
             snapshots: inner.snapshots.clone(),
+            black_boxes: inner.black_boxes.clone(),
             metrics: None,
             timeline: None,
         }
@@ -806,6 +827,8 @@ pub struct RunReport {
     pub events: Vec<HealthEvent>,
     /// Snapshot-on-anomaly checkpoints written (`(step, path)`).
     pub snapshots: Vec<(usize, String)>,
+    /// Flight-recorder black-box dumps written (`(step, path)`).
+    pub black_boxes: Vec<(usize, String)>,
     /// Attached metrics snapshot, if any.
     pub metrics: Option<Value>,
     /// Attached pipeline timeline summary, if any.
@@ -873,6 +896,11 @@ impl RunReport {
             .iter()
             .map(|(step, path)| Value::obj().set("step", *step as u64).set("path", path.as_str()))
             .collect();
+        let black_boxes = self
+            .black_boxes
+            .iter()
+            .map(|(step, path)| Value::obj().set("step", *step as u64).set("path", path.as_str()))
+            .collect();
         let mut obj = Value::obj()
             .set("label", self.label.as_str())
             .set("steps", self.steps as u64)
@@ -880,7 +908,8 @@ impl RunReport {
             .set("anomalies", self.anomaly_count() as u64)
             .set("stages", Value::Arr(stages))
             .set("events", Value::Arr(self.events.iter().map(HealthEvent::to_json).collect()))
-            .set("snapshots", Value::Arr(snapshots));
+            .set("snapshots", Value::Arr(snapshots))
+            .set("black_boxes", Value::Arr(black_boxes));
         if let Some(m) = &self.metrics {
             obj = obj.set("metrics", m.clone());
         }
@@ -940,6 +969,12 @@ impl RunReport {
         if !self.snapshots.is_empty() {
             out.push_str("\nsnapshots:\n");
             for (step, path) in &self.snapshots {
+                out.push_str(&format!("  step {step} -> {path}\n"));
+            }
+        }
+        if !self.black_boxes.is_empty() {
+            out.push_str("\nblack-box dumps (inspect with `pmtrace summary <path>`):\n");
+            for (step, path) in &self.black_boxes {
                 out.push_str(&format!("  step {step} -> {path}\n"));
             }
         }
@@ -1123,15 +1158,22 @@ mod tests {
         so.fwd_diff_norm = 1.0;
         mon.observe(&obs(0, 1.0, vec![so]));
         mon.record_snapshot(0, "/tmp/x.ckpt");
+        mon.record_black_box(0, "/tmp/x.jsonl", 128);
         let rep = mon.report("unit").with_metrics(&reg.snapshot());
+        assert_eq!(rep.black_boxes, vec![(0, "/tmp/x.jsonl".to_string())]);
         let json = rep.to_json();
         let parsed = crate::json::parse(&json.to_pretty()).unwrap();
         assert_eq!(parsed.get("label").and_then(Value::as_str), Some("unit"));
         assert!(parsed.get("metrics").is_some());
         assert_eq!(parsed.get("snapshots").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(parsed.get("black_boxes").unwrap().as_arr().unwrap().len(), 1);
         let text = rep.to_text();
         assert!(text.contains("run report: unit"));
         assert!(text.contains("snapshots:"));
+        assert!(text.contains("black-box dumps"));
+        assert!(rep.events.iter().any(|e| e.kind == HealthEventKind::BlackBoxDump
+            && e.severity == Severity::Info
+            && e.value == 128.0));
         let dir = std::env::temp_dir().join("pipemare-health-report-test");
         let _ = std::fs::remove_dir_all(&dir);
         let (jp, tp) = rep.save(&dir, "unit").unwrap();

@@ -7,9 +7,15 @@
 //!
 //! * [`event`]: [`TraceEvent`] spans (forward/backward compute,
 //!   queue-wait, inject, flush, optimizer step) collected through the
-//!   [`Recorder`] trait. [`NullRecorder`] keeps disabled hot paths free
-//!   of clock reads, locks and allocation; [`TraceRecorder`] collects
-//!   into per-track sharded buffers.
+//!   [`Recorder`] trait and read back through [`EventSource`].
+//!   [`NullRecorder`] keeps disabled hot paths free of clock reads,
+//!   locks and allocation; [`TraceRecorder`] collects everything into
+//!   per-track sharded buffers.
+//! * [`flight`]: the always-on [`FlightRecorder`] tier — per-track
+//!   bounded ring buffers of `Copy` events with a lock-free seqlock
+//!   write path, bounded memory, and exact overwrite/drop accounting.
+//!   Cheap enough to leave attached to production runs so an anomaly
+//!   can dump the last seconds of pipeline history as a black box.
 //! * [`metrics`]: atomic [`Counter`]s, [`Gauge`]s and fixed-bucket
 //!   [`Histogram`]s behind a [`MetricsRegistry`] with text and JSON
 //!   snapshot export.
@@ -22,6 +28,10 @@
 //!   baselines, measured delay histograms, online Lemma 1 / T2 stability
 //!   margins from a trajectory curvature estimate λ̂, and end-of-run
 //!   [`health::RunReport`]s.
+//! * [`analyze`]: the `pmtrace` trace-analysis engine — per-stage
+//!   utilization and wait breakdown, windowed bubble/τ drift against
+//!   the nominal models, straggler identification, and run diffs over
+//!   JSONL or Chrome traces (also shipped as the `pmtrace` binary).
 //! * [`json`]: the minimal JSON document model the exporters are built
 //!   on (the workspace has no serde).
 //!
@@ -47,17 +57,23 @@
 //! assert!(reg.snapshot().to_text().contains("steps 1"));
 //! ```
 
+pub mod analyze;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod summary;
 
-pub use event::{NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH};
-pub use export::{
-    chrome_trace, event_from_jsonl, event_to_jsonl, read_jsonl, write_chrome_trace, write_jsonl,
+pub use event::{
+    EventSource, NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH,
 };
+pub use export::{
+    chrome_trace, chrome_trace_events, event_from_jsonl, event_to_jsonl, read_jsonl,
+    write_chrome_trace, write_jsonl,
+};
+pub use flight::{FlightRecorder, DEFAULT_CAPACITY as FLIGHT_DEFAULT_CAPACITY};
 pub use health::{
     HealthConfig, HealthEvent, HealthEventKind, HealthMonitor, RunReport, Severity,
     StageObservation, StageVerdict, StepObservation,

@@ -19,8 +19,13 @@ pub struct StageTimeline {
     pub bkwd_us: u64,
     /// Microseconds of replay (recompute) forward compute.
     pub recomp_us: u64,
-    /// Microseconds spent blocked waiting on either queue.
+    /// Microseconds spent blocked waiting on either queue
+    /// (`wait_fwd_us + wait_bkwd_us`).
     pub wait_us: u64,
+    /// Microseconds spent blocked waiting for forward input.
+    pub wait_fwd_us: u64,
+    /// Microseconds spent blocked waiting for backward input.
+    pub wait_bkwd_us: u64,
     /// Fraction of the run span this stage spent computing.
     pub utilization: f64,
     /// Measured mean forward delay in microbatch slots: the number of
@@ -82,7 +87,8 @@ impl PipelineTimelineSummary {
             let mut fwd_us = 0;
             let mut bkwd_us = 0;
             let mut recomp_us = 0;
-            let mut wait_us = 0;
+            let mut wait_fwd_us = 0;
+            let mut wait_bkwd_us = 0;
             // (microbatch, ts) pairs for delay measurement.
             let mut fwd_starts = Vec::new();
             let mut bkwd_starts = Vec::new();
@@ -101,7 +107,8 @@ impl PipelineTimelineSummary {
                         recomp_us += e.dur_us;
                         recomp_starts.push((e.microbatch, e.ts_us));
                     }
-                    SpanKind::QueueWaitFwd | SpanKind::QueueWaitBkwd => wait_us += e.dur_us,
+                    SpanKind::QueueWaitFwd => wait_fwd_us += e.dur_us,
+                    SpanKind::QueueWaitBkwd => wait_bkwd_us += e.dur_us,
                     _ => {}
                 }
             }
@@ -115,7 +122,9 @@ impl PipelineTimelineSummary {
                 fwd_us,
                 bkwd_us,
                 recomp_us,
-                wait_us,
+                wait_us: wait_fwd_us + wait_bkwd_us,
+                wait_fwd_us,
+                wait_bkwd_us,
                 utilization,
                 measured_delay_slots: measured_delay_slots(&fwd_starts, &bkwd_starts),
                 measured_recomp_delay_slots: backward_starts_between(&recomp_starts, &bkwd_starts),
@@ -165,6 +174,8 @@ impl PipelineTimelineSummary {
                     .set("bkwd_us", st.bkwd_us)
                     .set("recomp_us", st.recomp_us)
                     .set("wait_us", st.wait_us)
+                    .set("wait_fwd_us", st.wait_fwd_us)
+                    .set("wait_bkwd_us", st.wait_bkwd_us)
                     .set("utilization", st.utilization)
                     .set("measured_delay_slots", st.measured_delay_slots)
                     .set("measured_recomp_delay_slots", st.measured_recomp_delay_slots)
@@ -267,6 +278,8 @@ mod tests {
         ];
         let s = PipelineTimelineSummary::from_events(&events);
         assert_eq!(s.stages[0].wait_us, 50);
+        assert_eq!(s.stages[0].wait_fwd_us, 30);
+        assert_eq!(s.stages[0].wait_bkwd_us, 20);
         assert_eq!(s.stages[0].fwd_us, 10);
         assert_eq!(s.stages[0].bkwd_us, 20);
     }

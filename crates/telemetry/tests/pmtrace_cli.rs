@@ -1,0 +1,97 @@
+//! End-to-end tests of the `pmtrace` binary: real process, real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pipemare_telemetry::{write_chrome_trace, write_jsonl, SpanKind, TraceEvent, NO_MICROBATCH};
+
+fn pmtrace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmtrace"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmtrace_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
+    TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+}
+
+fn sample(scale: u64) -> Vec<TraceEvent> {
+    vec![
+        span(SpanKind::Forward, 0, 0, 0, 10 * scale),
+        span(SpanKind::Forward, 1, 0, 10 * scale, 20 * scale),
+        span(SpanKind::QueueWaitBkwd, 0, NO_MICROBATCH, 10 * scale, 50 * scale),
+        span(SpanKind::Backward, 1, 0, 30 * scale, 30 * scale),
+        span(SpanKind::Backward, 0, 0, 60 * scale, 20 * scale),
+        span(SpanKind::Flush, 2, 0, 80 * scale, 5 * scale),
+    ]
+}
+
+#[test]
+fn summary_reads_jsonl_and_chrome_formats() {
+    let dir = temp_dir("summary");
+    let jsonl = dir.join("run.jsonl");
+    let chrome = dir.join("run.trace.json");
+    write_jsonl(&sample(1), &jsonl).unwrap();
+    write_chrome_trace(&sample(1), 2, &chrome).unwrap();
+
+    for path in [&jsonl, &chrome] {
+        let out = pmtrace().arg("summary").arg(path).output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("bubble fraction"), "{text}");
+        assert!(text.contains("wait_fwd_ms"), "{text}");
+        assert!(text.contains("tau_fwd meas/nom"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+    }
+
+    // --json emits a parseable machine report.
+    let out = pmtrace().arg("summary").arg(&jsonl).arg("--json").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let doc = pipemare_telemetry::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(doc.get("timeline").is_some());
+    assert!(doc.get("nominal_bubble_fraction").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drift_and_diff_compare_runs() {
+    let dir = temp_dir("diff");
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    write_jsonl(&sample(1), &a).unwrap();
+    write_jsonl(&sample(2), &b).unwrap();
+
+    let out = pmtrace().args(["drift", a.to_str().unwrap(), "--windows", "3"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("3 windows"), "{text}");
+    assert!(text.contains("nominal tau_fwd"), "{text}");
+
+    let out = pmtrace().args(["diff", a.to_str().unwrap(), b.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("throughput"), "{text}");
+    // B is 2× slower end to end: the span delta is +100%.
+    assert!(text.contains("+100.0%"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_and_missing_files_fail_cleanly() {
+    let out = pmtrace().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+
+    let out = pmtrace().args(["summary", "/nonexistent/trace.jsonl"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("/nonexistent/trace.jsonl"));
+
+    let out = pmtrace().args(["drift", "x.jsonl", "--windows", "zero"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--windows"));
+}

@@ -34,7 +34,7 @@ use pipemare::nn::LinearRegression;
 use pipemare::optim::{ConstantLr, OptimizerKind, T1Rescheduler};
 use pipemare::pipeline::{run_threaded_pipeline_health, Method};
 use pipemare::telemetry::{
-    HealthConfig, HealthEventKind, HealthMonitor, MetricsRegistry, Severity,
+    HealthConfig, HealthEventKind, HealthMonitor, MetricsRegistry, Severity, TraceRecorder,
 };
 use pipemare::theory::lemma1_max_alpha_frac;
 
@@ -83,13 +83,16 @@ fn main() {
     );
     println!("({} steps trained before the loss went non-finite)", losses.len());
 
-    // Measured slot delays + timeline from the threaded executor.
+    // Measured slot delays + timeline from the threaded executor. A
+    // full TraceRecorder keeps the whole trace for the report; the
+    // flight_recorder example shows the bounded-memory tier instead.
     let (_, timeline_a) = run_threaded_pipeline_health(
         Method::PipeMare,
         p,
         4,
         6,
         Duration::from_micros(500),
+        &TraceRecorder::with_tracks(p + 1),
         &monitor_a,
     );
     let report_a = monitor_a
@@ -133,6 +136,7 @@ fn main() {
         4,
         6,
         Duration::from_micros(500),
+        &TraceRecorder::with_tracks(p + 1),
         &monitor_b,
     );
     let report_b = monitor_b

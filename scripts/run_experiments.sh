@@ -43,6 +43,7 @@ benches=(
   table4_activation_memory
   table5_task_activation_memory
   recompute_memory
+  flight_recorder
   ablation_gamma_choice
   ablation_partitioning
 )
@@ -60,5 +61,16 @@ cargo run --release --example recompute_pipeline 2>&1 | tee "$out/recompute_pipe
 
 echo "=== health_monitor (stability margins + run reports) ==="
 cargo run --release --example health_monitor 2>&1 | tee "$out/health_monitor.txt"
+
+echo "=== flight_recorder (always-on rings + anomaly black box) ==="
+cargo run --release --example flight_recorder 2>&1 | tee "$out/flight_recorder.txt"
+
+echo "=== pmtrace (post-mortem trace analysis) ==="
+{
+  cargo run --release -p pipemare-telemetry --bin pmtrace -- \
+    summary "$out"/flight_black_box/blackbox_step*.jsonl
+  cargo run --release -p pipemare-telemetry --bin pmtrace -- \
+    diff "$out/trace_gpipe.jsonl" "$out/trace_pipemare.jsonl"
+} 2>&1 | tee "$out/pmtrace.txt"
 
 echo "All artifact logs and traces in $out/"

@@ -13,7 +13,7 @@
 //! | [`theory`] | `pipemare-theory` | quadratic-model stability analysis (Lemmas 1–3) |
 //! | [`pipeline`] | `pipemare-pipeline` | delay schedules, cost models, threaded executor |
 //! | [`core`] | `pipemare-core` | the PipeMare/GPipe/PipeDream/Hogwild trainers |
-//! | [`telemetry`] | `pipemare-telemetry` | trace recording, metrics, Chrome-trace export |
+//! | [`telemetry`] | `pipemare-telemetry` | trace recording (null/flight/full tiers), metrics, Chrome-trace export, `pmtrace` analysis |
 //!
 //! ## Quickstart
 //!
