@@ -1,0 +1,234 @@
+//! Wire-codec throughput and loopback round-trip latency.
+//!
+//! Measures the dense and sparse gradient codec on a 64 Ki-element
+//! tensor (100%, 10% and 1% nonzero density) and the Sender/Receiver
+//! round-trip over the in-process loopback transport.
+//!
+//! The run writes `bench_comms.json` with:
+//!
+//! * deterministic keys gated byte-for-byte by `scripts/check_bench.sh`
+//!   — exact wire sizes (`bytes.*`), the sparse-vs-dense byte-reduction
+//!   ratios (`wire.sparse_reduction_*`) and the framed control-message
+//!   sizes (`bytes.frame_*`), identical in smoke and full modes;
+//! * informational `seconds.*` timings (codec encode/decode throughput,
+//!   loopback round-trip latency) that vary across hosts.
+//!
+//! The paper-level claim — sparse DropZeros encoding cuts wire bytes by
+//! at least 3× at 1% gradient density — is asserted inside the bench,
+//! so a codec regression fails the run itself, not just the diff.
+//!
+//! Passing `--test` anywhere runs a seconds-long smoke version; the
+//! deterministic workload and keys are identical in both modes.
+
+use std::time::Instant;
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pipemare_bench::report::ExperimentLog;
+use pipemare_comms::codec::{Reader, Writer};
+use pipemare_comms::protocol::Message;
+use pipemare_comms::{channel, loopback_pair, SparseMode, TensorPayload, Transport};
+
+/// Stated bound enforced by the bench: DropZeros at 1% density must cut
+/// wire bytes by at least this factor vs the dense encoding. The ideal
+/// ratio is ~2× the inverse density × 1/2 (8 bytes/nonzero vs 4
+/// bytes/element), i.e. ~50× at 1%; 3× leaves a wide margin and matches
+/// the acceptance criterion in EXPERIMENTS.md.
+const BOUND_SPARSE_REDUCTION_D1: f64 = 3.0;
+
+const N: usize = 65_536;
+
+/// Seeded gradient with an exact nonzero count of `N * density`:
+/// deterministic wire sizes, not just deterministic in expectation.
+fn gradient(density: f64, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nonzero = ((N as f64) * density).round() as usize;
+    let mut v = vec![0.0f32; N];
+    let mut placed = 0usize;
+    while placed < nonzero {
+        let i = rng.gen_range(0..N);
+        if v[i].to_bits() == 0 {
+            v[i] = rng.gen_range(-1.0..1.0f32);
+            if v[i].to_bits() == 0 {
+                continue; // rejected a sampled exact zero
+            }
+            placed += 1;
+        }
+    }
+    v
+}
+
+fn encode(p: &TensorPayload) -> Vec<u8> {
+    let mut w = Writer::new();
+    p.encode(&mut w);
+    w.into_bytes()
+}
+
+fn decode(b: &[u8]) -> TensorPayload {
+    let mut r = Reader::new(b);
+    let p = TensorPayload::decode(&mut r).expect("bench payload decodes");
+    r.finish().expect("no trailing bytes");
+    p
+}
+
+/// Median seconds of `reps` timed runs of `f`.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 3 } else { 9 };
+    let codec_iters = if smoke { 20 } else { 200 };
+    let roundtrips: u64 = if smoke { 500 } else { 5_000 };
+
+    let mut log = ExperimentLog::new("bench_comms");
+    log.push_scalar(
+        "host_parallelism",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) as f64,
+    );
+    log.push_scalar("bound_sparse_reduction_d1", BOUND_SPARSE_REDUCTION_D1);
+
+    // --- Deterministic wire sizes (gated) ---------------------------
+    let dense_grad = gradient(1.0, 11);
+    let grad_d10 = gradient(0.10, 12);
+    let grad_d1 = gradient(0.01, 13);
+
+    let dense = TensorPayload::from_dense(&dense_grad, SparseMode::DropZeros);
+    let sparse_d10 = TensorPayload::from_dense(&grad_d10, SparseMode::DropZeros);
+    let sparse_d1 = TensorPayload::from_dense(&grad_d1, SparseMode::DropZeros);
+    assert!(matches!(dense, TensorPayload::Dense(_)), "fully dense must stay dense on the wire");
+    assert!(matches!(sparse_d1, TensorPayload::Sparse { .. }), "1% density must go sparse");
+
+    let bytes_dense = dense.wire_bytes();
+    let bytes_d10 = sparse_d10.wire_bytes();
+    let bytes_d1 = sparse_d1.wire_bytes();
+    let reduction_d10 = bytes_dense as f64 / bytes_d10 as f64;
+    let reduction_d1 = bytes_dense as f64 / bytes_d1 as f64;
+
+    println!("wire bytes for a {N}-element gradient shard:");
+    println!("    dense            {bytes_dense:>9} B");
+    println!("    sparse (10%)     {bytes_d10:>9} B  ({reduction_d10:.1}x smaller)");
+    println!("    sparse ( 1%)     {bytes_d1:>9} B  ({reduction_d1:.1}x smaller)");
+
+    log.push_scalar("bytes.dense_64k", bytes_dense as f64);
+    log.push_scalar("bytes.sparse_64k_d10", bytes_d10 as f64);
+    log.push_scalar("bytes.sparse_64k_d1", bytes_d1 as f64);
+    log.push_scalar("wire.sparse_reduction_d10", reduction_d10);
+    log.push_scalar("wire.sparse_reduction_d1", reduction_d1);
+
+    assert!(
+        reduction_d1 >= BOUND_SPARSE_REDUCTION_D1,
+        "sparse encoding at 1% density only cut wire bytes {reduction_d1:.2}x \
+         (stated bound {BOUND_SPARSE_REDUCTION_D1}x)"
+    );
+
+    // --- Criterion codec microbenches -------------------------------
+    let mut criterion = Criterion::default().sample_size(if smoke { 10 } else { 20 });
+    let mut group = criterion.benchmark_group("comms/codec");
+    group.bench_function("encode_dense_64k", |b| b.iter(|| encode(std::hint::black_box(&dense))));
+    group.bench_function("encode_sparse_64k_d1", |b| {
+        b.iter(|| encode(std::hint::black_box(&sparse_d1)))
+    });
+    let dense_bytes = encode(&dense);
+    let sparse_bytes = encode(&sparse_d1);
+    group.bench_function("decode_dense_64k", |b| {
+        b.iter(|| decode(std::hint::black_box(&dense_bytes)))
+    });
+    group.bench_function("decode_sparse_64k_d1", |b| {
+        b.iter(|| decode(std::hint::black_box(&sparse_bytes)))
+    });
+    group.finish();
+
+    // --- Codec throughput (informational) ---------------------------
+    let payloads: [(&str, &TensorPayload); 3] =
+        [("dense", &dense), ("sparse_d10", &sparse_d10), ("sparse_d1", &sparse_d1)];
+    let mut enc_secs = Vec::new();
+    let mut dec_secs = Vec::new();
+    println!("codec time per {N}-element payload (median of {reps} x {codec_iters} iters):");
+    for (name, p) in payloads {
+        let enc = median_secs(reps, || {
+            for _ in 0..codec_iters {
+                std::hint::black_box(encode(std::hint::black_box(p)));
+            }
+        }) / codec_iters as f64;
+        let bytes = encode(p);
+        let dec = median_secs(reps, || {
+            for _ in 0..codec_iters {
+                std::hint::black_box(decode(std::hint::black_box(&bytes)));
+            }
+        }) / codec_iters as f64;
+        let gbs = bytes.len() as f64 / enc / 1e9;
+        println!(
+            "    {name:<11} encode {:>8.1} us ({gbs:.2} GB/s)  decode {:>8.1} us",
+            enc * 1e6,
+            dec * 1e6
+        );
+        enc_secs.push(enc);
+        dec_secs.push(dec);
+    }
+    log.push_series("seconds.encode_payload", enc_secs);
+    log.push_series("seconds.decode_payload", dec_secs);
+
+    // --- Loopback round-trip latency --------------------------------
+    // One echo thread answers Flush with FlushAck; the driver side
+    // measures the full Sender→Receiver round trip through the codec,
+    // the framing layer, and the loopback channel.
+    let (a, b) = loopback_pair();
+    let echo = std::thread::spawn(move || {
+        let (mut tx, mut rx) = channel(Box::new(b) as Box<dyn Transport>).expect("echo channel");
+        loop {
+            match rx.recv().expect("echo recv") {
+                Message::Flush { id } => {
+                    tx.send(&Message::FlushAck { id, last_step: id }).expect("echo send")
+                }
+                Message::Shutdown => break,
+                other => panic!("echo thread got unexpected {}", other.name()),
+            }
+        }
+    });
+    let (mut tx, mut rx) = channel(Box::new(a) as Box<dyn Transport>).expect("driver channel");
+    let start = Instant::now();
+    for id in 0..roundtrips {
+        tx.send(&Message::Flush { id }).expect("driver send");
+        match rx.recv().expect("driver recv") {
+            Message::FlushAck { id: ack, .. } => assert_eq!(ack, id),
+            other => panic!("driver got unexpected {}", other.name()),
+        }
+    }
+    let rtt = start.elapsed().as_secs_f64() / roundtrips as f64;
+    tx.send(&Message::Shutdown).expect("driver shutdown");
+    echo.join().expect("echo thread");
+    println!("loopback round-trip over {roundtrips} Flush/FlushAck pairs: {:.1} us", rtt * 1e6);
+    log.push_scalar("seconds.loopback_roundtrip", rtt);
+    // The control-message overhead per round trip is deterministic
+    // (framed bytes incl. the u32 length prefix) and gated.
+    let framed = |m: &Message| {
+        pipemare_comms::codec::frame(&pipemare_comms::protocol::encode_message(m))
+            .expect("control frame fits")
+            .len() as f64
+    };
+    log.push_scalar("bytes.frame_flush", framed(&Message::Flush { id: u64::MAX }));
+    log.push_scalar(
+        "bytes.frame_flush_ack",
+        framed(&Message::FlushAck { id: u64::MAX, last_step: u64::MAX }),
+    );
+
+    match log.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+    if smoke {
+        println!("\ncomms smoke OK (sparse d1 reduction {reduction_d1:.1}x within bound)");
+    }
+}

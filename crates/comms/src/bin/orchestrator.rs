@@ -1,0 +1,289 @@
+//! End-to-end distributed pipeline driver.
+//!
+//! Two subcommands:
+//!
+//! * `orchestrator worker --listen 127.0.0.1:0` — serve one stage-worker
+//!   session over TCP. Prints `LISTENING <addr>` on stdout so a parent
+//!   process can discover the bound port.
+//! * `orchestrator train [--transport tcp|loopback] [--stages N]
+//!   [--minibatches K] [--micro M] [--sparse MODE]` — run a full
+//!   PipeMare (T1 + T2) training job over N stage workers (subprocesses
+//!   for TCP, threads for loopback), stream telemetry back, and write
+//!   the merged trace where `pmtrace summary` can read it.
+//!
+//! A TCP run finishes with a self-check: the same seeds are replayed
+//! over loopback workers and the final weights must match bit for bit.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare_comms::{
+    channel, run_stage_worker, spawn_loopback_workers, CommsError, DistConfig, DistRunReport,
+    DistributedTrainer, SparseMode, TcpTransport, Transport,
+};
+use pipemare_nn::{ImageBatch, Mlp};
+use pipemare_optim::{ConstantLr, OptimizerKind, T1Rescheduler};
+use pipemare_telemetry::write_jsonl;
+use pipemare_tensor::Tensor;
+
+const SEED: u64 = 42;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  orchestrator worker --listen <addr>\n  orchestrator train \
+         [--transport tcp|loopback] [--stages N] [--minibatches K] [--micro M] \
+         [--sparse dense|dropzeros|threshold:<t>|topk:<frac>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("orchestrator: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// worker
+// ---------------------------------------------------------------------------
+
+fn cmd_worker(args: &[String]) -> Result<(), CommsError> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let listener = TcpListener::bind(&listen)?;
+    // The parent parses this line to learn the ephemeral port.
+    println!("LISTENING {}", listener.local_addr()?);
+    let (stream, peer) = listener.accept()?;
+    eprintln!("worker: serving {peer}");
+    let (tx, rx) = channel(Box::new(TcpTransport::new(stream)?))?;
+    let report = run_stage_worker(tx, rx)?;
+    eprintln!(
+        "worker: stage {} done, {} steps committed, sent {} B / recv {} B",
+        report.stage, report.committed_steps, report.sent.bytes, report.recv.bytes
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// train
+// ---------------------------------------------------------------------------
+
+struct TrainArgs {
+    transport: String,
+    stages: usize,
+    minibatches: usize,
+    n_micro: usize,
+    sparse: SparseMode,
+}
+
+fn parse_sparse(s: &str) -> SparseMode {
+    match s {
+        "dense" => SparseMode::Dense,
+        "dropzeros" => SparseMode::DropZeros,
+        _ => {
+            if let Some(t) = s.strip_prefix("threshold:") {
+                SparseMode::Threshold(t.parse().unwrap_or_else(|_| usage()))
+            } else if let Some(f) = s.strip_prefix("topk:") {
+                SparseMode::TopK(f.parse().unwrap_or_else(|_| usage()))
+            } else {
+                usage()
+            }
+        }
+    }
+}
+
+fn parse_train_args(args: &[String]) -> TrainArgs {
+    let mut out = TrainArgs {
+        transport: "loopback".to_string(),
+        stages: 4,
+        minibatches: 6,
+        n_micro: 4,
+        sparse: SparseMode::DropZeros,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--transport" => out.transport = val(),
+            "--stages" => out.stages = val().parse().unwrap_or_else(|_| usage()),
+            "--minibatches" => out.minibatches = val().parse().unwrap_or_else(|_| usage()),
+            "--micro" => out.n_micro = val().parse().unwrap_or_else(|_| usage()),
+            "--sparse" => out.sparse = parse_sparse(&val()),
+            _ => usage(),
+        }
+    }
+    if !matches!(out.transport.as_str(), "tcp" | "loopback") {
+        usage();
+    }
+    out
+}
+
+/// Two separable Gaussian blobs, the workspace's standard fast workload.
+fn blob_micro(seed: u64, n_micro: usize, per_micro: usize, features: usize) -> Vec<ImageBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_micro)
+        .map(|_| {
+            let mut x = Tensor::randn(&[per_micro, features], &mut rng);
+            let y: Vec<usize> = (0..per_micro).map(|i| i % 2).collect();
+            for i in 0..per_micro {
+                let shift = if i % 2 == 0 { 3.0 } else { -3.0 };
+                for j in 0..features / 2 {
+                    x.data_mut()[i * features + j] += shift;
+                }
+            }
+            ImageBatch { x, y }
+        })
+        .collect()
+}
+
+fn dist_config(a: &TrainArgs) -> DistConfig {
+    let mut cfg = DistConfig::pipemare(
+        a.stages,
+        a.n_micro,
+        OptimizerKind::Momentum { beta: 0.9, weight_decay: 0.0 },
+        Box::new(ConstantLr(0.05)),
+        T1Rescheduler::new(24),
+        0.9,
+    );
+    cfg.warmup_steps = 2;
+    cfg.sparse_grads = a.sparse;
+    cfg.recv_timeout = Some(Duration::from_secs(30));
+    cfg
+}
+
+fn run_job(
+    model: &Mlp,
+    a: &TrainArgs,
+    transports: Vec<Box<dyn Transport>>,
+    quiet: bool,
+) -> Result<(Vec<f32>, DistRunReport), CommsError> {
+    let mut trainer = DistributedTrainer::connect(model, dist_config(a), SEED, transports)?;
+    let weights = vec![1.0 / a.n_micro as f32; a.n_micro];
+    for mb in 0..a.minibatches {
+        let micro = blob_micro(SEED + 1 + mb as u64, a.n_micro, 8, 8);
+        let stats = trainer.train_minibatch(&micro, &weights)?;
+        if !quiet {
+            println!(
+                "step {:2}  loss {:.4}  |w| {:.4}  lr {:.4}{}",
+                stats.step,
+                stats.loss,
+                stats.param_norm,
+                stats.base_lr,
+                if stats.diverged { "  DIVERGED" } else { "" }
+            );
+        }
+    }
+    let params = trainer.gather_params()?;
+    let report = trainer.shutdown()?;
+    Ok((params, report))
+}
+
+/// Driver-side transports plus the spawned worker subprocesses.
+type TcpWorkers = (Vec<Box<dyn Transport>>, Vec<Child>);
+
+fn spawn_tcp_workers(stages: usize) -> Result<TcpWorkers, CommsError> {
+    let exe = std::env::current_exe()?;
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(stages);
+    let mut children = Vec::with_capacity(stages);
+    for s in 0..stages {
+        let mut child = Command::new(&exe)
+            .args(["worker", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line)?;
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| {
+                CommsError::Protocol(format!("worker {s} announced {line:?}, expected LISTENING"))
+            })?
+            .to_string();
+        println!("stage {s} -> {addr} (pid {})", child.id());
+        transports.push(Box::new(TcpTransport::connect(&addr)?));
+        children.push(child);
+    }
+    Ok((transports, children))
+}
+
+fn experiments_dir() -> PathBuf {
+    std::env::var_os("PIPEMARE_EXPERIMENTS_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+fn cmd_train(args: &[String]) -> Result<(), CommsError> {
+    let a = parse_train_args(args);
+    let model = Mlp::new(&[8, 16, 12, 10, 2]);
+    println!(
+        "orchestrator: {}-stage PipeMare (T1+T2) over {}, {} minibatches x {} microbatches, sparse={:?}",
+        a.stages, a.transport, a.minibatches, a.n_micro, a.sparse
+    );
+
+    let (params, report) = if a.transport == "tcp" {
+        let (transports, children) = spawn_tcp_workers(a.stages)?;
+        let out = run_job(&model, &a, transports, false)?;
+        for mut child in children {
+            let _ = child.wait();
+        }
+        out
+    } else {
+        let (transports, handles) = spawn_loopback_workers(a.stages);
+        let out = run_job(&model, &a, transports, false)?;
+        for h in handles {
+            h.join().expect("worker thread panicked")?;
+        }
+        out
+    };
+
+    println!("workers committed: {:?}", report.worker_steps);
+    println!(
+        "wire: sent {} B in {} msgs, recv {} B in {} msgs",
+        report.sent.bytes, report.sent.msgs, report.recv.bytes, report.recv.msgs
+    );
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let trace = dir.join(format!("distributed_{}.jsonl", a.transport));
+    write_jsonl(&report.events, &trace)?;
+    println!("trace: {} ({} events)", trace.display(), report.events.len());
+
+    if a.transport == "tcp" {
+        // Replay the exact same job on in-process loopback workers: the
+        // final weights must match the TCP run bit for bit.
+        let (transports, handles) = spawn_loopback_workers(a.stages);
+        let (reference, _) = run_job(&model, &a, transports, true)?;
+        for h in handles {
+            h.join().expect("worker thread panicked")?;
+        }
+        let identical = params.len() == reference.len()
+            && params.iter().zip(reference.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            return Err(CommsError::Protocol(
+                "self-check failed: TCP and loopback weights differ".to_string(),
+            ));
+        }
+        println!("self-check: TCP weights bit-identical to loopback");
+    }
+    Ok(())
+}

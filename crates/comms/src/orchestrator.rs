@@ -1,0 +1,860 @@
+//! The orchestrator: drives N stage workers over any transport.
+//!
+//! Topology is a star — the orchestrator holds one link per worker and
+//! every exchange on a link is strictly request/reply, so the protocol
+//! cannot deadlock. Two drivers live here:
+//!
+//! * [`DistributedTrainer`] — the distributed counterpart of
+//!   `pipemare_core::PipelineTrainer`. Model compute (forward/backward)
+//!   stays on the driver, exactly like the paper's App. C.4 simulation;
+//!   workers own their stage's weight shard, serve delayed/T2-corrected
+//!   versions of it, and run the optimizer. A two-phase stage/commit
+//!   step keeps all shards atomic under divergence. With pinned seeds
+//!   the final weights are bit-identical to the in-process trainer.
+//! * [`run_token_pipeline`] — the distributed counterpart of
+//!   `run_threaded_pipeline_traced`: microbatch tokens hop between
+//!   workers through the hub, reproducing the latency pipeline (and its
+//!   telemetry span multiset) across real transports.
+//!
+//! Worker telemetry streams back in [`Message::Telemetry`] batches; the
+//! orchestrator re-tracks each worker onto its stage id, shifts its
+//! timestamps by the NTP-lite clock offset measured at handshake, and
+//! merges everything into one trace `pmtrace` can summarize.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare_nn::TrainModel;
+use pipemare_optim::{clip_grad_norm, LrSchedule, OptimizerKind, T1Rescheduler};
+use pipemare_pipeline::{Method, PipelineClock, StagePartition};
+use pipemare_telemetry::{
+    events_from_jsonl_string, merge_worker_events, sort_events, Recorder, SpanKind, TraceEvent,
+    TraceRecorder, NO_MICROBATCH,
+};
+use pipemare_theory::gamma_from_d;
+
+use crate::codec::{SparseMode, TensorPayload};
+use crate::error::CommsError;
+use crate::protocol::{Message, PassKind, StageConfig, PROTOCOL_VERSION};
+use crate::transport::{channel, Transport, WireStats};
+
+/// Recompute simulation settings for a distributed run (mirrors the
+/// core crate's `RecomputeCfg`, redeclared here to keep the dependency
+/// graph acyclic: core depends on comms, not the reverse).
+#[derive(Clone, Copy, Debug)]
+pub struct DistRecompute {
+    /// Number of gradient-checkpoint segments.
+    pub segments: usize,
+    /// Whether the T2-for-recompute correction is applied.
+    pub t2: bool,
+}
+
+impl DistRecompute {
+    /// The stage-group size implied by the segment count.
+    pub fn segment_size(&self, stages: usize) -> usize {
+        stages.div_ceil(self.segments.max(1)).max(1)
+    }
+}
+
+/// Configuration for a [`DistributedTrainer`] run.
+pub struct DistConfig {
+    /// Pipeline scheduling method.
+    pub method: Method,
+    /// Number of pipeline stages (= workers).
+    pub stages: usize,
+    /// Microbatches per minibatch.
+    pub n_micro: usize,
+    /// Optimizer update rule (run shard-locally on each worker).
+    pub optimizer: OptimizerKind,
+    /// Base learning-rate schedule (indexed by optimizer step).
+    pub schedule: Box<dyn LrSchedule>,
+    /// T1 learning-rate rescheduling (None disables).
+    pub t1: Option<T1Rescheduler>,
+    /// T2 discrepancy-correction decay `D` (None disables).
+    pub t2_decay: Option<f64>,
+    /// Synchronous (T3) warmup steps.
+    pub warmup_steps: usize,
+    /// Global gradient-norm clip, applied driver-side before sharding.
+    pub grad_clip: Option<f32>,
+    /// Recompute delay simulation (None disables).
+    pub recompute: Option<DistRecompute>,
+    /// Partition stages by equal element counts instead of weight units.
+    pub partition_by_elements: bool,
+    /// How gradients are encoded on the wire. [`SparseMode::Dense`] and
+    /// [`SparseMode::DropZeros`] are bit-lossless; threshold/top-k trade
+    /// fidelity for wire bytes.
+    pub sparse_grads: SparseMode,
+    /// Receive timeout on every worker link (None blocks forever).
+    pub recv_timeout: Option<Duration>,
+}
+
+impl DistConfig {
+    /// A synchronous (GPipe) distributed baseline.
+    pub fn gpipe(
+        stages: usize,
+        n_micro: usize,
+        optimizer: OptimizerKind,
+        schedule: Box<dyn LrSchedule>,
+    ) -> Self {
+        DistConfig {
+            method: Method::GPipe,
+            stages,
+            n_micro,
+            optimizer,
+            schedule,
+            t1: None,
+            t2_decay: None,
+            warmup_steps: 0,
+            grad_clip: None,
+            recompute: None,
+            partition_by_elements: false,
+            sparse_grads: SparseMode::Dense,
+            recv_timeout: None,
+        }
+    }
+
+    /// A full PipeMare (T1 + T2) distributed configuration.
+    pub fn pipemare(
+        stages: usize,
+        n_micro: usize,
+        optimizer: OptimizerKind,
+        schedule: Box<dyn LrSchedule>,
+        t1: T1Rescheduler,
+        t2_decay: f64,
+    ) -> Self {
+        DistConfig {
+            method: Method::PipeMare,
+            t1: Some(t1),
+            t2_decay: Some(t2_decay),
+            ..DistConfig::gpipe(stages, n_micro, optimizer, schedule)
+        }
+    }
+}
+
+/// Per-step statistics from [`DistributedTrainer::train_minibatch`]
+/// (mirrors the core crate's `StepStats`).
+#[derive(Clone, Copy, Debug)]
+pub struct DistStepStats {
+    /// Step index this update corresponds to.
+    pub step: usize,
+    /// Microbatch-weighted training loss.
+    pub loss: f32,
+    /// ‖w‖₂ after the update (∞ once diverged).
+    pub param_norm: f32,
+    /// Base learning rate before T1 rescaling.
+    pub base_lr: f32,
+    /// Whether training has diverged.
+    pub diverged: bool,
+}
+
+/// Everything a finished distributed run hands back.
+#[derive(Clone, Debug)]
+pub struct DistRunReport {
+    /// The merged trace: every worker's events re-tracked onto its stage
+    /// id and clock-shifted into driver time, plus the driver's own
+    /// events on track `stages`, sorted by `(ts_us, track)`.
+    pub events: Vec<TraceEvent>,
+    /// Steps each worker reported committed at shutdown.
+    pub worker_steps: Vec<u64>,
+    /// Total driver→worker traffic.
+    pub sent: WireStats,
+    /// Total worker→driver traffic.
+    pub recv: WireStats,
+}
+
+/// One orchestrator↔worker link: message handles plus the bookkeeping
+/// that makes failures diagnosable (stage id, last acked step, clock
+/// offset).
+pub struct WorkerLink {
+    sender: crate::transport::Sender,
+    receiver: crate::transport::Receiver,
+    stage: u32,
+    last_acked: Option<u64>,
+    /// Worker clock minus driver clock, microseconds.
+    offset_us: i64,
+}
+
+impl WorkerLink {
+    fn lost(&self, cause: CommsError) -> CommsError {
+        CommsError::WorkerLost {
+            stage: self.stage,
+            last_acked_step: self.last_acked,
+            cause: Box::new(cause),
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), CommsError> {
+        match self.sender.send(msg) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.lost(e)),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Message, CommsError> {
+        match self.receiver.recv() {
+            Ok(Message::Error { message, .. }) => {
+                Err(CommsError::Remote { stage: self.stage, message })
+            }
+            Ok(msg) => Ok(msg),
+            Err(e) => Err(self.lost(e)),
+        }
+    }
+
+    fn protocol(&self, what: &str, got: &Message) -> CommsError {
+        CommsError::Protocol(format!("stage {}: expected {what}, got {}", self.stage, got.name()))
+    }
+}
+
+/// Performs the hello exchange on a fresh transport: sends the stage
+/// config, validates the ack, and estimates the worker's clock offset
+/// from the request/reply midpoint (NTP-lite).
+pub fn handshake_worker(
+    transport: Box<dyn Transport>,
+    cfg: StageConfig,
+    recv_timeout: Option<Duration>,
+    driver_clock: &TraceRecorder,
+) -> Result<WorkerLink, CommsError> {
+    let stage = cfg.stage;
+    let (sender, mut receiver) = channel(transport)?;
+    receiver.set_timeout(recv_timeout)?;
+    let mut link = WorkerLink { sender, receiver, stage, last_acked: None, offset_us: 0 };
+    let t_d0 = driver_clock.now_us();
+    link.send(&Message::Hello(cfg))?;
+    let ack = link.recv()?;
+    let t_d1 = driver_clock.now_us();
+    match ack {
+        Message::HelloAck { protocol, stage: s, clock_us } => {
+            if protocol != PROTOCOL_VERSION {
+                return Err(CommsError::Handshake(format!(
+                    "stage {stage}: worker speaks protocol v{protocol}, driver v{PROTOCOL_VERSION}"
+                )));
+            }
+            if s != stage {
+                return Err(CommsError::Handshake(format!(
+                    "worker identified as stage {s}, expected {stage}"
+                )));
+            }
+            // Assume symmetric latency: the worker sampled its clock at
+            // roughly the midpoint of our send/recv interval.
+            link.offset_us = clock_us as i64 - ((t_d0 + t_d1) / 2) as i64;
+            Ok(link)
+        }
+        other => Err(link.protocol("HelloAck", &other)),
+    }
+}
+
+fn build_stage_config(
+    cfg: &DistConfig,
+    clock: &PipelineClock,
+    partition: &StagePartition,
+    param_len: usize,
+    s: usize,
+) -> StageConfig {
+    let (lo, hi) = partition.range(s);
+    let seg = cfg.recompute.map(|rc| rc.segment_size(cfg.stages));
+    // γ mirrors the in-process trainer: the delay gap is τ_fwd, widened
+    // to max(τ_fwd, τ_recomp) when the T2-for-recompute correction is on
+    // (App. D).
+    let gap = match cfg.method {
+        Method::PipeMare => {
+            let tau_fwd = clock.nominal_tau_fwd(s);
+            match (cfg.recompute, seg) {
+                (Some(rc), Some(seg)) if rc.t2 => tau_fwd.max(clock.nominal_tau_recomp(seg, s)),
+                _ => tau_fwd,
+            }
+        }
+        _ => 0.0,
+    };
+    let gamma = cfg.t2_decay.map_or(0.0, |d| gamma_from_d(d, gap));
+    StageConfig {
+        protocol: PROTOCOL_VERSION,
+        stage: s as u32,
+        stages: cfg.stages as u32,
+        n_micro: cfg.n_micro as u32,
+        method: cfg.method,
+        param_len: param_len as u64,
+        shard_lo: lo as u64,
+        shard_hi: hi as u64,
+        opt: cfg.optimizer,
+        t2_decay: cfg.t2_decay,
+        gamma,
+        recomp_slots: seg.map(|seg| clock.recomp_delay_slots(seg, s) as u32),
+        recomp_t2: cfg.recompute.is_some_and(|rc| rc.t2),
+        warmup_steps: cfg.warmup_steps as u64,
+    }
+}
+
+/// The distributed pipeline trainer: one worker per stage over any
+/// transport, driven by this struct on the orchestrator side.
+pub struct DistributedTrainer<'m, M: TrainModel> {
+    model: &'m M,
+    cfg: DistConfig,
+    partition: StagePartition,
+    clock: PipelineClock,
+    links: Vec<WorkerLink>,
+    recorder: TraceRecorder,
+    merged: Vec<TraceEvent>,
+    step: usize,
+    diverged: bool,
+    flush_seq: u64,
+}
+
+impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
+    /// Connects to one worker per stage (handshake + initial shard
+    /// distribution). `init_seed` seeds parameter initialization exactly
+    /// like `PipelineTrainer::new`, so the same seed produces the same
+    /// starting weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transports.len() != cfg.stages` or a dimension is zero.
+    pub fn connect(
+        model: &'m M,
+        cfg: DistConfig,
+        init_seed: u64,
+        transports: Vec<Box<dyn Transport>>,
+    ) -> Result<Self, CommsError> {
+        assert_eq!(transports.len(), cfg.stages, "one transport per stage");
+        assert!(cfg.stages > 0 && cfg.n_micro > 0);
+        let units: Vec<(usize, usize)> =
+            model.weight_units().iter().map(|u| (u.offset, u.len)).collect();
+        let total = model.param_len();
+        let partition = if cfg.partition_by_elements {
+            StagePartition::by_elements(total, cfg.stages)
+        } else {
+            StagePartition::from_units(&units, total, cfg.stages)
+        };
+        let clock = PipelineClock::new(cfg.stages, cfg.n_micro);
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let mut params = vec![0.0f32; total];
+        model.init_params(&mut params, &mut rng);
+        let recorder = TraceRecorder::with_tracks(cfg.stages + 1);
+        let mut links = Vec::with_capacity(cfg.stages);
+        for (s, transport) in transports.into_iter().enumerate() {
+            let sc = build_stage_config(&cfg, &clock, &partition, total, s);
+            let mut link = handshake_worker(transport, sc, cfg.recv_timeout, &recorder)?;
+            let (lo, hi) = partition.range(s);
+            link.send(&Message::InitShard { params: params[lo..hi].to_vec() })?;
+            links.push(link);
+        }
+        Ok(DistributedTrainer {
+            model,
+            cfg,
+            partition,
+            clock,
+            links,
+            recorder,
+            merged: Vec::new(),
+            step: 0,
+            diverged: false,
+            flush_seq: 0,
+        })
+    }
+
+    /// Optimizer steps completed.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Whether training has hit non-finite weights or gradients.
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// The stage partition in use.
+    pub fn partition(&self) -> &StagePartition {
+        &self.partition
+    }
+
+    fn t1_scale(&self, s: usize, t_async: usize, sync_phase: bool) -> f32 {
+        match (&self.cfg.t1, sync_phase, self.cfg.method) {
+            (Some(t1), false, Method::PipeMare) => t1.scale(t_async, self.clock.nominal_tau_fwd(s)),
+            _ => 1.0,
+        }
+    }
+
+    /// Fetches every stage's shard for one pass and assembles the full
+    /// parameter vector into `buf`.
+    fn fetch_into(
+        &mut self,
+        buf: &mut [f32],
+        step: u64,
+        micro: u32,
+        pass: PassKind,
+    ) -> Result<(), CommsError> {
+        for s in 0..self.cfg.stages {
+            let (lo, hi) = self.partition.range(s);
+            let link = &mut self.links[s];
+            link.send(&Message::FetchShard { step, micro, pass })?;
+            match link.recv()? {
+                Message::Shard { step: st, micro: mi, pass: pa, data, .. }
+                    if st == step && mi == micro && pa == pass =>
+                {
+                    if data.dense_len() != hi - lo {
+                        return Err(CommsError::Protocol(format!(
+                            "stage {s}: shard has {} values, expected {}",
+                            data.dense_len(),
+                            hi - lo
+                        )));
+                    }
+                    buf[lo..hi].copy_from_slice(&data.into_dense());
+                }
+                other => return Err(self.links[s].protocol("matching Shard", &other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every worker's telemetry and merges it into the combined
+    /// trace (a streaming flush barrier).
+    fn flush_telemetry(&mut self) -> Result<(), CommsError> {
+        self.flush_seq += 1;
+        let id = self.flush_seq;
+        for s in 0..self.cfg.stages {
+            let link = &mut self.links[s];
+            link.send(&Message::Flush { id })?;
+            let (offset, stage) = (link.offset_us, link.stage);
+            match link.recv()? {
+                Message::Telemetry { jsonl, .. } => {
+                    let events = events_from_jsonl_string(&jsonl).map_err(|e| {
+                        CommsError::Protocol(format!("stage {s}: bad telemetry: {e}"))
+                    })?;
+                    merge_worker_events(&mut self.merged, &events, stage, offset);
+                }
+                other => return Err(self.links[s].protocol("Telemetry", &other)),
+            }
+            match self.links[s].recv()? {
+                Message::FlushAck { id: got, .. } if got == id => {}
+                other => return Err(self.links[s].protocol("FlushAck", &other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one optimizer step on a minibatch of `n_micro` microbatches,
+    /// mirroring `PipelineTrainer::train_minibatch` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microbatch count or weight count is wrong.
+    pub fn train_minibatch(
+        &mut self,
+        micro: &[M::Batch],
+        micro_weights: &[f32],
+    ) -> Result<DistStepStats, CommsError> {
+        assert_eq!(micro.len(), self.cfg.n_micro, "microbatch count mismatch");
+        assert_eq!(micro.len(), micro_weights.len());
+        let t = self.step;
+        let sync_phase = t < self.cfg.warmup_steps;
+        let total = self.partition.total_params();
+        let base_lr = self.cfg.schedule.lr(t);
+        let span_t0 = self.recorder.now_us();
+
+        if self.diverged {
+            self.step += 1;
+            return Ok(DistStepStats {
+                step: t,
+                loss: f32::NAN,
+                param_norm: f32::INFINITY,
+                base_lr,
+                diverged: true,
+            });
+        }
+
+        let mut fwd_buf = vec![0.0f32; total];
+        let mut bkwd_buf = vec![0.0f32; total];
+        let mut grad = vec![0.0f32; total];
+        let mut loss_acc = 0.0f32;
+        let recompute_pass =
+            self.cfg.recompute.is_some() && !sync_phase && self.cfg.method == Method::PipeMare;
+
+        for (n, batch) in micro.iter().enumerate() {
+            self.fetch_into(&mut fwd_buf, t as u64, n as u32, PassKind::Fwd)?;
+            let (loss, cache) = if recompute_pass {
+                // Loss from the true forward; backward consumes the
+                // recompute-version activations (App. D), exactly like
+                // the in-process trainer's simulation.
+                let (loss, _) = self.model.forward_loss(&fwd_buf, batch);
+                let mut recomp_buf = vec![0.0f32; total];
+                self.fetch_into(&mut recomp_buf, t as u64, n as u32, PassKind::Recomp)?;
+                let (_, cache) = self.model.forward_loss(&recomp_buf, batch);
+                (loss, cache)
+            } else {
+                self.model.forward_loss(&fwd_buf, batch)
+            };
+            loss_acc += micro_weights[n] * loss;
+            self.fetch_into(&mut bkwd_buf, t as u64, n as u32, PassKind::Bkwd)?;
+            let g = self.model.backward(&bkwd_buf, &cache);
+            for (acc, &gi) in grad.iter_mut().zip(g.iter()) {
+                *acc += micro_weights[n] * gi;
+            }
+        }
+
+        if let Some(clip) = self.cfg.grad_clip {
+            clip_grad_norm(&mut grad, clip);
+        }
+        let grad_finite = grad.iter().all(|g| g.is_finite());
+        let t_async = t.saturating_sub(self.cfg.warmup_steps);
+
+        // Phase 1: ship gradient shards; workers stage the update.
+        for s in 0..self.cfg.stages {
+            let (lo, hi) = self.partition.range(s);
+            let lr = base_lr * self.t1_scale(s, t_async, sync_phase);
+            let data = TensorPayload::from_dense(&grad[lo..hi], self.cfg.sparse_grads);
+            self.links[s].send(&Message::GradShard {
+                step: t as u64,
+                lr,
+                apply: grad_finite,
+                data,
+            })?;
+        }
+        let mut finite = grad_finite;
+        for s in 0..self.cfg.stages {
+            match self.links[s].recv()? {
+                Message::StepAck { step, finite: f, .. } if step == t as u64 => {
+                    self.links[s].last_acked = Some(step);
+                    finite &= f;
+                }
+                other => return Err(self.links[s].protocol("StepAck", &other)),
+            }
+        }
+
+        // Phase 2: commit or revert everywhere.
+        let keep = finite;
+        if !keep {
+            self.diverged = true;
+        }
+        let mut sq_norm = 0.0f64;
+        for s in 0..self.cfg.stages {
+            self.links[s].send(&Message::Commit { step: t as u64, keep })?;
+        }
+        for s in 0..self.cfg.stages {
+            match self.links[s].recv()? {
+                Message::CommitAck { step, sq_norm: sq, .. } if step == t as u64 => {
+                    sq_norm += sq;
+                }
+                other => return Err(self.links[s].protocol("CommitAck", &other)),
+            }
+        }
+        self.step += 1;
+        self.recorder.record_span(
+            SpanKind::Step,
+            self.cfg.stages as u32,
+            0,
+            t as u32,
+            span_t0,
+            self.recorder.now_us(),
+        );
+        self.flush_telemetry()?;
+        Ok(DistStepStats {
+            step: t,
+            loss: loss_acc,
+            param_norm: sq_norm.sqrt() as f32,
+            base_lr,
+            diverged: self.diverged,
+        })
+    }
+
+    /// Gathers the latest committed full parameter vector.
+    pub fn gather_params(&mut self) -> Result<Vec<f32>, CommsError> {
+        let mut out = vec![0.0f32; self.partition.total_params()];
+        self.fetch_into(&mut out, self.step as u64, 0, PassKind::Latest)?;
+        Ok(out)
+    }
+
+    /// Shuts every worker down, collects their final telemetry, and
+    /// returns the merged run report.
+    pub fn shutdown(mut self) -> Result<DistRunReport, CommsError> {
+        let mut worker_steps = Vec::with_capacity(self.cfg.stages);
+        for s in 0..self.cfg.stages {
+            self.links[s].send(&Message::Shutdown)?;
+        }
+        for s in 0..self.cfg.stages {
+            let (offset, stage) = (self.links[s].offset_us, self.links[s].stage);
+            match self.links[s].recv()? {
+                Message::Telemetry { jsonl, .. } => {
+                    let events = events_from_jsonl_string(&jsonl).map_err(|e| {
+                        CommsError::Protocol(format!("stage {s}: bad telemetry: {e}"))
+                    })?;
+                    merge_worker_events(&mut self.merged, &events, stage, offset);
+                }
+                other => return Err(self.links[s].protocol("Telemetry", &other)),
+            }
+            match self.links[s].recv()? {
+                Message::ShutdownAck { last_step, .. } => worker_steps.push(last_step),
+                other => return Err(self.links[s].protocol("ShutdownAck", &other)),
+            }
+        }
+        let mut events = self.merged;
+        events.extend(self.recorder.events());
+        sort_events(&mut events);
+        let mut sent = WireStats::default();
+        let mut recv = WireStats::default();
+        for link in &self.links {
+            let s = link.sender.stats();
+            let r = link.receiver.stats();
+            sent.bytes += s.bytes;
+            sent.msgs += s.msgs;
+            recv.bytes += r.bytes;
+            recv.msgs += r.msgs;
+        }
+        Ok(DistRunReport { events, worker_steps, sent, recv })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker spawning helpers
+// ---------------------------------------------------------------------------
+
+/// Join handle for a spawned stage-worker thread.
+pub type WorkerHandle =
+    std::thread::JoinHandle<Result<crate::worker::StageWorkerReport, CommsError>>;
+
+/// Spawns `stages` in-process stage workers over loopback transports.
+/// Returns the driver-side transports (index = stage) and the worker
+/// thread handles to join after shutdown.
+pub fn spawn_loopback_workers(stages: usize) -> (Vec<Box<dyn Transport>>, Vec<WorkerHandle>) {
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(stages);
+    let mut handles = Vec::with_capacity(stages);
+    for _ in 0..stages {
+        let (driver_end, worker_end) = crate::transport::loopback_pair();
+        transports.push(Box::new(driver_end));
+        handles.push(std::thread::spawn(move || {
+            let (tx, rx) = channel(Box::new(worker_end))?;
+            crate::worker::run_stage_worker(tx, rx)
+        }));
+    }
+    (transports, handles)
+}
+
+// ---------------------------------------------------------------------------
+// Token pipeline (latency simulation over the wire)
+// ---------------------------------------------------------------------------
+
+/// Result of a distributed token-pipeline run.
+#[derive(Clone, Debug)]
+pub struct TokenPipelineReport {
+    /// Total wall-clock time of the token phase.
+    pub elapsed: Duration,
+    /// Microbatches fully processed (forward + backward).
+    pub microbatches: usize,
+    /// Microbatches per second.
+    pub throughput: f64,
+    /// Merged trace (workers re-tracked + clock-shifted, driver on track
+    /// `stages`), sorted.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Builds the minimal valid [`StageConfig`] a token-mode worker needs
+/// (token mode carries no weights; the shard fields are placeholders
+/// that still pass handshake validation).
+pub fn token_stage_config(method: Method, stages: usize, n_micro: usize, s: usize) -> StageConfig {
+    StageConfig {
+        protocol: PROTOCOL_VERSION,
+        stage: s as u32,
+        stages: stages as u32,
+        n_micro: n_micro as u32,
+        method,
+        param_len: stages as u64,
+        shard_lo: s as u64,
+        shard_hi: s as u64 + 1,
+        opt: OptimizerKind::Sgd { weight_decay: 0.0 },
+        t2_decay: None,
+        gamma: 0.0,
+        recomp_slots: None,
+        recomp_t2: false,
+        warmup_steps: 0,
+    }
+}
+
+/// Drives `minibatches × n_micro` microbatch tokens through `stages`
+/// remote workers, reproducing `run_threaded_pipeline_traced`'s
+/// injection policy (GPipe drains per minibatch; the async methods keep
+/// at most `stages + 1` tokens in flight, the depth the in-process
+/// executor's bounded channels allow) and its telemetry span multiset.
+///
+/// # Panics
+///
+/// Panics if `transports.len() != stages` or any dimension is zero.
+pub fn run_token_pipeline(
+    transports: Vec<Box<dyn Transport>>,
+    method: Method,
+    stages: usize,
+    n_micro: usize,
+    minibatches: usize,
+    work_per_stage: Duration,
+    recv_timeout: Option<Duration>,
+) -> Result<TokenPipelineReport, CommsError> {
+    assert_eq!(transports.len(), stages, "one transport per stage");
+    assert!(stages > 0 && n_micro > 0 && minibatches > 0);
+    let total = n_micro * minibatches;
+    let recorder = TraceRecorder::with_tracks(stages + 1);
+    let driver_track = stages as u32;
+
+    // Handshake + mode switch on every link, then split each into a hub
+    // sender (kept here) and a reader thread feeding one central channel
+    // — token traffic is not request/reply, so receives must not block
+    // the routing loop.
+    let mut offsets = Vec::with_capacity(stages);
+    let mut senders = Vec::with_capacity(stages);
+    let (agg_tx, agg_rx) = crossbeam_channel::unbounded::<(u32, Result<Message, CommsError>)>();
+    let mut reader_handles = Vec::with_capacity(stages);
+    for (s, transport) in transports.into_iter().enumerate() {
+        let sc = token_stage_config(method, stages, n_micro, s);
+        let mut link = handshake_worker(transport, sc, recv_timeout, &recorder)?;
+        link.send(&Message::TokenMode {
+            total: total as u64,
+            is_last: s + 1 == stages,
+            work_us: work_per_stage.as_micros() as u64,
+        })?;
+        offsets.push(link.offset_us);
+        let WorkerLink { sender, mut receiver, stage, .. } = link;
+        senders.push(sender);
+        let agg = agg_tx.clone();
+        reader_handles.push(std::thread::spawn(move || loop {
+            match receiver.recv() {
+                Ok(msg) => {
+                    let done = matches!(msg, Message::ShutdownAck { .. });
+                    if agg.send((stage, Ok(msg))).is_err() || done {
+                        return receiver;
+                    }
+                }
+                // A timeout on an idle link is not an event; real
+                // connection loss is fatal and surfaces to the hub.
+                Err(CommsError::Timeout) => continue,
+                Err(e) => {
+                    let _ = agg.send((stage, Err(e)));
+                    return receiver;
+                }
+            }
+        }));
+    }
+    drop(agg_tx);
+
+    let send_to = |senders: &mut Vec<crate::transport::Sender>,
+                   s: usize,
+                   msg: &Message|
+     -> Result<(), CommsError> {
+        senders[s].send(msg).map_err(|e| CommsError::WorkerLost {
+            stage: s as u32,
+            last_acked_step: None,
+            cause: Box::new(e),
+        })
+    };
+
+    let start = Instant::now();
+    let mut injected = 0usize;
+    let mut completed = 0usize;
+    // The in-process executor's bounded(1) forward channels cap the
+    // in-flight depth; mirror that so injection does not flood slow
+    // workers.
+    let in_flight_cap = stages + 1;
+    let mut next_minibatch_gate = if method == Method::GPipe { n_micro } else { total };
+    let mut flush_start = recorder.now_us();
+    while completed < total {
+        while injected < total
+            && injected - completed < in_flight_cap
+            && injected < next_minibatch_gate
+        {
+            send_to(&mut senders, 0, &Message::Token { backward: false, id: injected as u64 })?;
+            recorder.record_instant(SpanKind::Inject, driver_track, 0, injected as u32);
+            injected += 1;
+        }
+        let (stage, msg) = agg_rx.recv().map_err(|_| CommsError::Closed)?;
+        let msg = msg.map_err(|e| CommsError::WorkerLost {
+            stage,
+            last_acked_step: None,
+            cause: Box::new(e),
+        })?;
+        match msg {
+            Message::Token { backward: false, id } => {
+                // A forward token leaving stage `stage` enters the next
+                // stage (the last stage turns around internally and never
+                // emits forward tokens).
+                send_to(&mut senders, stage as usize + 1, &Message::Token { backward: false, id })?;
+            }
+            Message::Token { backward: true, id } => {
+                if stage == 0 {
+                    completed += 1;
+                    if method == Method::GPipe && completed == next_minibatch_gate {
+                        recorder.record_span(
+                            SpanKind::Flush,
+                            driver_track,
+                            0,
+                            NO_MICROBATCH,
+                            flush_start,
+                            recorder.now_us(),
+                        );
+                        flush_start = recorder.now_us();
+                        next_minibatch_gate = (next_minibatch_gate + n_micro).min(total);
+                    }
+                } else {
+                    send_to(
+                        &mut senders,
+                        stage as usize - 1,
+                        &Message::Token { backward: true, id },
+                    )?;
+                }
+            }
+            other => {
+                return Err(CommsError::Protocol(format!(
+                    "stage {stage}: unexpected {} during token routing",
+                    other.name()
+                )))
+            }
+        }
+    }
+    // Final drain span, mirroring the executor's end-of-run flush.
+    recorder.record_span(
+        SpanKind::Flush,
+        driver_track,
+        0,
+        NO_MICROBATCH,
+        flush_start,
+        recorder.now_us(),
+    );
+    let elapsed = start.elapsed();
+
+    // Shut down: workers reply Telemetry + ShutdownAck through the
+    // reader threads.
+    for s in 0..stages {
+        send_to(&mut senders, s, &Message::Shutdown)?;
+    }
+    let mut merged: Vec<TraceEvent> = Vec::new();
+    let mut acked = vec![false; stages];
+    while acked.iter().any(|&a| !a) {
+        let (stage, msg) = agg_rx.recv().map_err(|_| CommsError::Closed)?;
+        match msg {
+            Ok(Message::Telemetry { jsonl, .. }) => {
+                let events = events_from_jsonl_string(&jsonl).map_err(|e| {
+                    CommsError::Protocol(format!("stage {stage}: bad telemetry: {e}"))
+                })?;
+                merge_worker_events(&mut merged, &events, stage, offsets[stage as usize]);
+            }
+            Ok(Message::ShutdownAck { .. }) => acked[stage as usize] = true,
+            // Stray tokens from a pipeline that was already drained, or a
+            // late flush ack: ignore.
+            Ok(_) => {}
+            Err(e) => {
+                return Err(CommsError::WorkerLost {
+                    stage,
+                    last_acked_step: None,
+                    cause: Box::new(e),
+                })
+            }
+        }
+    }
+    for h in reader_handles {
+        let _ = h.join();
+    }
+    merged.extend(recorder.events());
+    sort_events(&mut merged);
+    Ok(TokenPipelineReport {
+        elapsed,
+        microbatches: total,
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        events: merged,
+    })
+}

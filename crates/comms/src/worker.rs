@@ -1,0 +1,318 @@
+//! The stage-worker event loop: one pipeline stage driven entirely by
+//! received messages.
+//!
+//! A worker is transport-agnostic — hand it the [`Sender`]/[`Receiver`]
+//! halves of any [`crate::transport::Transport`] and it serves its
+//! stage until the orchestrator says [`Message::Shutdown`]. Two modes:
+//!
+//! * **Training** (after [`Message::InitShard`]): the worker owns a
+//!   [`ShardStage`] and answers shard fetches, gradient applications and
+//!   commits — the distributed half of the App. C.4 simulation, where
+//!   model compute stays on the driver and workers serve versioned
+//!   weight shards.
+//! * **Token** (after [`Message::TokenMode`]): the worker replays the
+//!   threaded executor's latency pipeline over the wire, driven by the
+//!   same [`StageFlow`] the in-process executor uses, so both emit
+//!   identical telemetry span multisets.
+//!
+//! All trace events are recorded on the worker's own clock and shipped
+//! back as JSONL in [`Message::Telemetry`] batches at every flush; the
+//! orchestrator re-tracks and clock-shifts them into one merged trace.
+
+use std::time::Duration;
+
+use pipemare_pipeline::{FwdOutcome, StageEvent, StageFlow};
+use pipemare_telemetry::{
+    events_to_jsonl_string, Recorder, SpanKind, TraceRecorder, NO_MICROBATCH,
+};
+
+use crate::codec::TensorPayload;
+use crate::error::CommsError;
+use crate::protocol::{Message, PassKind, PROTOCOL_VERSION};
+use crate::stage::ShardStage;
+use crate::transport::{Receiver, Sender, WireStats};
+
+/// What a finished worker did, for logs and tests.
+#[derive(Clone, Copy, Debug)]
+pub struct StageWorkerReport {
+    /// The stage this worker served.
+    pub stage: u32,
+    /// Optimizer steps committed (0 in token mode).
+    pub committed_steps: u64,
+    /// Traffic sent to the orchestrator.
+    pub sent: WireStats,
+    /// Traffic received from the orchestrator.
+    pub recv: WireStats,
+}
+
+/// Best-effort error report to the peer before surfacing the failure
+/// locally; a dead link just drops the report.
+fn fail(tx: &mut Sender, e: CommsError) -> CommsError {
+    let _ = tx.send(&Message::Error { code: 0, message: e.to_string() });
+    e
+}
+
+fn telemetry_batch(recorder: &TraceRecorder, stage: u32) -> Message {
+    let events = recorder.events();
+    recorder.clear();
+    Message::Telemetry { stage, jsonl: events_to_jsonl_string(&events) }
+}
+
+/// Serves one stage over an established link: handshake, then the
+/// training or token loop, until shutdown or a fatal error.
+///
+/// The handshake validates protocol version and shard shapes; a
+/// mismatch is reported to the orchestrator as [`Message::Error`] and
+/// returned as [`CommsError::Handshake`].
+pub fn run_stage_worker(mut tx: Sender, mut rx: Receiver) -> Result<StageWorkerReport, CommsError> {
+    // --- Handshake -------------------------------------------------------
+    let cfg = match rx.recv()? {
+        Message::Hello(cfg) => cfg,
+        other => {
+            return Err(fail(
+                &mut tx,
+                CommsError::Protocol(format!("expected Hello, got {}", other.name())),
+            ))
+        }
+    };
+    if let Err(e) = ShardStage::validate(&cfg) {
+        return Err(fail(&mut tx, e));
+    }
+    let stage_id = cfg.stage;
+    // The recorder's origin is the worker's time zero; the HelloAck clock
+    // sample below is on the same clock, so the orchestrator's offset
+    // estimate maps every recorded event into driver time.
+    let recorder = TraceRecorder::with_tracks(cfg.stages as usize + 1);
+    tx.send(&Message::HelloAck {
+        protocol: PROTOCOL_VERSION,
+        stage: stage_id,
+        clock_us: recorder.now_us(),
+    })?;
+
+    // --- Mode dispatch ---------------------------------------------------
+    match rx.recv()? {
+        Message::InitShard { params } => {
+            let stage = match ShardStage::new(cfg, params) {
+                Ok(s) => s,
+                Err(e) => return Err(fail(&mut tx, e)),
+            };
+            run_training_loop(stage, &recorder, tx, rx)
+        }
+        Message::TokenMode { total, is_last, work_us } => {
+            run_token_loop(stage_id, total, is_last, work_us, &recorder, tx, rx)
+        }
+        other => Err(fail(
+            &mut tx,
+            CommsError::Protocol(format!("expected InitShard or TokenMode, got {}", other.name())),
+        )),
+    }
+}
+
+fn run_training_loop(
+    mut stage: ShardStage,
+    recorder: &TraceRecorder,
+    mut tx: Sender,
+    mut rx: Receiver,
+) -> Result<StageWorkerReport, CommsError> {
+    let stage_id = stage.stage();
+    loop {
+        match rx.recv()? {
+            Message::FetchShard { step, micro, pass } => {
+                let t0 = recorder.now_us();
+                let data = match stage.fetch(step, micro, pass) {
+                    Ok(d) => d,
+                    Err(e) => return Err(fail(&mut tx, e)),
+                };
+                let t1 = recorder.now_us();
+                let kind = match pass {
+                    PassKind::Fwd => Some(SpanKind::Forward),
+                    PassKind::Bkwd => Some(SpanKind::Backward),
+                    PassKind::Recomp => Some(SpanKind::Recompute),
+                    PassKind::Latest => None,
+                };
+                if let Some(kind) = kind {
+                    recorder.record_span(kind, stage_id, stage_id, micro, t0, t1);
+                }
+                tx.send(&Message::Shard {
+                    step,
+                    micro,
+                    pass,
+                    stage: stage_id,
+                    data: TensorPayload::Dense(data),
+                })?;
+            }
+            Message::GradShard { step, lr, apply, data } => {
+                let grad = data.into_dense();
+                let t0 = recorder.now_us();
+                let (sq_norm, finite) = match stage.apply_grad(step, lr, apply, &grad) {
+                    Ok(r) => r,
+                    Err(e) => return Err(fail(&mut tx, e)),
+                };
+                recorder.record_span(
+                    SpanKind::Step,
+                    stage_id,
+                    stage_id,
+                    step as u32,
+                    t0,
+                    recorder.now_us(),
+                );
+                tx.send(&Message::StepAck { step, stage: stage_id, sq_norm, finite })?;
+            }
+            Message::Commit { step, keep } => {
+                let sq_norm = match stage.commit(step, keep) {
+                    Ok(n) => n,
+                    Err(e) => return Err(fail(&mut tx, e)),
+                };
+                tx.send(&Message::CommitAck { step, stage: stage_id, sq_norm })?;
+            }
+            Message::Flush { id } => {
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::FlushAck { id, last_step: stage.committed_steps() })?;
+            }
+            Message::Shutdown => {
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::ShutdownAck {
+                    stage: stage_id,
+                    last_step: stage.committed_steps(),
+                })?;
+                return Ok(StageWorkerReport {
+                    stage: stage_id,
+                    committed_steps: stage.committed_steps(),
+                    sent: tx.stats(),
+                    recv: rx.stats(),
+                });
+            }
+            Message::Error { message, .. } => {
+                return Err(CommsError::Remote { stage: u32::MAX, message })
+            }
+            other => {
+                return Err(fail(
+                    &mut tx,
+                    CommsError::Protocol(format!("unexpected {} in training loop", other.name())),
+                ))
+            }
+        }
+    }
+}
+
+/// Replays the threaded executor's latency pipeline over the wire: the
+/// hub routes [`Message::Token`]s between neighbours; this worker does
+/// the sleeps and the span recording. Span kinds, stage ids and
+/// microbatch ids match `run_threaded_pipeline_traced` exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_token_loop(
+    stage_id: u32,
+    total: u64,
+    is_last: bool,
+    work_us: u64,
+    recorder: &TraceRecorder,
+    mut tx: Sender,
+    mut rx: Receiver,
+) -> Result<StageWorkerReport, CommsError> {
+    let work = Duration::from_micros(work_us);
+    let mut flow = StageFlow::new(total as usize, is_last);
+    while flow.awaiting() != StageEvent::Done {
+        let wait_start = recorder.now_us();
+        match rx.recv()? {
+            Message::Token { backward: false, id } => {
+                let t0 = recorder.now_us();
+                recorder.record_span(
+                    SpanKind::QueueWaitFwd,
+                    stage_id,
+                    stage_id,
+                    NO_MICROBATCH,
+                    wait_start,
+                    t0,
+                );
+                std::thread::sleep(work);
+                let t1 = recorder.now_us();
+                recorder.record_span(SpanKind::Forward, stage_id, stage_id, id as u32, t0, t1);
+                match flow.on_forward() {
+                    FwdOutcome::ForwardBackward => {
+                        std::thread::sleep(2 * work);
+                        recorder.record_span(
+                            SpanKind::Backward,
+                            stage_id,
+                            stage_id,
+                            id as u32,
+                            t1,
+                            recorder.now_us(),
+                        );
+                        tx.send(&Message::Token { backward: true, id })?;
+                    }
+                    FwdOutcome::ForwardOnly => {
+                        tx.send(&Message::Token { backward: false, id })?;
+                    }
+                }
+            }
+            Message::Token { backward: true, id } => {
+                let t0 = recorder.now_us();
+                recorder.record_span(
+                    SpanKind::QueueWaitBkwd,
+                    stage_id,
+                    stage_id,
+                    NO_MICROBATCH,
+                    wait_start,
+                    t0,
+                );
+                std::thread::sleep(2 * work);
+                recorder.record_span(
+                    SpanKind::Backward,
+                    stage_id,
+                    stage_id,
+                    id as u32,
+                    t0,
+                    recorder.now_us(),
+                );
+                flow.on_backward();
+                tx.send(&Message::Token { backward: true, id })?;
+            }
+            Message::Flush { id } => {
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::FlushAck { id, last_step: 0 })?;
+            }
+            Message::Shutdown => {
+                // Early shutdown (orchestrator aborting): ack and leave.
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::ShutdownAck { stage: stage_id, last_step: 0 })?;
+                return Ok(StageWorkerReport {
+                    stage: stage_id,
+                    committed_steps: 0,
+                    sent: tx.stats(),
+                    recv: rx.stats(),
+                });
+            }
+            other => {
+                return Err(fail(
+                    &mut tx,
+                    CommsError::Protocol(format!("unexpected {} in token loop", other.name())),
+                ))
+            }
+        }
+    }
+    // All microbatches done: drain control messages until shutdown.
+    loop {
+        match rx.recv()? {
+            Message::Flush { id } => {
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::FlushAck { id, last_step: 0 })?;
+            }
+            Message::Shutdown => {
+                tx.send(&telemetry_batch(recorder, stage_id))?;
+                tx.send(&Message::ShutdownAck { stage: stage_id, last_step: 0 })?;
+                return Ok(StageWorkerReport {
+                    stage: stage_id,
+                    committed_steps: 0,
+                    sent: tx.stats(),
+                    recv: rx.stats(),
+                });
+            }
+            other => {
+                return Err(fail(
+                    &mut tx,
+                    CommsError::Protocol(format!("unexpected {} after token drain", other.name())),
+                ))
+            }
+        }
+    }
+}

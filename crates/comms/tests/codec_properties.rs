@@ -1,0 +1,249 @@
+//! Property tests over the wire codec: round-trips are exact (bit-level,
+//! including NaN and -0.0) and malformed bytes always surface as typed
+//! errors, never panics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pipemare_comms::codec::{deframe, frame, Reader, SparseMode, TensorPayload, MAX_FRAME};
+use pipemare_comms::protocol::{
+    decode_message, encode_message, Message, PassKind, StageConfig, PROTOCOL_VERSION,
+};
+use pipemare_comms::CodecError;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn payload_bits(p: &TensorPayload) -> (Option<Vec<u32>>, Option<(u32, Vec<u32>, Vec<u32>)>) {
+    match p {
+        TensorPayload::Dense(v) => (Some(bits(v)), None),
+        TensorPayload::Sparse { len, idx, val } => (None, Some((*len, idx.clone(), bits(val)))),
+    }
+}
+
+fn encode_payload(p: &TensorPayload) -> Vec<u8> {
+    let mut w = pipemare_comms::codec::Writer::new();
+    p.encode(&mut w);
+    w.into_bytes()
+}
+
+fn decode_payload(b: &[u8]) -> Result<TensorPayload, CodecError> {
+    let mut r = Reader::new(b);
+    let p = TensorPayload::decode(&mut r)?;
+    r.finish()?;
+    Ok(p)
+}
+
+/// Builds one message of each wire variant with rng-driven field values
+/// (finite floats so `PartialEq` is usable for the comparison; bit-level
+/// float fidelity is covered by the payload round-trip property).
+fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
+    let payload = || TensorPayload::Dense(vec![1.25, -3.5]);
+    let pass = match variant % 4 {
+        0 => PassKind::Fwd,
+        1 => PassKind::Bkwd,
+        2 => PassKind::Recomp,
+        _ => PassKind::Latest,
+    };
+    match variant % 17 {
+        0 => Message::Hello(StageConfig {
+            protocol: PROTOCOL_VERSION,
+            stage: rng.gen_range(0..8u32),
+            stages: rng.gen_range(1..16u32),
+            n_micro: rng.gen_range(1..64u32),
+            method: pipemare_pipeline::Method::PipeMare,
+            param_len: rng.gen_range(0..1u64 << 40),
+            shard_lo: rng.gen_range(0..1000u64),
+            shard_hi: rng.gen_range(1000..2000u64),
+            opt: pipemare_optim::OptimizerKind::AdamW {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                weight_decay: rng.gen_range(0.0..0.1f32),
+            },
+            t2_decay: if rng.gen_bool(0.5) { Some(rng.gen_range(0.0..1.0)) } else { None },
+            gamma: rng.gen_range(0.0..1.0),
+            recomp_slots: if rng.gen_bool(0.5) { Some(rng.gen_range(0..64u32)) } else { None },
+            recomp_t2: rng.gen_bool(0.5),
+            warmup_steps: rng.gen_range(0..1u64 << 32),
+        }),
+        1 => Message::HelloAck {
+            protocol: rng.gen_range(0..u16::MAX as u32) as u16,
+            stage: rng.gen_range(0..32u32),
+            clock_us: rng.gen_range(0..u64::MAX / 2),
+        },
+        2 => Message::InitShard { params: vec![rng.gen_range(-1.0..1.0f32); 5] },
+        3 => Message::FetchShard {
+            step: rng.gen_range(0..1u64 << 48),
+            micro: rng.gen_range(0..256u32),
+            pass,
+        },
+        4 => Message::Shard {
+            step: rng.gen_range(0..1u64 << 48),
+            micro: rng.gen_range(0..256u32),
+            pass,
+            stage: rng.gen_range(0..32u32),
+            data: payload(),
+        },
+        5 => Message::GradShard {
+            step: rng.gen_range(0..1u64 << 48),
+            lr: rng.gen_range(0.0..1.0f32),
+            apply: rng.gen_bool(0.5),
+            data: payload(),
+        },
+        6 => Message::StepAck {
+            step: rng.gen_range(0..1u64 << 48),
+            stage: rng.gen_range(0..32u32),
+            sq_norm: rng.gen_range(0.0..1e9f64),
+            finite: rng.gen_bool(0.5),
+        },
+        7 => Message::Commit { step: rng.gen_range(0..1u64 << 48), keep: rng.gen_bool(0.5) },
+        8 => Message::CommitAck {
+            step: rng.gen_range(0..1u64 << 48),
+            stage: rng.gen_range(0..32u32),
+            sq_norm: rng.gen_range(0.0..1e9f64),
+        },
+        9 => Message::Flush { id: rng.gen_range(0..u64::MAX) },
+        10 => Message::FlushAck {
+            id: rng.gen_range(0..u64::MAX),
+            last_step: rng.gen_range(0..1u64 << 48),
+        },
+        11 => Message::Telemetry {
+            stage: rng.gen_range(0..32u32),
+            jsonl: format!(
+                "{{\"k\":{}}}\n{{\"k\":{}}}",
+                rng.gen_range(0..99),
+                rng.gen_range(0..99)
+            ),
+        },
+        12 => Message::Shutdown,
+        13 => Message::ShutdownAck {
+            stage: rng.gen_range(0..32u32),
+            last_step: rng.gen_range(0..1u64 << 48),
+        },
+        14 => Message::Token { backward: rng.gen_bool(0.5), id: rng.gen_range(0..u64::MAX) },
+        15 => Message::TokenMode {
+            total: rng.gen_range(0..1u64 << 32),
+            is_last: rng.gen_bool(0.5),
+            work_us: rng.gen_range(0..1u64 << 32),
+        },
+        _ => Message::Error {
+            code: rng.gen_range(0..u16::MAX as u32) as u16,
+            message: format!("failure {}", rng.gen_range(0..1000)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_payload_roundtrips_bit_exact(seed in 0u64..u64::MAX, n in 0usize..300) {
+        // All f32 bit patterns, including NaN, infinities and -0.0.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v: Vec<f32> = (0..n).map(|_| f32::from_bits(rng.gen_range(0..=u32::MAX))).collect();
+        let p = TensorPayload::Dense(v.clone());
+        let back = decode_payload(&encode_payload(&p)).unwrap();
+        prop_assert_eq!(payload_bits(&p), payload_bits(&back));
+        prop_assert_eq!(bits(&back.into_dense()), bits(&v));
+    }
+
+    #[test]
+    fn sparse_encodings_roundtrip_and_dropzeros_is_lossless(
+        seed in 0u64..u64::MAX,
+        n in 0usize..300,
+        density in 0.0f64..1.0,
+        mode_sel in 0u8..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(density) {
+                    // Arbitrary bits (may be NaN/-0.0/subnormal).
+                    f32::from_bits(rng.gen_range(0..=u32::MAX))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mode = match mode_sel {
+            0 => SparseMode::DropZeros,
+            1 => SparseMode::Threshold(rng.gen_range(0.0..2.0f32)),
+            _ => SparseMode::TopK(rng.gen_range(0.0..1.0f32)),
+        };
+        let p = TensorPayload::from_dense(&v, mode);
+        let back = decode_payload(&encode_payload(&p)).unwrap();
+        prop_assert_eq!(payload_bits(&p), payload_bits(&back), "wire round-trip must be exact");
+        if mode == SparseMode::DropZeros {
+            prop_assert_eq!(bits(&p.into_dense()), bits(&v), "DropZeros must be bit-lossless");
+        }
+    }
+
+    #[test]
+    fn every_message_roundtrips_field_identical(variant in 0u8..17, seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = arbitrary_message(variant, &mut rng);
+        let back = decode_message(&encode_message(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn truncated_messages_error_and_never_panic(variant in 0u8..17, seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = arbitrary_message(variant, &mut rng);
+        let b = encode_message(&msg);
+        for cut in 0..b.len() {
+            prop_assert!(
+                decode_message(&b[..cut]).is_err(),
+                "prefix of length {cut} of a {}-byte {} decoded successfully",
+                b.len(),
+                msg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_messages_never_panic(variant in 0u8..17, seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = arbitrary_message(variant, &mut rng);
+        let mut b = encode_message(&msg);
+        if b.is_empty() {
+            return Ok(());
+        }
+        for _ in 0..16 {
+            let i = rng.gen_range(0..b.len());
+            let old = b[i];
+            b[i] ^= 1 << rng.gen_range(0..8u8);
+            // Any outcome but a panic is acceptable; a flipped length
+            // byte must not trigger an unbounded allocation either.
+            let _ = decode_message(&b);
+            b[i] = old;
+        }
+    }
+
+    #[test]
+    fn bad_length_prefixes_are_rejected(extra in 1u64..1u64 << 32) {
+        // A frame header claiming more than MAX_FRAME is a typed error,
+        // not an allocation attempt or a panic.
+        let huge = (MAX_FRAME as u64).saturating_add(extra).min(u32::MAX as u64) as u32;
+        let mut b = huge.to_le_bytes().to_vec();
+        b.extend_from_slice(&[0u8; 16]);
+        prop_assert!(matches!(deframe(&b), Err(CodecError::FrameTooLarge(_))));
+        prop_assert!(matches!(
+            frame(&vec![0u8; MAX_FRAME + 1]),
+            Err(CodecError::FrameTooLarge(_))
+        ));
+    }
+}
+
+#[test]
+fn incomplete_frame_is_not_an_error() {
+    // Fewer bytes than the (valid) header announces: the framing layer
+    // reports "need more" rather than failing.
+    let mut b = 100u32.to_le_bytes().to_vec();
+    b.extend_from_slice(&[0u8; 10]);
+    assert_eq!(deframe(&b).unwrap(), None);
+}

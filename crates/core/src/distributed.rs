@@ -1,0 +1,119 @@
+//! Bridges [`TrainConfig`] onto the multi-process distributed trainer.
+//!
+//! `pipemare-comms` deliberately does not depend on this crate, so it
+//! carries its own [`DistConfig`]; this module is the glue that lets a
+//! config written for the in-process [`crate::PipelineTrainer`] drive
+//! the same training run across worker processes. With identical seeds
+//! the two paths produce bit-identical weights (asserted in the comms
+//! crate's integration tests and by the `orchestrator` binary's
+//! TCP-vs-loopback self-check).
+
+use std::time::Duration;
+
+use pipemare_comms::{
+    spawn_loopback_workers, CommsError, DistConfig, DistRecompute, DistRunReport, DistStepStats,
+    DistributedTrainer, SparseMode, TcpTransport, Transport,
+};
+use pipemare_nn::TrainModel;
+
+use crate::config::{TrainConfig, TrainMode};
+
+/// Converts an in-process [`TrainConfig`] into the comms crate's
+/// [`DistConfig`]. Hogwild mode has no distributed counterpart (its
+/// stochastic delays are sampled driver-side per gradient, which the
+/// shard protocol does not model) and is rejected.
+///
+/// The conversion consumes the config because the boxed learning-rate
+/// schedule moves into the distributed trainer.
+pub fn dist_config(
+    cfg: TrainConfig,
+    sparse_grads: SparseMode,
+    recv_timeout: Option<Duration>,
+) -> Result<DistConfig, CommsError> {
+    let method = match &cfg.mode {
+        TrainMode::Pipeline(m) => *m,
+        TrainMode::Hogwild(_) => {
+            return Err(CommsError::Unsupported(
+                "Hogwild delays are not supported by the distributed trainer".to_string(),
+            ))
+        }
+    };
+    Ok(DistConfig {
+        method,
+        stages: cfg.stages,
+        n_micro: cfg.n_micro,
+        optimizer: cfg.optimizer,
+        schedule: cfg.schedule,
+        t1: cfg.t1,
+        t2_decay: cfg.t2_decay,
+        warmup_steps: cfg.warmup_steps,
+        grad_clip: cfg.grad_clip,
+        recompute: cfg.recompute.map(|rc| DistRecompute { segments: rc.segments, t2: rc.t2 }),
+        partition_by_elements: cfg.partition_by_elements,
+        sparse_grads,
+        recv_timeout,
+    })
+}
+
+/// Runs `minibatches(step)` → microbatch sets through a distributed
+/// trainer until the iterator is exhausted, returning the per-step stats,
+/// the final weights, and the merged run report.
+fn drive<M: TrainModel>(
+    mut trainer: DistributedTrainer<'_, M>,
+    n_micro: usize,
+    minibatches: &mut dyn Iterator<Item = Vec<M::Batch>>,
+) -> Result<(Vec<DistStepStats>, Vec<f32>, DistRunReport), CommsError> {
+    let weights = vec![1.0 / n_micro as f32; n_micro];
+    let mut stats = Vec::new();
+    for micro in minibatches {
+        stats.push(trainer.train_minibatch(&micro, &weights)?);
+    }
+    let params = trainer.gather_params()?;
+    let report = trainer.shutdown()?;
+    Ok((stats, params, report))
+}
+
+/// Trains over in-process loopback workers (one thread per stage): the
+/// cheapest way to run the full wire protocol end to end. Microbatches
+/// are weighted uniformly, matching the standard runners.
+pub fn train_distributed_loopback<M: TrainModel>(
+    model: &M,
+    cfg: TrainConfig,
+    init_seed: u64,
+    sparse_grads: SparseMode,
+    minibatches: &mut dyn Iterator<Item = Vec<M::Batch>>,
+) -> Result<(Vec<DistStepStats>, Vec<f32>, DistRunReport), CommsError> {
+    let n_micro = cfg.n_micro;
+    let stages = cfg.stages;
+    let dcfg = dist_config(cfg, sparse_grads, None)?;
+    let (transports, handles) = spawn_loopback_workers(stages);
+    let trainer = DistributedTrainer::connect(model, dcfg, init_seed, transports)?;
+    let out = drive(trainer, n_micro, minibatches)?;
+    for h in handles {
+        h.join()
+            .map_err(|_| CommsError::Protocol("loopback worker thread panicked".to_string()))??;
+    }
+    Ok(out)
+}
+
+/// Trains over TCP workers already listening at `addrs` (one per stage,
+/// e.g. `orchestrator worker --listen …` processes).
+pub fn train_distributed_tcp<M: TrainModel>(
+    model: &M,
+    cfg: TrainConfig,
+    init_seed: u64,
+    sparse_grads: SparseMode,
+    recv_timeout: Option<Duration>,
+    addrs: &[String],
+    minibatches: &mut dyn Iterator<Item = Vec<M::Batch>>,
+) -> Result<(Vec<DistStepStats>, Vec<f32>, DistRunReport), CommsError> {
+    assert_eq!(addrs.len(), cfg.stages, "one worker address per stage");
+    let n_micro = cfg.n_micro;
+    let dcfg = dist_config(cfg, sparse_grads, recv_timeout)?;
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        transports.push(Box::new(TcpTransport::connect(addr)?));
+    }
+    let trainer = DistributedTrainer::connect(model, dcfg, init_seed, transports)?;
+    drive(trainer, n_micro, minibatches)
+}

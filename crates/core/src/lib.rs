@@ -20,6 +20,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod distributed;
 pub mod health;
 pub mod metrics;
 pub mod runners;
@@ -30,6 +31,7 @@ pub use checkpoint::{
     load_params, load_state, save_params, save_state, CheckpointError, TrainerState,
 };
 pub use config::{RecomputeCfg, TrainConfig, TrainMode};
+pub use distributed::{dist_config, train_distributed_loopback, train_distributed_tcp};
 pub use health::{AnomalyPolicy, HealthHook};
 pub use metrics::TrainerMetrics;
 pub use runners::{

@@ -27,6 +27,7 @@ use pipemare_telemetry::{
 
 use crate::delay::Method;
 use crate::recompute::{stage_timelines, ActivationLedger, RecomputePolicy, StageOpKind};
+use crate::stage::{StageEvent, StageFlow};
 
 /// Result of a threaded pipeline run.
 #[derive(Clone, Copy, Debug)]
@@ -177,123 +178,113 @@ pub fn run_threaded_pipeline_traced<R: Recorder>(
                         Some(tx) => tx.send(id).expect("upstream stage alive"),
                         None => my_done_tx.send(id).expect("driver alive"),
                     };
-                    let mut fwd_seen = 0usize;
-                    let mut bwd_seen = 0usize;
                     let is_last = next_fwd_tx.is_none();
-                    while bwd_seen < total {
-                        if is_last {
-                            // The last stage turns each forward straight into
-                            // its backward; its own backward channel is unused.
-                            let wait_start = recorder.now_us();
-                            let id = my_fwd_rx.recv().expect("pipeline alive");
-                            let t0 = recorder.now_us();
-                            recorder.record_span(
-                                SpanKind::QueueWaitFwd,
-                                track,
-                                stage,
-                                NO_MICROBATCH,
-                                wait_start,
-                                t0,
-                            );
-                            work_for(work_per_stage);
-                            let t1 = recorder.now_us();
-                            recorder.record_span(
-                                SpanKind::Forward,
-                                track,
-                                stage,
-                                id as u32,
-                                t0,
-                                t1,
-                            );
-                            work_for(2 * work_per_stage);
-                            recorder.record_span(
-                                SpanKind::Backward,
-                                track,
-                                stage,
-                                id as u32,
-                                t1,
-                                recorder.now_us(),
-                            );
-                            emit_bwd(id);
-                            fwd_seen += 1;
-                            bwd_seen += 1;
-                        } else if fwd_seen == total {
-                            // Only backwards remain: plain blocking receive.
-                            let wait_start = recorder.now_us();
-                            let id = my_bwd_rx.recv().expect("downstream stage alive");
-                            let t0 = recorder.now_us();
-                            recorder.record_span(
-                                SpanKind::QueueWaitBkwd,
-                                track,
-                                stage,
-                                NO_MICROBATCH,
-                                wait_start,
-                                t0,
-                            );
-                            work_for(2 * work_per_stage);
-                            recorder.record_span(
-                                SpanKind::Backward,
-                                track,
-                                stage,
-                                id as u32,
-                                t0,
-                                recorder.now_us(),
-                            );
-                            emit_bwd(id);
-                            bwd_seen += 1;
-                        } else {
-                            let wait_start = recorder.now_us();
-                            select! {
-                                recv(my_bwd_rx) -> msg => {
-                                    let id = msg.expect("downstream stage alive");
-                                    let t0 = recorder.now_us();
-                                    recorder.record_span(
-                                        SpanKind::QueueWaitBkwd,
-                                        track,
-                                        stage,
-                                        NO_MICROBATCH,
-                                        wait_start,
-                                        t0,
-                                    );
-                                    work_for(2 * work_per_stage);
-                                    recorder.record_span(
-                                        SpanKind::Backward,
-                                        track,
-                                        stage,
-                                        id as u32,
-                                        t0,
-                                        recorder.now_us(),
-                                    );
-                                    emit_bwd(id);
-                                    bwd_seen += 1;
+                    let mut flow = StageFlow::new(total, is_last);
+                    // Which token the blocking receive produced; the
+                    // span/work handling below is shared between the
+                    // single-kind receives and the select arm.
+                    enum Got {
+                        Fwd(usize),
+                        Bwd(usize),
+                    }
+                    loop {
+                        let wait_start = recorder.now_us();
+                        let got = match flow.awaiting() {
+                            StageEvent::Done => break,
+                            StageEvent::Forward => {
+                                // The last stage turns each forward straight
+                                // into its backward; its own backward channel
+                                // is unused.
+                                Got::Fwd(my_fwd_rx.recv().expect("pipeline alive"))
+                            }
+                            StageEvent::Backward => {
+                                // Only backwards remain: plain blocking receive.
+                                Got::Bwd(my_bwd_rx.recv().expect("downstream stage alive"))
+                            }
+                            StageEvent::Either => {
+                                // The vendored select! is a statement, not
+                                // an expression: capture the winning arm.
+                                // (Exactly one arm assigns before the select
+                                // loop exits, so the init value is dead.)
+                                #[allow(unused_assignments)]
+                                let mut got = None;
+                                select! {
+                                    recv(my_bwd_rx) -> msg => {
+                                        got = Some(Got::Bwd(
+                                            msg.expect("downstream stage alive"),
+                                        ));
+                                    }
+                                    recv(my_fwd_rx) -> msg => {
+                                        got = Some(Got::Fwd(msg.expect("pipeline alive")));
+                                    }
                                 }
-                                recv(my_fwd_rx) -> msg => {
-                                    let id = msg.expect("pipeline alive");
-                                    let t0 = recorder.now_us();
-                                    recorder.record_span(
-                                        SpanKind::QueueWaitFwd,
-                                        track,
-                                        stage,
-                                        NO_MICROBATCH,
-                                        wait_start,
-                                        t0,
-                                    );
-                                    work_for(work_per_stage);
-                                    recorder.record_span(
-                                        SpanKind::Forward,
-                                        track,
-                                        stage,
-                                        id as u32,
-                                        t0,
-                                        recorder.now_us(),
-                                    );
-                                    next_fwd_tx
-                                        .as_ref()
-                                        .expect("non-last stage")
-                                        .send(id)
-                                        .expect("downstream stage alive");
-                                    fwd_seen += 1;
+                                got.expect("select returned without a token")
+                            }
+                        };
+                        match got {
+                            Got::Fwd(id) => {
+                                let t0 = recorder.now_us();
+                                recorder.record_span(
+                                    SpanKind::QueueWaitFwd,
+                                    track,
+                                    stage,
+                                    NO_MICROBATCH,
+                                    wait_start,
+                                    t0,
+                                );
+                                work_for(work_per_stage);
+                                let t1 = recorder.now_us();
+                                recorder.record_span(
+                                    SpanKind::Forward,
+                                    track,
+                                    stage,
+                                    id as u32,
+                                    t0,
+                                    t1,
+                                );
+                                match flow.on_forward() {
+                                    crate::stage::FwdOutcome::ForwardBackward => {
+                                        work_for(2 * work_per_stage);
+                                        recorder.record_span(
+                                            SpanKind::Backward,
+                                            track,
+                                            stage,
+                                            id as u32,
+                                            t1,
+                                            recorder.now_us(),
+                                        );
+                                        emit_bwd(id);
+                                    }
+                                    crate::stage::FwdOutcome::ForwardOnly => {
+                                        next_fwd_tx
+                                            .as_ref()
+                                            .expect("non-last stage")
+                                            .send(id)
+                                            .expect("downstream stage alive");
+                                    }
                                 }
+                            }
+                            Got::Bwd(id) => {
+                                let t0 = recorder.now_us();
+                                recorder.record_span(
+                                    SpanKind::QueueWaitBkwd,
+                                    track,
+                                    stage,
+                                    NO_MICROBATCH,
+                                    wait_start,
+                                    t0,
+                                );
+                                work_for(2 * work_per_stage);
+                                recorder.record_span(
+                                    SpanKind::Backward,
+                                    track,
+                                    stage,
+                                    id as u32,
+                                    t0,
+                                    recorder.now_us(),
+                                );
+                                flow.on_backward();
+                                emit_bwd(id);
                             }
                         }
                     }

@@ -22,6 +22,8 @@
 //!   segmented activation-recomputation runtime whose measured per-stage
 //!   peaks must equal the analytical `profile_recompute`.
 //! * [`hogwild`]: truncated-exponential stochastic delays (App. E).
+//! * [`stage`]: the transport-agnostic per-stage token flow shared by
+//!   the in-process executor and the distributed stage workers.
 
 pub mod cost;
 pub mod delay;
@@ -31,6 +33,7 @@ pub mod hogwild;
 pub mod partition;
 pub mod recompute;
 pub mod schedule;
+pub mod stage;
 
 pub use cost::{
     gpipe_bubble_throughput, gpipe_equal_budget_throughput, normalized_throughput, ActivationModel,
@@ -50,3 +53,4 @@ pub use recompute::{
     RecomputePolicy, StageOp, StageOpKind,
 };
 pub use schedule::{Schedule, SlotOp};
+pub use stage::{FwdOutcome, StageEvent, StageFlow};

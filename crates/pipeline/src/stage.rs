@@ -1,0 +1,164 @@
+//! Transport-agnostic stage control flow.
+//!
+//! [`StageFlow`] captures the decision logic a pipeline stage runs in its
+//! event loop — what kind of token to wait for next and how counters
+//! advance — without committing to any particular channel or socket. The
+//! in-process [`crate::executor`] and the distributed stage workers in
+//! the comms crate drive the same flow, so their event sequences (and
+//! therefore their telemetry span multisets) match by construction.
+//!
+//! The protocol it encodes is the 1F1B turnaround of the threaded
+//! executor: microbatch tokens flow forward down the chain, the last
+//! stage turns each forward immediately into its backward, and interior
+//! stages interleave whichever token arrives first.
+
+/// What a stage should wait for next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageEvent {
+    /// Only a forward token can arrive (last stage).
+    Forward,
+    /// Only backward tokens remain (all forwards seen).
+    Backward,
+    /// Either token kind may arrive; take whichever is ready.
+    Either,
+    /// Every microbatch has completed its backward; exit the loop.
+    Done,
+}
+
+/// What a forward token turned into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FwdOutcome {
+    /// Forward work only; pass the token downstream.
+    ForwardOnly,
+    /// Last stage: the forward was immediately followed by its backward;
+    /// emit a backward token upstream.
+    ForwardBackward,
+}
+
+/// Per-stage token bookkeeping for one pipeline run of `total`
+/// microbatches.
+#[derive(Clone, Copy, Debug)]
+pub struct StageFlow {
+    total: usize,
+    is_last: bool,
+    fwd_seen: usize,
+    bwd_seen: usize,
+}
+
+impl StageFlow {
+    /// A fresh flow for a stage that will see `total` microbatches.
+    pub fn new(total: usize, is_last: bool) -> Self {
+        StageFlow { total, is_last, fwd_seen: 0, bwd_seen: 0 }
+    }
+
+    /// Forward tokens processed so far.
+    pub fn fwd_seen(&self) -> usize {
+        self.fwd_seen
+    }
+
+    /// Backward tokens processed so far.
+    pub fn bwd_seen(&self) -> usize {
+        self.bwd_seen
+    }
+
+    /// Whether every microbatch has completed its backward here.
+    pub fn is_done(&self) -> bool {
+        self.bwd_seen >= self.total
+    }
+
+    /// The kind of token to wait for next.
+    pub fn awaiting(&self) -> StageEvent {
+        if self.is_done() {
+            StageEvent::Done
+        } else if self.is_last {
+            StageEvent::Forward
+        } else if self.fwd_seen == self.total {
+            StageEvent::Backward
+        } else {
+            StageEvent::Either
+        }
+    }
+
+    /// Advances past one forward token. On the last stage this also
+    /// counts the turnaround backward and asks the caller to emit it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forward token was not legal here (see
+    /// [`StageFlow::awaiting`]).
+    pub fn on_forward(&mut self) -> FwdOutcome {
+        assert!(
+            matches!(self.awaiting(), StageEvent::Forward | StageEvent::Either),
+            "forward token while awaiting {:?}",
+            self.awaiting()
+        );
+        self.fwd_seen += 1;
+        if self.is_last {
+            self.bwd_seen += 1;
+            FwdOutcome::ForwardBackward
+        } else {
+            FwdOutcome::ForwardOnly
+        }
+    }
+
+    /// Advances past one backward token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backward token was not legal here (the last stage
+    /// never receives one; interior stages only after some forward).
+    pub fn on_backward(&mut self) {
+        assert!(
+            matches!(self.awaiting(), StageEvent::Backward | StageEvent::Either),
+            "backward token while awaiting {:?}",
+            self.awaiting()
+        );
+        assert!(self.bwd_seen < self.fwd_seen, "backward token with no forward outstanding");
+        self.bwd_seen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_stage_turns_forwards_around() {
+        let mut f = StageFlow::new(3, true);
+        for _ in 0..3 {
+            assert_eq!(f.awaiting(), StageEvent::Forward);
+            assert_eq!(f.on_forward(), FwdOutcome::ForwardBackward);
+        }
+        assert_eq!(f.awaiting(), StageEvent::Done);
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn interior_stage_interleaves_then_drains_backwards() {
+        let mut f = StageFlow::new(2, false);
+        assert_eq!(f.awaiting(), StageEvent::Either);
+        assert_eq!(f.on_forward(), FwdOutcome::ForwardOnly);
+        assert_eq!(f.awaiting(), StageEvent::Either);
+        f.on_backward();
+        assert_eq!(f.on_forward(), FwdOutcome::ForwardOnly);
+        // All forwards seen: only backwards remain.
+        assert_eq!(f.awaiting(), StageEvent::Backward);
+        f.on_backward();
+        assert_eq!(f.awaiting(), StageEvent::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward token with no forward outstanding")]
+    fn backward_before_forward_panics() {
+        let mut f = StageFlow::new(2, false);
+        f.on_backward();
+    }
+
+    #[test]
+    #[should_panic(expected = "forward token")]
+    fn forward_after_done_panics() {
+        let mut f = StageFlow::new(1, true);
+        f.on_forward();
+        f.on_forward();
+    }
+}

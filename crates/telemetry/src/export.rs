@@ -209,6 +209,55 @@ pub fn read_jsonl(path: &Path) -> io::Result<Vec<TraceEvent>> {
     Ok(events)
 }
 
+/// Renders events as one in-memory JSONL string (newline-separated rows,
+/// trailing newline omitted) — the payload shape remote workers ship
+/// their trace batches in.
+pub fn events_to_jsonl_string(events: &[TraceEvent]) -> String {
+    events.iter().map(event_to_jsonl).collect::<Vec<_>>().join("\n")
+}
+
+/// Parses a JSONL string (as produced by [`events_to_jsonl_string`] or a
+/// JSONL file body) back into events; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns the first malformed row's line number and description.
+pub fn events_from_jsonl_string(s: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(event_from_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Merges one remote worker's events into a combined trace: every event
+/// is re-tracked onto `track` (track namespacing per worker) and its
+/// timestamp shifted by `-offset_us` (the worker-minus-local clock
+/// offset, estimated at handshake), clamping at zero so a slightly
+/// overestimated offset cannot produce negative times.
+pub fn merge_worker_events(
+    merged: &mut Vec<TraceEvent>,
+    events: &[TraceEvent],
+    track: u32,
+    offset_us: i64,
+) {
+    for ev in events {
+        let mut ev = *ev;
+        ev.track = track;
+        ev.ts_us = (ev.ts_us as i64 - offset_us).max(0) as u64;
+        merged.push(ev);
+    }
+}
+
+/// Sorts a merged trace into the `(ts_us, track)` order recorders emit,
+/// so downstream summaries see a well-formed timeline.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.ts_us, e.track));
+}
+
 /// Writes events as a JSONL log, one event per line.
 ///
 /// # Errors

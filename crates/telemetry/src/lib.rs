@@ -70,8 +70,9 @@ pub use event::{
     EventSource, NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH,
 };
 pub use export::{
-    chrome_trace, chrome_trace_events, event_from_jsonl, event_to_jsonl, read_jsonl,
-    write_chrome_trace, write_jsonl,
+    chrome_trace, chrome_trace_events, event_from_jsonl, event_to_jsonl, events_from_jsonl_string,
+    events_to_jsonl_string, merge_worker_events, read_jsonl, sort_events, write_chrome_trace,
+    write_jsonl,
 };
 pub use flight::{FlightRecorder, DEFAULT_CAPACITY as FLIGHT_DEFAULT_CAPACITY};
 pub use health::{

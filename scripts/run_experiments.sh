@@ -44,6 +44,7 @@ benches=(
   table5_task_activation_memory
   recompute_memory
   flight_recorder
+  comms
   ablation_gamma_choice
   ablation_partitioning
 )
@@ -64,6 +65,17 @@ cargo run --release --example health_monitor 2>&1 | tee "$out/health_monitor.txt
 
 echo "=== flight_recorder (always-on rings + anomaly black box) ==="
 cargo run --release --example flight_recorder 2>&1 | tee "$out/flight_recorder.txt"
+
+echo "=== distributed_pipeline (wire protocol, loopback + TCP, bit-identity) ==="
+cargo run --release --example distributed_pipeline tcp 2>&1 | tee "$out/distributed_pipeline.txt"
+
+echo "=== orchestrator (subprocess workers over TCP + merged trace) ==="
+{
+  cargo run --release -p pipemare-comms --bin orchestrator -- \
+    train --transport tcp --stages 4 --minibatches 6
+  cargo run --release -p pipemare-telemetry --bin pmtrace -- \
+    summary "$out/distributed_tcp.jsonl"
+} 2>&1 | tee "$out/orchestrator.txt"
 
 echo "=== pmtrace (post-mortem trace analysis) ==="
 {

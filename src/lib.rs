@@ -14,6 +14,7 @@
 //! | [`pipeline`] | `pipemare-pipeline` | delay schedules, cost models, threaded executor |
 //! | [`core`] | `pipemare-core` | the PipeMare/GPipe/PipeDream/Hogwild trainers |
 //! | [`telemetry`] | `pipemare-telemetry` | trace recording (null/flight/full tiers), metrics, Chrome-trace export, `pmtrace` analysis |
+//! | [`comms`] | `pipemare-comms` | multi-process distributed pipeline: binary wire codec, TCP/loopback transports, stage workers, `orchestrator` binary |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 //! assert!(!history.diverged);
 //! ```
 
+pub use pipemare_comms as comms;
 pub use pipemare_core as core;
 pub use pipemare_data as data;
 pub use pipemare_nn as nn;
