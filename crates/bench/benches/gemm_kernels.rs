@@ -1,10 +1,14 @@
-//! GEMM kernel microbenchmarks: naive vs blocked vs pool-threaded, on
-//! square and skinny shapes.
+//! GEMM kernel microbenchmarks: naive vs blocked vs forced-tier
+//! (scalar/SIMD) vs pool-threaded, on square and skinny shapes.
 //!
 //! Besides the printed criterion tables, the run writes an
 //! [`ExperimentLog`] JSON (`bench_gemm_kernels.json`) with per-variant
-//! GFLOP/s and the headline speedup scalars, so the perf trajectory of
-//! the kernel layer is tracked across commits.
+//! GFLOP/s, the headline speedup scalars, and a `dispatch.*` scalar per
+//! series recording which microkernel tier (0 = scalar, 1 = avx2,
+//! 2 = avx512) that series ran on, so the perf trajectory of the kernel
+//! layer is tracked across commits. On hosts where SIMD dispatch is
+//! available (and not disabled via `PIPEMARE_SIMD=off`), the full run
+//! asserts the SIMD tier is ≥ 2× the scalar microkernel at 512³.
 //!
 //! Passing `--test` anywhere on the command line runs a seconds-long
 //! smoke version (tiny shapes, correctness cross-check) for CI. The
@@ -18,6 +22,7 @@ use std::time::Instant;
 use criterion::Criterion;
 
 use pipemare_bench::report::ExperimentLog;
+use pipemare_tensor::kernels::SimdLevel;
 use pipemare_tensor::{kernels, pool, Tensor, ThreadPool};
 
 /// `(label, m, k, n)` shapes: squares for the headline numbers, skinny
@@ -39,11 +44,42 @@ const THREADS: &[usize] = &[1, 2, 4];
 struct Variant {
     name: &'static str,
     pool: Option<Arc<ThreadPool>>,
+    /// `Some(level)` pins the packed microkernel tier via
+    /// [`kernels::gemm_blocked_with`]; `None` uses the variant's normal
+    /// entry point (which dispatches through [`kernels::simd_level`]).
+    forced: Option<SimdLevel>,
+}
+
+/// Microkernel tier each variant's inner loop actually runs, as recorded
+/// in the `dispatch.*` baseline keys (0 = scalar, 1 = avx2, 2 = avx512).
+fn dispatch_level(variant: &Variant) -> SimdLevel {
+    match (variant.name, variant.forced) {
+        // The naive triple loop never touches the packed microkernel.
+        ("naive", _) => SimdLevel::Scalar,
+        (_, Some(level)) => level,
+        _ => kernels::simd_level(),
+    }
+}
+
+fn level_code(level: SimdLevel) -> f64 {
+    match level {
+        SimdLevel::Scalar => 0.0,
+        SimdLevel::Avx2 => 1.0,
+        SimdLevel::Avx512 => 2.0,
+    }
 }
 
 fn variants(threads: &[usize]) -> Vec<Variant> {
-    let mut v =
-        vec![Variant { name: "naive", pool: None }, Variant { name: "blocked", pool: None }];
+    let mut v = vec![
+        Variant { name: "naive", pool: None, forced: None },
+        Variant { name: "blocked", pool: None, forced: None },
+        // Forced-tier pair for the SIMD speedup headline: `scalar` pins
+        // the portable microkernel, `simd` pins the best tier the host
+        // dispatcher selected (identical to `blocked` unless
+        // PIPEMARE_SIMD overrides the detection).
+        Variant { name: "scalar", pool: None, forced: Some(SimdLevel::Scalar) },
+        Variant { name: "simd", pool: None, forced: Some(kernels::simd_level()) },
+    ];
     for &t in threads {
         let name: &'static str = match t {
             1 => "pool_1",
@@ -51,19 +87,29 @@ fn variants(threads: &[usize]) -> Vec<Variant> {
             4 => "pool_4",
             _ => "pool_n",
         };
-        v.push(Variant { name, pool: Some(ThreadPool::new(t)) });
+        v.push(Variant { name, pool: Some(ThreadPool::new(t)), forced: None });
     }
     v
 }
 
 fn run_variant(variant: &Variant, a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Tensor {
     let mut c = Tensor::zeros(&[m, n]);
-    match (variant.name, &variant.pool) {
-        ("naive", _) => kernels::gemm_naive(a.data(), b.data(), c.data_mut(), m, k, n),
-        ("blocked", _) => {
+    match (variant.name, variant.forced, &variant.pool) {
+        ("naive", _, _) => kernels::gemm_naive(a.data(), b.data(), c.data_mut(), m, k, n),
+        ("blocked", _, _) => {
             kernels::gemm_blocked(kernels::Layout::NN, a.data(), b.data(), c.data_mut(), m, k, n)
         }
-        (_, Some(p)) => pool::with_pool(p, || {
+        (_, Some(level), _) => kernels::gemm_blocked_with(
+            level,
+            kernels::Layout::NN,
+            a.data(),
+            b.data(),
+            c.data_mut(),
+            m,
+            k,
+            n,
+        ),
+        (_, _, Some(p)) => pool::with_pool(p, || {
             kernels::gemm(a.data(), b.data(), c.data_mut(), m, k, n);
         }),
         _ => unreachable!("pool variant without pool"),
@@ -153,13 +199,16 @@ fn main() {
         group.finish();
     }
 
-    for (name, secs) in &times {
+    for ((name, secs), variant) in times.iter().zip(variants.iter()) {
         log.push_series(&format!("seconds.{name}"), secs.iter().copied());
         let gflops = shapes
             .iter()
             .zip(secs.iter())
             .map(|(&(_, m, k, n), &s)| 2.0 * (m * k * n) as f64 / s / 1e9);
         log.push_series(&format!("gflops.{name}"), gflops);
+        let level = dispatch_level(variant);
+        log.push_scalar(&format!("dispatch.{name}"), level_code(level));
+        println!("  dispatch {:<10} -> {}", name, level.name());
     }
     if !smoke {
         // Headline scalars at 512^3 (shape index 2); the smoke shapes
@@ -170,6 +219,26 @@ fn main() {
         log.push_scalar("speedup_blocked_vs_naive_512", naive / blocked);
         for (name, secs) in times.iter().skip(2) {
             log.push_scalar(&format!("speedup_{name}_vs_naive_512"), naive / secs[idx512]);
+        }
+        // The SIMD microkernel gate: the dispatched tier must be ≥ 2×
+        // the portable scalar microkernel on the 512³ headline shape.
+        // Skipped when dispatch resolves to scalar (no SIMD on the host,
+        // or PIPEMARE_SIMD=off) — there is nothing to gate then.
+        let scalar_s = times.iter().find(|(n, _)| n == "scalar").expect("scalar variant").1[idx512];
+        let simd_s = times.iter().find(|(n, _)| n == "simd").expect("simd variant").1[idx512];
+        let simd_speedup = scalar_s / simd_s;
+        log.push_scalar("speedup_simd_vs_scalar_512", simd_speedup);
+        println!(
+            "  simd-vs-scalar @ 512^3: {simd_speedup:.2}x ({} tier)",
+            kernels::simd_level().name()
+        );
+        if kernels::simd_level() != SimdLevel::Scalar {
+            assert!(
+                simd_speedup >= 2.0,
+                "SIMD microkernel ({}) must be >= 2x the scalar microkernel at 512^3, \
+                 got {simd_speedup:.2}x",
+                kernels::simd_level().name()
+            );
         }
     }
     match log.save() {

@@ -21,8 +21,15 @@
 
 use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use pipemare_bench::report::{banner, table_header, ExperimentLog};
-use pipemare_pipeline::{run_recompute_pipeline, ActivationModel, RecomputePolicy};
+use pipemare_nn::{ImageBatch, Mlp, TrainModel};
+use pipemare_pipeline::{
+    run_recompute_pipeline, ActivationLedger, ActivationModel, RecomputePolicy,
+};
+use pipemare_tensor::{StoragePrecision, Tensor};
 
 /// `(P, n_micro, minibatches)` sized so total microbatches ≥ 2P − 1
 /// reaches the steady-state peaks.
@@ -85,6 +92,65 @@ fn main() {
         model_series.push(model.table5_ratio());
         overhead_series.push(overhead);
     }
+
+    // --- bf16 activation stashes ------------------------------------
+    // The same checkpointed model stashed at f32 and at bf16: the bytes
+    // are measured from real `Cache` contents (boundary stashes plus the
+    // f32 loss-gradient tensor the model always keeps), not computed
+    // from the 2-vs-4-byte arithmetic, so the ratio lands slightly above
+    // 0.5 and must stay under the 0.55 gate.
+    let widths = [256usize, 256, 256, 256, 10];
+    let seg = 3;
+    let model_f32 = Mlp::new(&widths).with_recompute(seg);
+    let model_bf16 =
+        Mlp::new(&widths).with_recompute(seg).with_stash_precision(StoragePrecision::Bf16);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut params = vec![0.0; model_f32.param_len()];
+    model_f32.init_params(&mut params, &mut rng);
+    let batch =
+        ImageBatch { x: Tensor::randn(&[32, 256], &mut rng), y: (0..32).map(|i| i % 10).collect() };
+    let (_, cache_f32) = model_f32.forward_loss(&params, &batch);
+    let (_, cache_bf16) = model_bf16.forward_loss(&params, &batch);
+    let (b_f32, b_bf16) = (cache_f32.activation_bytes(), cache_bf16.activation_bytes());
+    let stash_ratio = b_bf16 as f64 / b_f32 as f64;
+    assert!(
+        stash_ratio <= 0.55,
+        "bf16 stash must be ≤ 0.55× the f32 footprint, got {stash_ratio:.3} ({b_bf16} / {b_f32} B)"
+    );
+
+    // Scaled up by the ledger: peak stash *counts* are precision-blind,
+    // so the per-stage peak bytes of the largest swept pipeline shrink
+    // by exactly bytes-per-value (2 vs 4).
+    let elems = batch.x.len();
+    let per_act_f32 = ActivationLedger::with_element_precision(1, elems, StoragePrecision::F32)
+        .bytes_per_activation();
+    let per_act_bf16 = ActivationLedger::with_element_precision(1, elems, StoragePrecision::Bf16)
+        .bytes_per_activation();
+    let rc_total_last = {
+        let &(p, n_micro, minibatches) = sweep.last().expect("sweep non-empty");
+        let seg = ActivationModel { p }.optimal_segment();
+        let rc = run_recompute_pipeline(
+            RecomputePolicy::Segmented { segment: seg },
+            p,
+            n_micro,
+            minibatches,
+            Duration::ZERO,
+        );
+        rc.peak_activations.iter().sum::<usize>()
+    };
+    println!("\nbf16 activation stashes (measured cache bytes, {seg}-layer segments):");
+    println!("  per microbatch: f32 {b_f32} B, bf16 {b_bf16} B -> ratio {stash_ratio:.3}");
+    println!(
+        "  ledger peak total (P = {}): f32 {} B, bf16 {} B",
+        sweep.last().unwrap().0,
+        rc_total_last * per_act_f32,
+        rc_total_last * per_act_bf16,
+    );
+    log.push_scalar("bf16_stash_ratio", stash_ratio);
+    log.push_scalar(
+        "bf16_ledger_bytes_ratio",
+        (rc_total_last * per_act_bf16) as f64 / (rc_total_last * per_act_f32) as f64,
+    );
 
     println!("\nTable 5 stage counts (analytical, too many stages to thread here):");
     for (task, p) in [("CIFAR10/ImageNet", 107usize), ("IWSLT14", 93), ("WMT17", 91)] {

@@ -14,7 +14,8 @@
 //!   A mismatch is a FAIL.
 //! * **Informational** keys — wall-clock timings and anything derived
 //!   from them (`seconds.*`, `gflops.*`, `speedup*`, `throughput*`,
-//!   `host_parallelism`, `metric.*`) — vary across hosts; they are only
+//!   `host_parallelism`, `metric.*`), plus the `dispatch.*` microkernel
+//!   tiers (which vary with the host's SIMD features) — they are only
 //!   checked to be finite, and the drift is printed.
 //!
 //! Series are compared over the common prefix: smoke-mode benches sweep
@@ -24,6 +25,12 @@
 //! scalars) and do not fail the check; a fresh run with *no* overlapping
 //! keys fails, since it checked nothing.
 //!
+//! A third class overrides the skip rule: **required** keys
+//! (`seconds.{simd,scalar}`, `dispatch.{simd,scalar}`, `bf16_*`) must
+//! be present on *both* sides whenever either side has them — a smoke
+//! run that silently drops the SIMD-dispatch or bf16-footprint
+//! evidence, or a stale baseline missing them, is a FAIL, not a SKIP.
+//!
 //! Exit code 0 = PASS, 1 = FAIL, 2 = usage/IO error.
 
 use std::path::Path;
@@ -32,10 +39,23 @@ use std::process::ExitCode;
 use pipemare_telemetry::json::{parse, Value};
 
 const INFORMATIONAL_PREFIXES: &[&str] =
-    &["seconds.", "gflops.", "speedup", "throughput", "host_parallelism", "metric."];
+    &["seconds.", "gflops.", "speedup", "throughput", "host_parallelism", "metric.", "dispatch."];
+
+/// Keys that may never be silently skipped: if either side has a key
+/// with one of these prefixes, the other side must have it too. The
+/// per-thread pool variants stay skippable (smoke runs sweep a single
+/// thread count), but the forced scalar/SIMD pair and the bf16 memory
+/// ratios are the whole point of their benches — a run without them
+/// proved nothing.
+const REQUIRED_PREFIXES: &[&str] =
+    &["seconds.simd", "seconds.scalar", "dispatch.simd", "dispatch.scalar", "bf16_"];
 
 fn is_informational(key: &str) -> bool {
     INFORMATIONAL_PREFIXES.iter().any(|p| key.starts_with(p))
+}
+
+fn is_required(key: &str) -> bool {
+    REQUIRED_PREFIXES.iter().any(|p| key.starts_with(p))
 }
 
 fn rel_diff(a: f64, b: f64) -> f64 {
@@ -92,8 +112,12 @@ fn check(baseline: &[(String, Vec<f64>)], fresh: &[(String, Vec<f64>)], tol: f64
     let mut out = Outcome { checked: 0, skipped: 0, failures: Vec::new() };
     for (key, base_vals) in baseline {
         let Some((_, fresh_vals)) = fresh.iter().find(|(k, _)| k == key) else {
-            println!("  SKIP {key}: absent from fresh run");
-            out.skipped += 1;
+            if is_required(key) {
+                out.failures.push(format!("{key}: required key absent from fresh run"));
+            } else {
+                println!("  SKIP {key}: absent from fresh run");
+                out.skipped += 1;
+            }
             continue;
         };
         out.checked += 1;
@@ -116,6 +140,13 @@ fn check(baseline: &[(String, Vec<f64>)], fresh: &[(String, Vec<f64>)], tol: f64
             ));
         } else {
             println!("  ok   {key}: max relative error {worst:.1e} over {n} value(s)");
+        }
+    }
+    for (key, _) in fresh {
+        if is_required(key) && !baseline.iter().any(|(k, _)| k == key) {
+            out.failures.push(format!(
+                "{key}: required key absent from baseline — regenerate the BENCH_*.json"
+            ));
         }
     }
     out

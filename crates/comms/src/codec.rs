@@ -104,6 +104,14 @@ impl Writer {
         }
     }
 
+    /// Appends a length-prefixed u16 slice (bf16 bit patterns).
+    pub fn put_u16s(&mut self, vs: &[u16]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_u16(v);
+        }
+    }
+
     /// Appends an optional `f64` as a presence byte + bits.
     pub fn put_opt_f64(&mut self, v: Option<f64>) {
         match v {
@@ -236,6 +244,19 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed u16 slice.
+    pub fn get_u16s(&mut self) -> Result<Vec<u16>, CodecError> {
+        let n = self.get_u32()? as usize;
+        if self.remaining() < n.saturating_mul(2) {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u16()?);
+        }
+        Ok(out)
+    }
+
     /// Reads an optional `f64`.
     pub fn get_opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
         Ok(if self.get_bool()? { Some(self.get_f64()?) } else { None })
@@ -276,10 +297,18 @@ pub enum TensorPayload {
         /// One value per index.
         val: Vec<f32>,
     },
+    /// Dense bf16 bit patterns — half the bytes of [`TensorPayload::Dense`].
+    ///
+    /// The codec never rounds: senders use this only for buffers that
+    /// are *already stored* as bf16 (a demoted weight-history version),
+    /// so the wire transfer itself is lossless — widening on receipt is
+    /// exact, and re-encoding the widened values reproduces these bits.
+    DenseBf16(Vec<u16>),
 }
 
 const PAYLOAD_DENSE: u8 = 0;
 const PAYLOAD_SPARSE: u8 = 1;
+const PAYLOAD_DENSE_BF16: u8 = 2;
 
 impl TensorPayload {
     /// Encodes `values` under `mode`. Sparse candidates fall back to
@@ -321,10 +350,12 @@ impl TensorPayload {
         match self {
             TensorPayload::Dense(v) => v.len(),
             TensorPayload::Sparse { len, .. } => *len as usize,
+            TensorPayload::DenseBf16(v) => v.len(),
         }
     }
 
-    /// Expands to a dense vector (zeros where no index is present).
+    /// Expands to a dense f32 vector (zeros where no sparse index is
+    /// present; bf16 bits widened exactly).
     pub fn into_dense(self) -> Vec<f32> {
         match self {
             TensorPayload::Dense(v) => v,
@@ -335,6 +366,7 @@ impl TensorPayload {
                 }
                 out
             }
+            TensorPayload::DenseBf16(v) => pipemare_tensor::bf16::decode_slice(&v),
         }
     }
 
@@ -344,6 +376,7 @@ impl TensorPayload {
         match self {
             TensorPayload::Dense(v) => 1 + 4 + 4 * v.len(),
             TensorPayload::Sparse { idx, .. } => 1 + 4 + 4 + 4 + 8 * idx.len(),
+            TensorPayload::DenseBf16(v) => 1 + 4 + 2 * v.len(),
         }
     }
 
@@ -359,6 +392,10 @@ impl TensorPayload {
                 w.put_u32(*len);
                 w.put_u32s(idx);
                 w.put_f32s(val);
+            }
+            TensorPayload::DenseBf16(v) => {
+                w.put_u8(PAYLOAD_DENSE_BF16);
+                w.put_u16s(v);
             }
         }
     }
@@ -391,6 +428,7 @@ impl TensorPayload {
                 }
                 Ok(TensorPayload::Sparse { len, idx, val })
             }
+            PAYLOAD_DENSE_BF16 => Ok(TensorPayload::DenseBf16(r.get_u16s()?)),
             t => Err(CodecError::BadTag(t)),
         }
     }
@@ -511,7 +549,7 @@ mod tests {
         let p = TensorPayload::from_dense(&v, SparseMode::DropZeros);
         match &p {
             TensorPayload::Sparse { idx, .. } => assert_eq!(idx, &[1, 2, 4, 6]),
-            TensorPayload::Dense(_) => panic!("expected sparse"),
+            other => panic!("expected sparse, got {other:?}"),
         }
         let back = p.into_dense();
         let bits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
@@ -537,8 +575,27 @@ mod tests {
                 assert_eq!(idx, &[1, 3]);
                 assert_eq!(val, &[-5.0, 4.0]);
             }
-            TensorPayload::Dense(_) => panic!("expected sparse"),
+            other => panic!("expected sparse, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dense_bf16_roundtrips_bits_and_widens_exactly() {
+        let bits: Vec<u16> = vec![0x3F80, 0xBF80, 0x0000, 0x8000, 0x7F80, 0x4049];
+        let p = TensorPayload::DenseBf16(bits.clone());
+        assert_eq!(p.dense_len(), bits.len());
+        assert_eq!(p.wire_bytes(), 1 + 4 + 2 * bits.len());
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let encoded = w.into_bytes();
+        let mut r = Reader::new(&encoded);
+        let back = TensorPayload::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, p, "wire round-trip must preserve the bf16 bits");
+        // Widening then re-encoding is the identity: the wire is
+        // lossless for bf16-stored buffers.
+        let wide = back.into_dense();
+        assert_eq!(pipemare_tensor::bf16::encode_slice(&wide), bits);
     }
 
     #[test]

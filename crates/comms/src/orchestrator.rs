@@ -33,6 +33,7 @@ use pipemare_telemetry::{
     events_from_jsonl_string, merge_worker_events, sort_events, Recorder, SpanKind, TraceEvent,
     TraceRecorder, NO_MICROBATCH,
 };
+use pipemare_tensor::StoragePrecision;
 use pipemare_theory::gamma_from_d;
 
 use crate::codec::{SparseMode, TensorPayload};
@@ -82,6 +83,10 @@ pub struct DistConfig {
     pub recompute: Option<DistRecompute>,
     /// Partition stages by equal element counts instead of weight units.
     pub partition_by_elements: bool,
+    /// Storage precision of each worker's non-latest weight-history
+    /// versions ([`pipemare_tensor::StoragePrecision::Bf16`] halves both
+    /// the shard footprint and the delayed-fetch wire bytes).
+    pub weight_storage: StoragePrecision,
     /// How gradients are encoded on the wire. [`SparseMode::Dense`] and
     /// [`SparseMode::DropZeros`] are bit-lossless; threshold/top-k trade
     /// fidelity for wire bytes.
@@ -110,6 +115,7 @@ impl DistConfig {
             grad_clip: None,
             recompute: None,
             partition_by_elements: false,
+            weight_storage: StoragePrecision::F32,
             sparse_grads: SparseMode::Dense,
             recv_timeout: None,
         }
@@ -283,6 +289,7 @@ fn build_stage_config(
         recomp_slots: seg.map(|seg| clock.recomp_delay_slots(seg, s) as u32),
         recomp_t2: cfg.recompute.is_some_and(|rc| rc.t2),
         warmup_steps: cfg.warmup_steps as u64,
+        weight_storage: cfg.weight_storage,
     }
 }
 
@@ -666,6 +673,7 @@ pub fn token_stage_config(method: Method, stages: usize, n_micro: usize, s: usiz
         recomp_slots: None,
         recomp_t2: false,
         warmup_steps: 0,
+        weight_storage: StoragePrecision::F32,
     }
 }
 

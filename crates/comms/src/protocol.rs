@@ -10,9 +10,12 @@ use crate::codec::{Reader, TensorPayload, Writer};
 use crate::error::CodecError;
 use pipemare_optim::OptimizerKind;
 use pipemare_pipeline::Method;
+use pipemare_tensor::StoragePrecision;
 
 /// Wire protocol version, validated during the hello exchange.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// v2 added the weight-storage precision to [`StageConfig`] and the
+/// bf16 dense tensor payload.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Which pass a shard fetch serves. Determines the weight-version and
 /// T2-correction math the worker applies before replying.
@@ -143,6 +146,26 @@ pub struct StageConfig {
     pub recomp_t2: bool,
     /// Steps of synchronous warmup (T3).
     pub warmup_steps: u64,
+    /// Storage precision of the worker's non-latest weight-history
+    /// versions. Under bf16 the worker also replies to delayed fetches
+    /// with the stored bf16 bits verbatim (half the wire bytes, zero
+    /// added error).
+    pub weight_storage: StoragePrecision,
+}
+
+fn precision_to_wire(p: StoragePrecision) -> u8 {
+    match p {
+        StoragePrecision::F32 => 0,
+        StoragePrecision::Bf16 => 1,
+    }
+}
+
+fn precision_from_wire(b: u8) -> Result<StoragePrecision, CodecError> {
+    match b {
+        0 => Ok(StoragePrecision::F32),
+        1 => Ok(StoragePrecision::Bf16),
+        t => Err(CodecError::BadTag(t)),
+    }
 }
 
 impl StageConfig {
@@ -161,6 +184,7 @@ impl StageConfig {
         w.put_opt_u32(self.recomp_slots);
         w.put_bool(self.recomp_t2);
         w.put_u64(self.warmup_steps);
+        w.put_u8(precision_to_wire(self.weight_storage));
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -179,6 +203,7 @@ impl StageConfig {
             recomp_slots: r.get_opt_u32()?,
             recomp_t2: r.get_bool()?,
             warmup_steps: r.get_u64()?,
+            weight_storage: precision_from_wire(r.get_u8()?)?,
         })
     }
 }
@@ -538,6 +563,7 @@ mod tests {
             recomp_slots: Some(2),
             recomp_t2: true,
             warmup_steps: 10,
+            weight_storage: StoragePrecision::Bf16,
         }
     }
 

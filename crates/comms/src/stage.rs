@@ -16,6 +16,7 @@
 use pipemare_optim::Optimizer;
 use pipemare_pipeline::{Method, PipelineClock, WeightHistory};
 
+use crate::codec::TensorPayload;
 use crate::error::CommsError;
 use crate::protocol::{PassKind, StageConfig, PROTOCOL_VERSION};
 
@@ -76,7 +77,8 @@ impl ShardStage {
             )));
         }
         let clock = PipelineClock::new(cfg.stages as usize, cfg.n_micro as usize);
-        let history = WeightHistory::new(clock.history_depth() + 1, init);
+        let history =
+            WeightHistory::with_precision(clock.history_depth() + 1, init, cfg.weight_storage);
         let opt = Optimizer::new(cfg.opt, shard_len);
         Ok(ShardStage {
             delta: vec![0.0; shard_len],
@@ -124,10 +126,16 @@ impl ShardStage {
         Ok(())
     }
 
-    /// Serves the shard values for one pass of `(step, micro)`,
-    /// applying the version selection and T2 corrections the in-process
-    /// trainer would.
-    pub fn fetch(&self, step: u64, micro: u32, pass: PassKind) -> Result<Vec<f32>, CommsError> {
+    /// Resolves one pass to `(weight version, T2 extrapolation gap)`:
+    /// the version selection and correction decision the in-process
+    /// trainer would make. A `None` gap means the stored version is
+    /// served untouched.
+    fn plan(
+        &self,
+        step: u64,
+        micro: u32,
+        pass: PassKind,
+    ) -> Result<(usize, Option<f64>), CommsError> {
         self.check_step(step, "fetch")?;
         if micro >= self.cfg.n_micro && pass != PassKind::Latest {
             return Err(CommsError::Protocol(format!(
@@ -141,25 +149,20 @@ impl ShardStage {
         let sync_phase = step < self.cfg.warmup_steps;
         let t2_on = self.cfg.t2_decay.is_some();
         match pass {
-            PassKind::Latest => Ok(self.history.latest().to_vec()),
+            PassKind::Latest => Ok((self.history.latest_version(), None)),
             PassKind::Fwd => {
                 let version =
                     if sync_phase { t } else { self.clock.fwd_version(self.cfg.method, t, n, s) };
-                Ok(self.history.get(version).to_vec())
+                Ok((version, None))
             }
             PassKind::Bkwd => {
                 let version =
                     if sync_phase { t } else { self.clock.bkwd_version(self.cfg.method, t, n, s) };
-                let mut out = self.history.get(version).to_vec();
                 // T2: extrapolate toward the forward version along δ
                 // (τ_bkwd = 0 for PipeMare, so the gap is τ_fwd).
-                if !sync_phase && self.cfg.method == Method::PipeMare && t2_on {
-                    let gap = self.clock.nominal_tau_fwd(s);
-                    for (b, &d) in out.iter_mut().zip(self.delta.iter()) {
-                        *b -= gap as f32 * d;
-                    }
-                }
-                Ok(out)
+                let gap = (!sync_phase && self.cfg.method == Method::PipeMare && t2_on)
+                    .then(|| self.clock.nominal_tau_fwd(s));
+                Ok((version, gap))
             }
             PassKind::Recomp => {
                 let slots = self.cfg.recomp_slots.ok_or_else(|| {
@@ -171,18 +174,55 @@ impl ShardStage {
                 let n_micro = self.cfg.n_micro as usize;
                 let m = (t * n_micro + n) as i64 - slots as i64;
                 let version = m.div_euclid(n_micro as i64).clamp(0, t as i64) as usize;
-                let mut out = self.history.get(version).to_vec();
-                if self.cfg.recomp_t2 && t2_on {
-                    let gap = self.clock.nominal_tau_fwd(s) - slots as f64 / n_micro as f64;
-                    if gap > 0.0 {
-                        for (b, &d) in out.iter_mut().zip(self.delta.iter()) {
-                            *b -= gap as f32 * d;
-                        }
-                    }
-                }
-                Ok(out)
+                let gap = if self.cfg.recomp_t2 && t2_on {
+                    let g = self.clock.nominal_tau_fwd(s) - slots as f64 / n_micro as f64;
+                    (g > 0.0).then_some(g)
+                } else {
+                    None
+                };
+                Ok((version, gap))
             }
         }
+    }
+
+    /// Serves the shard values for one pass of `(step, micro)`,
+    /// applying the version selection and T2 corrections the in-process
+    /// trainer would.
+    pub fn fetch(&self, step: u64, micro: u32, pass: PassKind) -> Result<Vec<f32>, CommsError> {
+        let (version, gap) = self.plan(step, micro, pass)?;
+        let mut out = self.history.get(version).into_owned();
+        if let Some(gap) = gap {
+            for (b, &d) in out.iter_mut().zip(self.delta.iter()) {
+                *b -= gap as f32 * d;
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`ShardStage::fetch`] as a wire payload. Uncorrected fetches of
+    /// bf16-stored versions ship the stored bits verbatim
+    /// ([`TensorPayload::DenseBf16`], half the bytes); widening on the
+    /// orchestrator side is exact, so the reply decodes to the identical
+    /// f32 vector [`ShardStage::fetch`] returns.
+    pub fn fetch_payload(
+        &self,
+        step: u64,
+        micro: u32,
+        pass: PassKind,
+    ) -> Result<TensorPayload, CommsError> {
+        let (version, gap) = self.plan(step, micro, pass)?;
+        if gap.is_none() {
+            if let Some(bits) = self.history.stored_bf16(version) {
+                return Ok(TensorPayload::DenseBf16(bits.to_vec()));
+            }
+        }
+        let mut out = self.history.get(version).into_owned();
+        if let Some(gap) = gap {
+            for (b, &d) in out.iter_mut().zip(self.delta.iter()) {
+                *b -= gap as f32 * d;
+            }
+        }
+        Ok(TensorPayload::Dense(out))
     }
 
     /// Runs the optimizer on this shard's slice of the minibatch
@@ -276,6 +316,7 @@ mod tests {
             recomp_slots: None,
             recomp_t2: false,
             warmup_steps: warmup,
+            weight_storage: pipemare_tensor::StoragePrecision::F32,
         }
     }
 
@@ -347,6 +388,31 @@ mod tests {
         let bkwd = st.fetch(1, 0, PassKind::Bkwd).unwrap();
         assert_eq!(fwd, vec![1.0; 4], "stage 0 forward must lag");
         assert_eq!(bkwd, vec![0.5; 4], "PipeMare backward reads fresh weights");
+    }
+
+    #[test]
+    fn bf16_shard_ships_stored_bits_for_delayed_fetches() {
+        let mut c = cfg(0, 0);
+        c.weight_storage = pipemare_tensor::StoragePrecision::Bf16;
+        let init = vec![0.1f32, 0.2, 0.3, 0.4];
+        let mut st = ShardStage::new(c, init).unwrap();
+        st.apply_grad(0, 0.5, true, &[1.0; 4]).unwrap();
+        st.commit(0, true).unwrap();
+        // Latest is still the exact f32 master.
+        match st.fetch_payload(1, 0, PassKind::Latest).unwrap() {
+            TensorPayload::Dense(v) => assert_eq!(v, st.latest()),
+            other => panic!("latest must be dense f32, got {other:?}"),
+        }
+        // Stage 0's forward at t=1 lags to version 0, which was demoted
+        // to bf16 at commit — the payload carries the raw bits, and
+        // widening reproduces fetch() exactly.
+        let fetched = st.fetch(1, 0, PassKind::Fwd).unwrap();
+        match st.fetch_payload(1, 0, PassKind::Fwd).unwrap() {
+            TensorPayload::DenseBf16(bits) => {
+                assert_eq!(pipemare_tensor::bf16::decode_slice(&bits), fetched);
+            }
+            other => panic!("delayed fetch must ship bf16, got {other:?}"),
+        }
     }
 
     #[test]

@@ -26,7 +26,6 @@ use pipemare_telemetry::{
     events_to_jsonl_string, Recorder, SpanKind, TraceRecorder, NO_MICROBATCH,
 };
 
-use crate::codec::TensorPayload;
 use crate::error::CommsError;
 use crate::protocol::{Message, PassKind, PROTOCOL_VERSION};
 use crate::stage::ShardStage;
@@ -119,7 +118,9 @@ fn run_training_loop(
         match rx.recv()? {
             Message::FetchShard { step, micro, pass } => {
                 let t0 = recorder.now_us();
-                let data = match stage.fetch(step, micro, pass) {
+                // bf16-stored versions ship their stored bits verbatim
+                // (lossless, half the bytes); everything else goes dense.
+                let data = match stage.fetch_payload(step, micro, pass) {
                     Ok(d) => d,
                     Err(e) => return Err(fail(&mut tx, e)),
                 };
@@ -133,13 +134,7 @@ fn run_training_loop(
                 if let Some(kind) = kind {
                     recorder.record_span(kind, stage_id, stage_id, micro, t0, t1);
                 }
-                tx.send(&Message::Shard {
-                    step,
-                    micro,
-                    pass,
-                    stage: stage_id,
-                    data: TensorPayload::Dense(data),
-                })?;
+                tx.send(&Message::Shard { step, micro, pass, stage: stage_id, data })?;
             }
             Message::GradShard { step, lr, apply, data } => {
                 let grad = data.into_dense();

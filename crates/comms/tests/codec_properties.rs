@@ -17,10 +17,15 @@ fn bits(v: &[f32]) -> Vec<u32> {
 }
 
 #[allow(clippy::type_complexity)]
-fn payload_bits(p: &TensorPayload) -> (Option<Vec<u32>>, Option<(u32, Vec<u32>, Vec<u32>)>) {
+fn payload_bits(
+    p: &TensorPayload,
+) -> (Option<Vec<u32>>, Option<(u32, Vec<u32>, Vec<u32>)>, Option<Vec<u16>>) {
     match p {
-        TensorPayload::Dense(v) => (Some(bits(v)), None),
-        TensorPayload::Sparse { len, idx, val } => (None, Some((*len, idx.clone(), bits(val)))),
+        TensorPayload::Dense(v) => (Some(bits(v)), None, None),
+        TensorPayload::Sparse { len, idx, val } => {
+            (None, Some((*len, idx.clone(), bits(val))), None)
+        }
+        TensorPayload::DenseBf16(h) => (None, None, Some(h.clone())),
     }
 }
 
@@ -69,6 +74,11 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
             recomp_slots: if rng.gen_bool(0.5) { Some(rng.gen_range(0..64u32)) } else { None },
             recomp_t2: rng.gen_bool(0.5),
             warmup_steps: rng.gen_range(0..1u64 << 32),
+            weight_storage: if rng.gen_bool(0.5) {
+                pipemare_tensor::StoragePrecision::Bf16
+            } else {
+                pipemare_tensor::StoragePrecision::F32
+            },
         }),
         1 => Message::HelloAck {
             protocol: rng.gen_range(0..u16::MAX as u32) as u16,
@@ -149,6 +159,27 @@ proptest! {
         let back = decode_payload(&encode_payload(&p)).unwrap();
         prop_assert_eq!(payload_bits(&p), payload_bits(&back));
         prop_assert_eq!(bits(&back.into_dense()), bits(&v));
+    }
+
+    #[test]
+    fn bf16_payload_roundtrips_bit_exact_through_wire_and_widening(
+        seed in 0u64..u64::MAX,
+        n in 0usize..300,
+    ) {
+        // Start from arbitrary f32 bit patterns and quantize: the encoder
+        // always emits canonical (quiet-NaN) bf16 bits, so decode→encode
+        // must be the identity on them, and the wire must not disturb a
+        // single bit along the way.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v: Vec<f32> = (0..n).map(|_| f32::from_bits(rng.gen_range(0..=u32::MAX))).collect();
+        let h = pipemare_tensor::bf16::encode_slice(&v);
+        let p = TensorPayload::DenseBf16(h.clone());
+        let back = decode_payload(&encode_payload(&p)).unwrap();
+        prop_assert_eq!(payload_bits(&p), payload_bits(&back), "wire round-trip must be exact");
+        // bf16 → f32 widening is exact, so re-encoding recovers the bits.
+        let widened = back.into_dense();
+        prop_assert_eq!(widened.len(), h.len());
+        prop_assert_eq!(pipemare_tensor::bf16::encode_slice(&widened), h);
     }
 
     #[test]

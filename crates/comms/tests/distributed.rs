@@ -136,6 +136,31 @@ fn pipemare_adam_with_recompute_is_bit_identical() {
 }
 
 #[test]
+fn bf16_weight_storage_is_bit_identical_across_process_boundary() {
+    // With bf16-stored history on both sides, the worker ships stored
+    // bf16 bits verbatim for uncorrected fetches and the driver widens
+    // them exactly, so the distributed run must still match the
+    // in-process trainer bit for bit — losses and final weights.
+    let cfg = || {
+        let mut c = TrainConfig::pipemare(
+            4,
+            4,
+            OptimizerKind::Momentum { beta: 0.9, weight_decay: 0.0 },
+            Box::new(ConstantLr(0.05)),
+            T1Rescheduler::new(20),
+            0.9,
+        );
+        c.warmup_steps = 2;
+        c.weight_storage = pipemare_tensor::StoragePrecision::Bf16;
+        c
+    };
+    let (ref_params, ref_loss) = run_reference(cfg(), 6);
+    let (dist_params, dist_loss) = run_distributed(cfg(), SparseMode::Dense, 6);
+    assert_eq!(ref_loss, dist_loss, "per-step losses must match bit for bit");
+    assert_bits_equal(&ref_params, &dist_params, "pipemare + bf16 storage");
+}
+
+#[test]
 fn dropzeros_wire_encoding_changes_nothing() {
     let cfg = || {
         TrainConfig::pipemare(

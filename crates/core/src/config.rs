@@ -2,6 +2,7 @@
 
 use pipemare_optim::{LrSchedule, OptimizerKind, T1Rescheduler};
 use pipemare_pipeline::{HogwildDelays, Method};
+use pipemare_tensor::StoragePrecision;
 
 /// How weight versions are delayed during training.
 #[derive(Clone, Debug)]
@@ -94,6 +95,12 @@ pub struct TrainConfig {
     /// Partition stages by equal *element* counts instead of the paper's
     /// equal *weight-unit* counts (ablation of the partitioning scheme).
     pub partition_by_elements: bool,
+    /// Storage precision for the delayed (non-latest) weight-history
+    /// versions. [`StoragePrecision::F32`] (the default) is bit-exact;
+    /// [`StoragePrecision::Bf16`] halves the history footprint at one
+    /// RNE rounding per stored weight (see the health monitor's
+    /// `quant_eps` for how the margins account for it).
+    pub weight_storage: StoragePrecision,
     /// Seed for Hogwild delay sampling.
     pub seed: u64,
 }
@@ -118,6 +125,7 @@ impl TrainConfig {
             grad_clip: None,
             recompute: None,
             partition_by_elements: false,
+            weight_storage: StoragePrecision::F32,
             seed: 0,
         }
     }

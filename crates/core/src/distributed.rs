@@ -50,6 +50,7 @@ pub fn dist_config(
         grad_clip: cfg.grad_clip,
         recompute: cfg.recompute.map(|rc| DistRecompute { segments: rc.segments, t2: rc.t2 }),
         partition_by_elements: cfg.partition_by_elements,
+        weight_storage: cfg.weight_storage,
         sparse_grads,
         recv_timeout,
     })

@@ -92,7 +92,8 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         let mut rng = StdRng::seed_from_u64(init_seed);
         let mut params = vec![0.0f32; total];
         model.init_params(&mut params, &mut rng);
-        let history = WeightHistory::new(clock.history_depth() + 1, params);
+        let history =
+            WeightHistory::with_precision(clock.history_depth() + 1, params, cfg.weight_storage);
         let opt = Optimizer::new(cfg.optimizer, total);
         // Recompute delay slots: stages grouped into segments; stage j
         // within a segment has its activations recomputed 2(S−j) slots
@@ -251,7 +252,11 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
         for (_, p) in &state.history {
             assert_eq!(p.len(), total, "restore: parameter length mismatch");
         }
-        self.history = WeightHistory::from_versions(self.clock.history_depth() + 1, state.history);
+        self.history = WeightHistory::from_versions_with_precision(
+            self.clock.history_depth() + 1,
+            state.history,
+            self.cfg.weight_storage,
+        );
         assert_eq!(
             self.history.latest_version(),
             state.step,
@@ -313,8 +318,7 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
     fn assemble(&self, buf: &mut [f32], version_of: impl Fn(usize) -> usize) {
         for s in 0..self.cfg.stages {
             let (lo, hi) = self.partition.range(s);
-            let src = self.history.get(version_of(s));
-            buf[lo..hi].copy_from_slice(&src[lo..hi]);
+            self.history.copy_range(version_of(s), lo, hi, &mut buf[lo..hi]);
         }
     }
 

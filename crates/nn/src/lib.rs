@@ -55,7 +55,7 @@ pub mod transformer;
 
 pub use activation::{Activation, ActivationKind};
 pub use attention::{AttnMask, MultiHeadAttention};
-pub use cache::Cache;
+pub use cache::{Bf16Stash, Cache};
 pub use conv::Conv2d;
 pub use dropout::Dropout;
 pub use embedding::{Embedding, PositionalEncoding};

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use pipemare_tensor::Tensor;
+use pipemare_tensor::{StoragePrecision, Tensor};
 
 use crate::activation::Activation;
 use crate::cache::Cache;
@@ -24,6 +24,10 @@ pub struct Mlp {
     /// (PipeMare Recompute). All Mlp layers are deterministic, so the
     /// checkpointed path is bit-identical to stash-everything.
     recompute_segment: Option<usize>,
+    /// Storage precision of the checkpoint stashes (f32 by default;
+    /// bf16 halves the stash bytes at the cost of quantized replays).
+    /// Only meaningful when `recompute_segment` is set.
+    stash_precision: StoragePrecision,
 }
 
 impl Mlp {
@@ -42,7 +46,12 @@ impl Mlp {
                 chain = chain.push(Activation::relu());
             }
         }
-        Mlp { chain, in_features: widths[0], recompute_segment: None }
+        Mlp {
+            chain,
+            in_features: widths[0],
+            recompute_segment: None,
+            stash_precision: StoragePrecision::F32,
+        }
     }
 
     /// Enables activation recomputation with the given segment size
@@ -50,6 +59,14 @@ impl Mlp {
     pub fn with_recompute(mut self, segment: usize) -> Self {
         assert!(segment >= 1, "segment size must be at least 1");
         self.recompute_segment = Some(segment);
+        self
+    }
+
+    /// Sets the storage precision of checkpoint stashes (see
+    /// [`crate::Sequential::forward_checkpointed_with`]). Only takes
+    /// effect together with [`Mlp::with_recompute`].
+    pub fn with_stash_precision(mut self, precision: StoragePrecision) -> Self {
+        self.stash_precision = precision;
         self
     }
 
@@ -88,7 +105,9 @@ impl TrainModel for Mlp {
         let flat = batch.x.reshape(&[b, batch.x.len() / b]);
         assert_eq!(flat.shape()[1], self.in_features, "Mlp: input feature mismatch");
         let (logits, chain_cache) = match self.recompute_segment {
-            Some(seg) => self.chain.forward_checkpointed(params, &flat, seg),
+            Some(seg) => {
+                self.chain.forward_checkpointed_with(params, &flat, seg, self.stash_precision)
+            }
             None => self.chain.forward(params, &flat),
         };
         let (loss, dlogits) = cross_entropy_logits(&logits, &batch.y, CrossEntropyCfg::default());

@@ -2,9 +2,9 @@
 
 use rand::rngs::StdRng;
 
-use pipemare_tensor::Tensor;
+use pipemare_tensor::{StoragePrecision, Tensor};
 
-use crate::cache::Cache;
+use crate::cache::{Bf16Stash, Cache};
 use crate::layer::{Layer, ParamAlloc, WeightUnit};
 
 /// A chain of layers applied in order; parameters are concatenated.
@@ -67,6 +67,23 @@ impl Sequential {
         x: &Tensor,
         segment: usize,
     ) -> (Tensor, Cache) {
+        self.forward_checkpointed_with(params, x, segment, StoragePrecision::F32)
+    }
+
+    /// [`Sequential::forward_checkpointed`] with a chosen stash storage
+    /// precision. The forward itself always runs in f32 — only the
+    /// segment-boundary stashes are stored at `stash` precision, so a
+    /// bf16 run computes the same output as f32 and halves the stash
+    /// bytes; the backward replay then starts each segment from the
+    /// quantized boundary input (that rounding is the discrepancy the
+    /// health monitor's `quant_eps` accounts for).
+    pub fn forward_checkpointed_with(
+        &self,
+        params: &[f32],
+        x: &Tensor,
+        segment: usize,
+        stash: StoragePrecision,
+    ) -> (Tensor, Cache) {
         assert!(segment >= 1, "segment size must be at least 1");
         let offsets = self.offsets();
         let mut cache = Cache::new();
@@ -74,7 +91,10 @@ impl Sequential {
         let mut cur = x.clone();
         for (i, (l, &off)) in self.layers.iter().zip(offsets.iter()).enumerate() {
             if i % segment == 0 {
-                cache.tensors.push(cur.clone());
+                match stash {
+                    StoragePrecision::F32 => cache.tensors.push(cur.clone()),
+                    StoragePrecision::Bf16 => cache.bf16_tensors.push(Bf16Stash::encode(&cur)),
+                }
             }
             cur = l.forward_no_cache(&params[off..off + l.param_len()], &cur);
         }
@@ -98,20 +118,25 @@ impl Sequential {
     ) -> (Tensor, Vec<f32>) {
         let segment = cache.indices[0];
         let n = self.layers.len();
-        assert_eq!(
-            cache.tensors.len(),
-            n.div_ceil(segment),
-            "checkpoint cache does not match chain layout"
-        );
+        // The stashes live in exactly one of the two stores, depending on
+        // the precision the checkpointed forward ran with.
+        let bf16 = !cache.bf16_tensors.is_empty();
+        let n_stashes = if bf16 { cache.bf16_tensors.len() } else { cache.tensors.len() };
+        assert_eq!(n_stashes, n.div_ceil(segment), "checkpoint cache does not match chain layout");
         let offsets = self.offsets();
         let mut grads = vec![0.0f32; self.param_len()];
         let mut cur = dy.clone();
-        for seg_idx in (0..cache.tensors.len()).rev() {
+        for seg_idx in (0..n_stashes).rev() {
             let start = seg_idx * segment;
             let end = (start + segment).min(n);
-            // Replay the segment forward from its stashed boundary input.
+            // Replay the segment forward from its stashed boundary input
+            // (widened exactly if the stash is bf16).
             let mut seg_caches = Vec::with_capacity(end - start);
-            let mut h = cache.tensor(seg_idx).clone();
+            let mut h = if bf16 {
+                cache.bf16_tensors[seg_idx].decode()
+            } else {
+                cache.tensor(seg_idx).clone()
+            };
             for (l, &off) in self.layers[start..end].iter().zip(&offsets[start..end]) {
                 let (y, c) = l.forward(&replay_params[off..off + l.param_len()], &h);
                 seg_caches.push(c);
@@ -357,6 +382,51 @@ mod tests {
             full.activation_bytes()
         );
         assert_eq!(ckpt.tensors.len(), 2);
+    }
+
+    #[test]
+    fn bf16_stashes_halve_bytes_and_stay_deterministic() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new()
+            .push(Linear::new(8, 16))
+            .push(Activation::tanh())
+            .push(Linear::new(16, 16))
+            .push(Activation::tanh())
+            .push(Linear::new(16, 4));
+        let mut rng = StdRng::seed_from_u64(37);
+        let params = init_layer(&chain, &mut rng);
+        let x = Tensor::randn(&[8, 8], &mut rng);
+        let dy = Tensor::randn(&[8, 4], &mut rng);
+        let (y32, c32) = chain.forward_checkpointed(&params, &x, 2);
+        let (y16, c16) = chain.forward_checkpointed_with(&params, &x, 2, StoragePrecision::Bf16);
+        // The forward itself runs in f32 either way — only stashes shrink.
+        assert_eq!(y16, y32);
+        assert!(
+            c16.activation_bytes() * 2 <= c32.activation_bytes() + 4,
+            "bf16 stash {} B should be half of f32 {} B",
+            c16.activation_bytes(),
+            c32.activation_bytes()
+        );
+        // Quantized replay is deterministic: same cache, same gradients,
+        // bit for bit — and close to the f32 gradients (bf16 keeps ~8
+        // mantissa bits).
+        let (dx32, g32) = chain.backward_checkpointed(&params, &c32, &dy);
+        let (dx_a, g_a) = chain.backward_checkpointed(&params, &c16, &dy);
+        let (dx_b, g_b) = chain.backward_checkpointed(&params, &c16, &dy);
+        assert_eq!(dx_a, dx_b);
+        assert_eq!(g_a, g_b);
+        let rel_norm = |a: &[f32], b: &[f32]| {
+            let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let base: f32 = b.iter().map(|y| y * y).sum();
+            (diff / base).sqrt()
+        };
+        assert!(
+            rel_norm(&g_a, &g32) < 0.05,
+            "bf16 gradients drifted too far: rel ‖Δg‖ = {}",
+            rel_norm(&g_a, &g32)
+        );
+        assert!(rel_norm(dx_a.data(), dx32.data()) < 0.05);
     }
 
     #[test]

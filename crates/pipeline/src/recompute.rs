@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pipemare_telemetry::{Gauge, MetricsRegistry};
+use pipemare_tensor::StoragePrecision;
 
 use crate::cost::ActivationModel;
 
@@ -229,6 +230,25 @@ impl ActivationLedger {
                 .collect(),
             bytes_per_activation,
         }
+    }
+
+    /// A ledger for activations of `elems_per_activation` values stored
+    /// at `precision`: each buffer counts
+    /// `elems_per_activation × precision.bytes_per_value()` bytes. This
+    /// is how bf16 activation stashes halve the byte footprint the
+    /// ledger reports — the buffer *counts* (and hence the peak
+    /// profiles) are unchanged, only the bytes-per-buffer scale drops.
+    pub fn with_element_precision(
+        stages: usize,
+        elems_per_activation: usize,
+        precision: StoragePrecision,
+    ) -> Self {
+        ActivationLedger::new(stages, elems_per_activation * precision.bytes_per_value())
+    }
+
+    /// Bytes each tracked activation buffer counts as.
+    pub fn bytes_per_activation(&self) -> usize {
+        self.bytes_per_activation
     }
 
     /// Like [`ActivationLedger::new`], additionally publishing per-stage
@@ -445,6 +465,22 @@ mod tests {
         let peak = reg.gauge("pipeline.stage.0.activation.peak_bytes");
         assert_eq!(current.get(), 100.0);
         assert_eq!(peak.get(), 200.0);
+    }
+
+    #[test]
+    fn precision_scales_ledger_bytes_not_counts() {
+        let f32_ledger = ActivationLedger::with_element_precision(1, 1000, StoragePrecision::F32);
+        let bf16_ledger = ActivationLedger::with_element_precision(1, 1000, StoragePrecision::Bf16);
+        assert_eq!(f32_ledger.bytes_per_activation(), 4000);
+        assert_eq!(bf16_ledger.bytes_per_activation(), 2000);
+        for l in [&f32_ledger, &bf16_ledger] {
+            l.acquire(0);
+            l.acquire(0);
+            l.release(0);
+        }
+        assert_eq!(f32_ledger.peaks(), bf16_ledger.peaks());
+        assert_eq!(f32_ledger.peak_bytes(), vec![8000]);
+        assert_eq!(bf16_ledger.peak_bytes(), vec![4000]);
     }
 
     #[test]

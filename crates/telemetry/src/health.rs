@@ -40,7 +40,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use pipemare_theory::{lemma1_alpha_margin, t2_alpha_margin};
+use pipemare_theory::{lemma1_alpha_margin, quantized_secant_denominator, t2_alpha_margin};
 
 use crate::event::{SpanKind, TraceEvent};
 use crate::json::Value;
@@ -167,6 +167,15 @@ pub struct HealthConfig {
     /// The discrepancy sensitivity Δ is not observable online; the
     /// T2-corrected margin uses `Δ = t2_delta_frac · λ̂`.
     pub t2_delta_frac: f64,
+    /// Relative quantization error of the weight storage the λ̂
+    /// denominators are read from (0 for exact f32; bf16's
+    /// round-to-nearest is `2⁻⁸` — `pipemare_tensor::BF16_REL_EPS`).
+    /// The estimator shrinks each secant denominator by the worst-case
+    /// storage rounding `2·quant_eps·‖w‖` and widens its noise floor to
+    /// at least that granularity, so quantization can inflate λ̂ (the
+    /// conservative direction) but never fabricate curvature out of
+    /// rounding noise.
+    pub quant_eps: f64,
 }
 
 impl Default for HealthConfig {
@@ -179,7 +188,20 @@ impl Default for HealthConfig {
             margin_every: 1,
             lambda_beta: 0.9,
             t2_delta_frac: 0.5,
+            quant_eps: 0.0,
         }
+    }
+}
+
+impl HealthConfig {
+    /// This config with the λ̂ estimator compensating a weight storage
+    /// of relative quantization error `eps` (pass
+    /// `pipemare_tensor::BF16_REL_EPS` when the trainer stores its
+    /// weight history in bf16).
+    pub fn with_quant_eps(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "quant_eps must be finite and ≥ 0");
+        self.quant_eps = eps;
+        self
     }
 }
 
@@ -515,15 +537,26 @@ impl HealthMonitor {
         out: &mut Vec<HealthEvent>,
     ) {
         // Secant curvature estimate, frozen when the trajectory moves
-        // less than f32 resolution can measure (the quotient of two
+        // less than f32 resolution — or the weight storage's quantization
+        // granularity — can measure (the quotient of two
         // cancellation-dominated differences is noise, and a noisy λ̂
-        // spike would fabricate a margin breach).
-        let noise_floor = 1e-5 * so.weight_norm.max(1e-3);
+        // spike would fabricate a margin breach). Under quantized
+        // storage the denominator additionally sheds the worst-case
+        // rounding 2·ε·‖w‖, so λ̂ errs high (conservative margins), not
+        // low.
+        let quant = 2.0 * self.cfg.quant_eps * so.weight_norm;
+        let noise_floor = (1e-5 * so.weight_norm.max(1e-3)).max(quant);
         if so.grad_diff_norm.is_finite()
             && so.fwd_diff_norm.is_finite()
             && so.fwd_diff_norm > noise_floor
         {
-            let raw = so.grad_diff_norm / so.fwd_diff_norm;
+            let raw = so.grad_diff_norm
+                / quantized_secant_denominator(
+                    so.fwd_diff_norm,
+                    so.weight_norm,
+                    self.cfg.quant_eps,
+                    noise_floor,
+                );
             st.lambda_hat = if st.lambda_hat.is_finite() {
                 self.cfg.lambda_beta * st.lambda_hat + (1.0 - self.cfg.lambda_beta) * raw
             } else {
@@ -1037,6 +1070,39 @@ mod tests {
         }
         let rep = mon.report("test");
         assert!((rep.stages[0].lambda_hat - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quant_eps_inflates_lambda_and_freezes_below_granularity() {
+        let base = HealthConfig { warmup_steps: 0, lambda_beta: 0.0, ..Default::default() };
+        let eps = 1.0 / 256.0;
+        let exact = HealthMonitor::new(base, 1);
+        let quantized = HealthMonitor::new(base.with_quant_eps(eps), 1);
+        // A healthy secant well above the quantization granularity:
+        // ‖Δg‖ = 0.4, ‖Δu‖ = 0.1, ‖w‖ = 1.
+        let mut so = stage_obs(0.01, 3.0);
+        so.grad_diff_norm = 0.4;
+        so.fwd_diff_norm = 0.1;
+        for mon in [&exact, &quantized] {
+            mon.observe(&obs(0, 1.0, vec![so]));
+        }
+        let l_exact = exact.report("e").stages[0].lambda_hat;
+        let l_quant = quantized.report("q").stages[0].lambda_hat;
+        assert!((l_exact - 4.0).abs() < 1e-9);
+        // Denominator shrinks by 2·ε·‖w‖: λ̂ can only grow.
+        let expected = 0.4 / (0.1 - 2.0 * eps);
+        assert!((l_quant - expected).abs() < 1e-9);
+        assert!(l_quant > l_exact);
+        // Movement inside the quantization granularity must not update
+        // λ̂ at all (it would be pure rounding noise): ‖Δu‖ < 2·ε·‖w‖.
+        let mut tiny = so;
+        tiny.grad_diff_norm = 1.0;
+        tiny.fwd_diff_norm = 0.005;
+        quantized.observe(&obs(1, 1.0, vec![tiny]));
+        assert_eq!(quantized.report("q").stages[0].lambda_hat, l_quant);
+        // The exact monitor would have accepted the same secant.
+        exact.observe(&obs(1, 1.0, vec![tiny]));
+        assert!(exact.report("e").stages[0].lambda_hat > l_exact);
     }
 
     #[test]

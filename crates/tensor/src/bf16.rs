@@ -1,0 +1,206 @@
+//! bfloat16 storage conversion: round-to-nearest-even `f32 → u16` and
+//! the exact (lossless) widening back.
+//!
+//! bf16 is f32 with the low 16 mantissa bits dropped — same exponent
+//! range, 8-bit significand. That makes it a pure *storage* format
+//! here: all arithmetic stays in f32, and buffers that tolerate ~0.4%
+//! relative error (weight-history versions behind the pipeline delay,
+//! activation stashes awaiting recompute) shrink by half.
+//!
+//! Properties the rest of the workspace leans on (and the tests pin):
+//!
+//! * **Widening is exact**: `decode(encode(x))` is the nearest bf16 to
+//!   `x`, and `decode` itself never rounds (it only appends zero bits).
+//! * **Re-encoding is the identity** on bf16-representable values:
+//!   `encode(decode(h)) == h` for every non-NaN `h`, which is why
+//!   round-tripping a bf16 buffer through f32 (e.g. over the comms
+//!   wire, or through a checkpoint) is bit-lossless.
+//! * **Deterministic**: RNE is a pure function of the input bits; no
+//!   flags, no FPU state.
+//! * **Error bound**: for finite `x`, `|decode(encode(x)) − x| ≤
+//!   2⁻⁸·|x|` ([`BF16_REL_EPS`] is the half-ULP bound 2⁻⁹ ≤ relative
+//!   rounding error ≤ 2⁻⁸; we quote the conservative 2⁻⁸ everywhere).
+//!
+//! NaNs are quieted and kept NaN (the RNE increment could otherwise
+//! carry a signalling NaN's payload up into infinity).
+
+/// Conservative relative rounding error of one f32 → bf16 conversion:
+/// 2⁻⁸. The true RNE half-ULP bound is 2⁻⁹, but downstream margin
+/// accounting (see the health monitor's `quant_eps`) wants a bound that
+/// also absorbs the subnormal edge, so the workspace quotes 2⁻⁸.
+pub const BF16_REL_EPS: f32 = 1.0 / 256.0;
+
+/// Rounds `x` to the nearest bf16 (ties to even), returning the high
+/// 16 bits of the resulting f32.
+#[inline]
+pub fn encode(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Quiet the NaN and keep the sign; RNE's increment could
+        // otherwise overflow a payload into infinity.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on bit 16: add 0x7FFF plus the current
+    // bit-16 value, then truncate. Overflow into the exponent is
+    // exactly what RNE wants (rounds up to the next binade / infinity).
+    (bits.wrapping_add(0x7FFF + ((bits >> 16) & 1)) >> 16) as u16
+}
+
+/// Widens a bf16 back to f32 — exact, never rounds.
+#[inline]
+pub fn decode(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Encodes a whole slice (RNE per element).
+pub fn encode_slice(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&x| encode(x)).collect()
+}
+
+/// Widens a whole slice — exact per element.
+pub fn decode_slice(src: &[u16]) -> Vec<f32> {
+    src.iter().map(|&h| decode(h)).collect()
+}
+
+/// Widens `src` into `dst` without allocating.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn decode_into(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "bf16 decode length mismatch");
+    for (d, &h) in dst.iter_mut().zip(src.iter()) {
+        *d = decode(h);
+    }
+}
+
+/// Which precision a storage buffer (weight-history version, activation
+/// stash) keeps its floats in. Purely about storage: arithmetic is
+/// always f32.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoragePrecision {
+    /// Full f32 — bit-exact storage, the default.
+    #[default]
+    F32,
+    /// bf16 — half the bytes, one RNE rounding (≤ [`BF16_REL_EPS`]
+    /// relative) on store, exact on load.
+    Bf16,
+}
+
+impl StoragePrecision {
+    /// Bytes one stored scalar occupies.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            StoragePrecision::F32 => 4,
+            StoragePrecision::Bf16 => 2,
+        }
+    }
+
+    /// Short name used in configs, reports, and bench keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoragePrecision::F32 => "f32",
+            StoragePrecision::Bf16 => "bf16",
+        }
+    }
+
+    /// Relative rounding error one store at this precision can add
+    /// (zero for f32, [`BF16_REL_EPS`] for bf16). This is the `ε` the
+    /// health monitor's quantization-aware margins consume.
+    pub fn quant_eps(self) -> f32 {
+        match self {
+            StoragePrecision::F32 => 0.0,
+            StoragePrecision::Bf16 => BF16_REL_EPS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_bf16_representable_values() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1.5, -3.25, f32::INFINITY, f32::NEG_INFINITY] {
+            let h = encode(x);
+            assert_eq!(decode(h).to_bits(), x.to_bits(), "{x} must be bf16-exact");
+        }
+    }
+
+    #[test]
+    fn reencode_is_identity_on_bf16_values() {
+        // Every non-NaN 16-bit pattern must survive decode → encode.
+        for h in 0..=u16::MAX {
+            if decode(h).is_nan() {
+                assert!(decode(encode(decode(h))).is_nan(), "NaN stays NaN for {h:#06x}");
+                continue;
+            }
+            assert_eq!(encode(decode(h)), h, "re-encode must be identity for {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_with_ties_to_even() {
+        // 1.0 + 2⁻⁹ sits exactly halfway between bf16(1.0) and the next
+        // bf16 up (1.0 + 2⁻⁸); RNE picks the even mantissa: 1.0.
+        let tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(decode(encode(tie)), 1.0);
+        // Just above the tie rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(decode(encode(above)), f32::from_bits(0x3F81_0000));
+        // The next representable tie (between 1+2⁻⁸ and 1+2·2⁻⁸) has an
+        // odd low mantissa bit, so RNE rounds up to even.
+        let tie2 = f32::from_bits(0x3F81_8000);
+        assert_eq!(decode(encode(tie2)), f32::from_bits(0x3F82_0000));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut state = 0x9E3779B9u32;
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(747796405).wrapping_add(2891336453);
+            let x = f32::from_bits((state >> 9) | 0x3F00_0000) * 8.0 - 6.0; // ~[-6, 2)
+            let err = (decode(encode(x)) - x).abs();
+            assert!(
+                err <= BF16_REL_EPS * x.abs() + f32::MIN_POSITIVE,
+                "error {err} too large for {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_stays_nan_and_quiet() {
+        for bits in [0x7FC0_0000u32, 0x7F80_0001, 0xFFC0_1234, 0x7FFF_FFFF] {
+            let h = encode(f32::from_bits(bits));
+            assert!(decode(h).is_nan(), "{bits:#010x} must encode to a NaN");
+        }
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // Values above the largest finite bf16 round to ±inf.
+        let big = f32::from_bits(0x7F7F_FFFF); // f32::MAX
+        assert_eq!(decode(encode(big)), f32::INFINITY);
+        assert_eq!(decode(encode(-big)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let xs: Vec<f32> = (0..257).map(|i| (i as f32 - 128.0) * 0.0371).collect();
+        let hs = encode_slice(&xs);
+        let back = decode_slice(&hs);
+        assert_eq!(encode_slice(&back), hs, "bf16 → f32 → bf16 must be bit-identical");
+        let mut dst = vec![0.0f32; xs.len()];
+        decode_into(&hs, &mut dst);
+        assert_eq!(dst, back);
+    }
+
+    #[test]
+    fn precision_enum_reports() {
+        assert_eq!(StoragePrecision::F32.bytes_per_value(), 4);
+        assert_eq!(StoragePrecision::Bf16.bytes_per_value(), 2);
+        assert_eq!(StoragePrecision::default(), StoragePrecision::F32);
+        assert_eq!(StoragePrecision::Bf16.quant_eps(), BF16_REL_EPS);
+        assert_eq!(StoragePrecision::F32.quant_eps(), 0.0);
+    }
+}

@@ -1,36 +1,52 @@
-//! Cache-blocked, register-tiled GEMM kernels with optional
-//! pool-parallel dispatch.
+//! Cache-blocked, register-tiled GEMM kernels with runtime SIMD
+//! dispatch and optional pool-parallel execution.
 //!
 //! # Algorithm
 //!
 //! The blocked path packs both operands into contiguous micro-panels and
-//! drives an `MR × NR` register-tile microkernel the compiler can
-//! auto-vectorize:
+//! drives an `mr × nr` register-tile microkernel:
 //!
-//! * **B** is packed once per call into column panels of [`NR`] columns,
-//!   zero-padded to a multiple of `NR` (layout `[panel][p][c]`, so the
+//! * **B** is packed once per call into column panels of `nr` columns,
+//!   zero-padded to a multiple of `nr` (layout `[panel][p][c]`, so the
 //!   microkernel streams it contiguously).
 //! * **A** is packed per row-block of [`MC`] rows into the packing
-//!   thread's thread-local scratch, as row panels of [`MR`] rows
-//!   (layout `[panel][p][r]`).
-//! * The microkernel accumulates a full-depth `MR × NR` tile in
+//!   thread's scratch buffer (owned by [`crate::pool`], allocated once
+//!   per worker thread), as row panels of `mr` rows (layout
+//!   `[panel][p][r]`).
+//! * The microkernel accumulates a full-depth `mr × nr` tile in
 //!   registers: `acc[r][c] += a[p][r] · b[p][c]` for `p = 0, 1, …, k−1`.
+//!
+//! # SIMD dispatch
+//!
+//! The microkernel comes in three tiers, picked once per process by
+//! [`simd_level`] (runtime CPU detection, overridable with the
+//! `PIPEMARE_SIMD` environment variable):
+//!
+//! | level                    | tile    | microkernel                          |
+//! |--------------------------|---------|--------------------------------------|
+//! | [`SimdLevel::Scalar`]    | [`MR`]×[`NR`] (8×8) | portable `f32::mul_add` loop |
+//! | [`SimdLevel::Avx2`]      | 6×16    | `std::arch` AVX2 + FMA, 12 `ymm` accumulators |
+//! | [`SimdLevel::Avx512`]    | 8×32    | `std::arch` AVX-512F, 16 `zmm` accumulators, depth unrolled ×2 |
+//!
+//! `PIPEMARE_SIMD` accepts `off`/`scalar`/`0` (force the portable
+//! fallback), `avx2` or `avx512` (force a tier; panics if the CPU lacks
+//! it), and `auto`/`on`/empty (detect, the default).
 //!
 //! # Numerics and determinism
 //!
-//! Every production path (the scalar small-size fallback, the blocked
-//! kernel, and the pool-parallel blocked kernel) computes each output
-//! element the same way: `c[i][j] += Σ_p fma(a_ip, b_pj, ·)` with `p`
-//! strictly increasing, using [`f32::mul_add`] (one rounding per
-//! multiply-add, an IEEE 754 `fusedMultiplyAdd`, which `target-cpu`s
-//! with FMA compile to a single instruction). The depth loop is
-//! deliberately **not** split into `KC` slices, so per-element
-//! accumulation order never depends on blocking or on the thread count —
-//! all production paths are **bit-identical** to the scalar reference at
-//! any size and any pool width. Cache blocking therefore happens over
-//! `M` (the `MC`-row parallel chunks, whose packed A block stays
-//! L2-resident) and `N` (the `NR`-column B panels, L1-resident across a
-//! chunk); `KC` is effectively `k`.
+//! Every production path — the scalar small-size fallback, the blocked
+//! kernel at **any** SIMD tier, and the pool-parallel blocked kernel —
+//! computes each output element the same way: `c[i][j] += Σ_p
+//! fma(a_ip, b_pj, ·)` with `p` strictly increasing, one IEEE 754
+//! `fusedMultiplyAdd` rounding per multiply-add. Vectorizing over output
+//! *columns* and tiling over output *rows* never reorders the depth
+//! accumulation an element sees, and the AVX-512 kernel's ×2 depth
+//! unroll issues the `p` and `p+1` FMAs in order on the same
+//! accumulator register — so all tiers and all thread counts are
+//! **bit-identical** to the scalar reference. The depth loop is
+//! deliberately not split into `KC` slices; cache blocking happens over
+//! `M` (the `MC`-row parallel chunks) and `N` (the `nr`-column B
+//! panels).
 //!
 //! [`gemm_naive`] keeps the seed's plain multiply-then-add accumulation
 //! and exists as the benchmark baseline; it differs from the production
@@ -45,15 +61,20 @@
 //! parallelize over the batch dimension, with the per-batch kernels
 //! running serially inside each lane (the pool's nesting rule).
 
+use std::sync::OnceLock;
+
 use crate::pool;
 
-/// Microkernel tile rows.
+/// Microkernel tile rows of the portable scalar tier.
 pub const MR: usize = 8;
-/// Microkernel tile columns.
+/// Microkernel tile columns of the portable scalar tier.
 pub const NR: usize = 8;
 /// Rows per parallel chunk; the packed `MC × k` A-block of one chunk is
 /// sized to stay L2-resident for the depths this workspace uses.
 pub const MC: usize = 64;
+
+/// Largest `mr × nr` accumulator any tier needs (AVX-512's 8×32).
+const MAX_TILE: usize = 8 * 32;
 
 /// Products smaller than this many flops (`2·m·k·n`) use the naive
 /// loop: packing overhead dominates below it.
@@ -61,6 +82,93 @@ const BLOCKED_MIN_FLOPS: usize = 1 << 16;
 /// Products smaller than this many flops stay on one thread: pool
 /// dispatch costs a few microseconds per lane.
 const PARALLEL_MIN_FLOPS: usize = 1 << 21;
+
+/// Which microkernel tier the blocked path drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable `f32::mul_add` loop over an [`MR`]×[`NR`] tile.
+    Scalar,
+    /// AVX2 + FMA 6×16 tile (12 `ymm` accumulators).
+    Avx2,
+    /// AVX-512F 8×32 tile (16 `zmm` accumulators, depth unrolled ×2).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Short name, as recorded in bench baselines (`scalar`, `avx2`,
+    /// `avx512`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// The `(mr, nr)` register-tile shape of this tier.
+    pub fn tile(self) -> (usize, usize) {
+        match self {
+            SimdLevel::Scalar => (MR, NR),
+            SimdLevel::Avx2 => (6, 16),
+            SimdLevel::Avx512 => (8, 32),
+        }
+    }
+
+    /// Whether the running CPU can execute this tier.
+    pub fn supported(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// Best tier the running CPU supports.
+fn detect_level() -> SimdLevel {
+    if SimdLevel::Avx512.supported() {
+        SimdLevel::Avx512
+    } else if SimdLevel::Avx2.supported() {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// The microkernel tier production GEMMs run at, resolved once per
+/// process: the `PIPEMARE_SIMD` override when set, else the best tier
+/// the CPU supports.
+///
+/// # Panics
+///
+/// Panics (once, at first kernel use) if `PIPEMARE_SIMD` names a tier
+/// the CPU lacks or an unknown value.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let var = std::env::var("PIPEMARE_SIMD").unwrap_or_default();
+        let forced = match var.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" | "on" => return detect_level(),
+            "off" | "scalar" | "0" => SimdLevel::Scalar,
+            "avx2" => SimdLevel::Avx2,
+            "avx512" => SimdLevel::Avx512,
+            other => panic!(
+                "PIPEMARE_SIMD={other:?} not recognized \
+                 (expected off/scalar/0, avx2, avx512, or auto/on)"
+            ),
+        };
+        assert!(
+            forced.supported(),
+            "PIPEMARE_SIMD={} forced but this CPU does not support it",
+            forced.name()
+        );
+        forced
+    })
+}
 
 /// Operand layout of a 2-D product writing `C (m×n) += op(A) · op(B)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -193,11 +301,12 @@ fn gemm_any(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: us
             Layout::TN => scalar_tn(a, b, c, m, k, n),
         };
     }
+    let level = simd_level();
     let chunks = m.div_ceil(MC);
     if work >= PARALLEL_MIN_FLOPS && chunks > 1 {
-        gemm_blocked_parallel(layout, a, b, c, m, k, n);
+        gemm_blocked_parallel(level, layout, a, b, c, m, k, n);
     } else {
-        gemm_blocked(layout, a, b, c, m, k, n);
+        gemm_blocked_with(level, layout, a, b, c, m, k, n);
     }
 }
 
@@ -244,15 +353,9 @@ fn scalar_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     }
 }
 
-thread_local! {
-    /// Per-thread packed-A scratch (one `MC × k` block).
-    static A_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
-    /// Per-thread packed-B scratch (the whole `k × n`, NR-padded).
-    static B_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
-}
-
-/// Serial blocked GEMM. Public so the `gemm_kernels` bench can time the
-/// single-thread blocked kernel directly regardless of pool size.
+/// Serial blocked GEMM at the process-wide [`simd_level`]. Public so
+/// callers outside the dispatcher (benches, matmul fast paths) can run
+/// the blocked kernel directly regardless of pool size.
 pub fn gemm_blocked(
     layout: Layout,
     a: &[f32],
@@ -262,20 +365,18 @@ pub fn gemm_blocked(
     k: usize,
     n: usize,
 ) {
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    B_SCRATCH.with(|scratch| {
-        let mut bpack = scratch.borrow_mut();
-        pack_b(layout, b, k, n, &mut bpack);
-        for chunk in 0..m.div_ceil(MC) {
-            run_chunk(layout, a, &bpack, c, m, k, n, chunk);
-        }
-    });
+    gemm_blocked_with(simd_level(), layout, a, b, c, m, k, n);
 }
 
-/// Pool-parallel blocked GEMM over `MC`-row chunks.
-fn gemm_blocked_parallel(
+/// Serial blocked GEMM at an explicitly forced tier — how benches and
+/// parity tests compare tiers side by side in one process.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support `level`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_with(
+    level: SimdLevel,
     layout: Layout,
     a: &[f32],
     b: &[f32],
@@ -284,16 +385,42 @@ fn gemm_blocked_parallel(
     k: usize,
     n: usize,
 ) {
-    B_SCRATCH.with(|scratch| {
-        let mut bpack = scratch.borrow_mut();
-        pack_b(layout, b, k, n, &mut bpack);
-        let bpack: &[f32] = &bpack;
+    assert!(level.supported(), "SIMD level {} not supported by this CPU", level.name());
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (_, nr) = level.tile();
+    pool::with_pack_b_scratch(|bpack| {
+        let blen = pack_b(layout, b, k, n, nr, bpack);
+        let bpack = &bpack[..blen];
+        for chunk in 0..m.div_ceil(MC) {
+            run_chunk(level, layout, a, bpack, c, m, k, n, chunk);
+        }
+    });
+}
+
+/// Pool-parallel blocked GEMM over `MC`-row chunks.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_parallel(
+    level: SimdLevel,
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let (_, nr) = level.tile();
+    pool::with_pack_b_scratch(|bpack| {
+        let blen = pack_b(layout, b, k, n, nr, bpack);
+        let bpack: &[f32] = &bpack[..blen];
         let c_out = UnsafeSlice::new(c);
         pool::parallel_for(m.div_ceil(MC), |chunk| {
             // SAFETY: chunk `i` writes only C rows `i*MC .. i*MC+rows`,
             // disjoint across chunk indices.
             let c_all = unsafe { c_out.slice_mut(0, m * n) };
-            run_chunk(layout, a, bpack, c_all, m, k, n, chunk);
+            run_chunk(level, layout, a, bpack, c_all, m, k, n, chunk);
         });
     });
 }
@@ -301,6 +428,7 @@ fn gemm_blocked_parallel(
 /// Packs and multiplies one `MC`-row chunk against the shared packed B.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk(
+    level: SimdLevel,
     layout: Layout,
     a: &[f32],
     bpack: &[f32],
@@ -310,25 +438,38 @@ fn run_chunk(
     n: usize,
     chunk: usize,
 ) {
+    let (mr, nr) = level.tile();
     let i0 = chunk * MC;
     let rows = MC.min(m - i0);
-    let row_panels = rows.div_ceil(MR);
-    let col_panels = n.div_ceil(NR);
-    A_SCRATCH.with(|scratch| {
-        let mut apack = scratch.borrow_mut();
-        pack_a(layout, a, i0, rows, m, k, &mut apack);
+    let row_panels = rows.div_ceil(mr);
+    let col_panels = n.div_ceil(nr);
+    pool::with_pack_a_scratch(|apack| {
+        let alen = pack_a(layout, a, i0, rows, m, k, mr, apack);
+        let apack = &apack[..alen];
+        let mut acc = [0.0f32; MAX_TILE];
+        let acc = &mut acc[..mr * nr];
         for jp in 0..col_panels {
-            let b_panel = &bpack[jp * k * NR..(jp + 1) * k * NR];
-            let j0 = jp * NR;
-            let cols = NR.min(n - j0);
+            let b_panel = &bpack[jp * k * nr..(jp + 1) * k * nr];
+            let j0 = jp * nr;
+            let cols = nr.min(n - j0);
             for ip in 0..row_panels {
-                let a_panel = &apack[ip * k * MR..(ip + 1) * k * MR];
-                let acc = microkernel(k, a_panel, b_panel);
-                let tile_rows = MR.min(rows - ip * MR);
-                for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
-                    let row = i0 + ip * MR + r;
+                let a_panel = &apack[ip * k * mr..(ip + 1) * k * mr];
+                match level {
+                    SimdLevel::Scalar => micro_scalar(k, a_panel, b_panel, acc),
+                    // SAFETY: tier support was asserted at dispatch, and
+                    // the panels/acc match the tier's tile shape.
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx2 => unsafe { micro_avx2_6x16(k, a_panel, b_panel, acc) },
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx512 => unsafe { micro_avx512_8x32(k, a_panel, b_panel, acc) },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    _ => unreachable!("non-scalar SIMD level on a non-x86_64 target"),
+                }
+                let tile_rows = mr.min(rows - ip * mr);
+                for r in 0..tile_rows {
+                    let row = i0 + ip * mr + r;
                     let c_row = &mut c[row * n + j0..row * n + j0 + cols];
-                    for (c_ij, &v) in c_row.iter_mut().zip(acc_row.iter()) {
+                    for (c_ij, &v) in c_row.iter_mut().zip(acc[r * nr..r * nr + nr].iter()) {
                         *c_ij += v;
                     }
                 }
@@ -337,14 +478,15 @@ fn run_chunk(
     });
 }
 
-/// The register-tile microkernel: a full-depth `MR × NR` product of one
-/// packed A panel against one packed B panel. Accumulation per output
-/// element runs over `p` in strictly increasing order via FMA — the
-/// determinism anchor for the whole kernel layer.
+/// The portable register-tile microkernel: a full-depth [`MR`]×[`NR`]
+/// product of one packed A panel against one packed B panel.
+/// Accumulation per output element runs over `p` in strictly increasing
+/// order via FMA — the determinism anchor every SIMD tier reproduces.
 #[inline]
-fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+fn micro_scalar(k: usize, a_panel: &[f32], b_panel: &[f32], acc_out: &mut [f32]) {
     debug_assert_eq!(a_panel.len(), k * MR);
     debug_assert_eq!(b_panel.len(), k * NR);
+    debug_assert_eq!(acc_out.len(), MR * NR);
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..k {
         let av: &[f32; MR] = a_panel[p * MR..p * MR + MR].try_into().expect("MR panel");
@@ -355,43 +497,149 @@ fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
             }
         }
     }
-    acc
+    for (r, acc_row) in acc.iter().enumerate() {
+        acc_out[r * NR..(r + 1) * NR].copy_from_slice(acc_row);
+    }
 }
 
-/// Packs all of B into NR-column panels: element `(p, j0+c)` of
-/// `op(B)` lands at `bpack[(jp*k + p)*NR + c]`, zero-padded past `n`.
-fn pack_b(layout: Layout, b: &[f32], k: usize, n: usize, bpack: &mut Vec<f32>) {
-    let col_panels = n.div_ceil(NR);
-    bpack.clear();
-    bpack.resize(col_panels * k * NR, 0.0);
+/// AVX2+FMA 6×16 microkernel: 12 `ymm` accumulators (6 rows × two
+/// 8-lane halves), one broadcast + two FMAs per row per `p`. Per output
+/// element the accumulation is a single FMA chain over increasing `p` —
+/// bit-identical to [`micro_scalar`].
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available, `a_panel.len() == 6k`,
+/// `b_panel.len() == 16k`, and `acc_out.len() == 96`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_avx2_6x16(k: usize, a_panel: &[f32], b_panel: &[f32], acc_out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a_panel.len(), k * 6);
+    debug_assert_eq!(b_panel.len(), k * 16);
+    debug_assert_eq!(acc_out.len(), 6 * 16);
+    let a = a_panel.as_ptr();
+    let b = b_panel.as_ptr();
+    let mut acc: [__m256; 12] = [_mm256_setzero_ps(); 12];
+    for p in 0..k {
+        let b0 = _mm256_loadu_ps(b.add(p * 16));
+        let b1 = _mm256_loadu_ps(b.add(p * 16 + 8));
+        for r in 0..6 {
+            let av = _mm256_broadcast_ss(&*a.add(p * 6 + r));
+            acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+            acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+        }
+    }
+    let out = acc_out.as_mut_ptr();
+    for r in 0..6 {
+        _mm256_storeu_ps(out.add(r * 16), acc[2 * r]);
+        _mm256_storeu_ps(out.add(r * 16 + 8), acc[2 * r + 1]);
+    }
+}
+
+/// AVX-512F 8×32 microkernel: 16 `zmm` accumulators (8 rows × two
+/// 16-lane halves), depth unrolled ×2. The unroll issues the `p` FMAs
+/// for all rows, then the `p+1` FMAs — each accumulator register still
+/// sees its depth products in strictly increasing order, so the result
+/// stays bit-identical to [`micro_scalar`]. Saturates the two FMA ports
+/// on this repo's CI host (~134 GFLOP/s single-core at 512³).
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available, `a_panel.len() == 8k`,
+/// `b_panel.len() == 32k`, and `acc_out.len() == 256`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_avx512_8x32(k: usize, a_panel: &[f32], b_panel: &[f32], acc_out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a_panel.len(), k * 8);
+    debug_assert_eq!(b_panel.len(), k * 32);
+    debug_assert_eq!(acc_out.len(), 8 * 32);
+    let a = a_panel.as_ptr();
+    let b = b_panel.as_ptr();
+    let mut acc: [__m512; 16] = [_mm512_setzero_ps(); 16];
+    let mut p = 0;
+    while p + 2 <= k {
+        let b0 = _mm512_loadu_ps(b.add(p * 32));
+        let b1 = _mm512_loadu_ps(b.add(p * 32 + 16));
+        let b2 = _mm512_loadu_ps(b.add(p * 32 + 32));
+        let b3 = _mm512_loadu_ps(b.add(p * 32 + 48));
+        for r in 0..8 {
+            let av = _mm512_set1_ps(*a.add(p * 8 + r));
+            acc[2 * r] = _mm512_fmadd_ps(av, b0, acc[2 * r]);
+            acc[2 * r + 1] = _mm512_fmadd_ps(av, b1, acc[2 * r + 1]);
+        }
+        for r in 0..8 {
+            let av = _mm512_set1_ps(*a.add((p + 1) * 8 + r));
+            acc[2 * r] = _mm512_fmadd_ps(av, b2, acc[2 * r]);
+            acc[2 * r + 1] = _mm512_fmadd_ps(av, b3, acc[2 * r + 1]);
+        }
+        p += 2;
+    }
+    if p < k {
+        let b0 = _mm512_loadu_ps(b.add(p * 32));
+        let b1 = _mm512_loadu_ps(b.add(p * 32 + 16));
+        for r in 0..8 {
+            let av = _mm512_set1_ps(*a.add(p * 8 + r));
+            acc[2 * r] = _mm512_fmadd_ps(av, b0, acc[2 * r]);
+            acc[2 * r + 1] = _mm512_fmadd_ps(av, b1, acc[2 * r + 1]);
+        }
+    }
+    let out = acc_out.as_mut_ptr();
+    for r in 0..8 {
+        _mm512_storeu_ps(out.add(r * 32), acc[2 * r]);
+        _mm512_storeu_ps(out.add(r * 32 + 16), acc[2 * r + 1]);
+    }
+}
+
+/// Packs all of B into `nr`-column panels: element `(p, j0+c)` of
+/// `op(B)` lands at `bpack[(jp*k + p)*nr + c]`, zero-padded past `n`.
+/// Returns the packed length; only that prefix of the (reused,
+/// possibly longer) scratch buffer is meaningful, and every element of
+/// it is written each call — stale data never leaks into the product.
+fn pack_b(layout: Layout, b: &[f32], k: usize, n: usize, nr: usize, bpack: &mut Vec<f32>) -> usize {
+    let col_panels = n.div_ceil(nr);
+    let len = col_panels * k * nr;
+    if bpack.len() < len {
+        bpack.resize(len, 0.0);
+    }
     for jp in 0..col_panels {
-        let j0 = jp * NR;
-        let cols = NR.min(n - j0);
-        let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+        let j0 = jp * nr;
+        let cols = nr.min(n - j0);
+        let panel = &mut bpack[jp * k * nr..(jp + 1) * k * nr];
         match layout {
-            // B is k×n row-major: copy `cols` contiguous values per p.
+            // B is k×n row-major: copy `cols` contiguous values per p,
+            // zeroing only the pad lanes of a ragged final panel.
             Layout::NN | Layout::TN => {
                 for p in 0..k {
-                    panel[p * NR..p * NR + cols].copy_from_slice(&b[p * n + j0..p * n + j0 + cols]);
+                    panel[p * nr..p * nr + cols].copy_from_slice(&b[p * n + j0..p * n + j0 + cols]);
+                    panel[p * nr + cols..(p + 1) * nr].fill(0.0);
                 }
             }
             // B is n×k row-major (the operand of `A · Bᵀ`): column j of
-            // op(B) is row j of B.
+            // op(B) is row j of B. A ragged final panel is cleared first
+            // because its writes are strided.
             Layout::NT => {
+                if cols < nr {
+                    panel.fill(0.0);
+                }
                 for (c, col) in (j0..j0 + cols).enumerate() {
                     let b_row = &b[col * k..(col + 1) * k];
                     for (p, &v) in b_row.iter().enumerate() {
-                        panel[p * NR + c] = v;
+                        panel[p * nr + c] = v;
                     }
                 }
             }
         }
     }
+    len
 }
 
-/// Packs `rows` rows of `op(A)` starting at `i0` into MR-row panels:
-/// element `(i0+r', p)` of `op(A)` lands at `apack[(ip*k + p)*MR + r]`,
-/// zero-padded past `rows`.
+/// Packs `rows` rows of `op(A)` starting at `i0` into `mr`-row panels:
+/// element `(i0+r', p)` of `op(A)` lands at `apack[(ip*k + p)*mr + r]`,
+/// zero-padded past `rows`. Returns the packed length (see [`pack_b`]
+/// for the scratch-reuse contract).
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     layout: Layout,
     a: &[f32],
@@ -399,22 +647,30 @@ fn pack_a(
     rows: usize,
     m: usize,
     k: usize,
+    mr: usize,
     apack: &mut Vec<f32>,
-) {
-    let row_panels = rows.div_ceil(MR);
-    apack.clear();
-    apack.resize(row_panels * k * MR, 0.0);
+) -> usize {
+    let row_panels = rows.div_ceil(mr);
+    let len = row_panels * k * mr;
+    if apack.len() < len {
+        apack.resize(len, 0.0);
+    }
     for ip in 0..row_panels {
-        let r0 = i0 + ip * MR;
-        let tile_rows = MR.min(rows - ip * MR);
-        let panel = &mut apack[ip * k * MR..(ip + 1) * k * MR];
+        let r0 = i0 + ip * mr;
+        let tile_rows = mr.min(rows - ip * mr);
+        let panel = &mut apack[ip * k * mr..(ip + 1) * k * mr];
+        // A ragged final panel is cleared up front (its pad rows
+        // interleave with every p); full panels overwrite every slot.
+        if tile_rows < mr {
+            panel.fill(0.0);
+        }
         match layout {
             // A is m×k row-major.
             Layout::NN | Layout::NT => {
                 for r in 0..tile_rows {
                     let a_row = &a[(r0 + r) * k..(r0 + r + 1) * k];
                     for (p, &v) in a_row.iter().enumerate() {
-                        panel[p * MR + r] = v;
+                        panel[p * mr + r] = v;
                     }
                 }
             }
@@ -423,12 +679,13 @@ fn pack_a(
             // run of `tile_rows` values.
             Layout::TN => {
                 for p in 0..k {
-                    panel[p * MR..p * MR + tile_rows]
+                    panel[p * mr..p * mr + tile_rows]
                         .copy_from_slice(&a[p * m + r0..p * m + r0 + tile_rows]);
                 }
             }
         }
     }
+    len
 }
 
 /// Shared mutable slice for provably disjoint parallel writes.
@@ -488,18 +745,33 @@ mod tests {
         c
     }
 
+    /// Every CPU-supported tier, scalar first.
+    fn available_levels() -> Vec<SimdLevel> {
+        [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512]
+            .into_iter()
+            .filter(|l| l.supported())
+            .collect()
+    }
+
     #[test]
-    fn blocked_is_bit_identical_to_reference_all_layouts() {
+    fn blocked_is_bit_identical_to_reference_all_layouts_all_tiers() {
         for layout in [Layout::NN, Layout::NT, Layout::TN] {
             for &(m, k, n) in &[(1, 1, 1), (7, 9, 5), (8, 8, 8), (65, 33, 17), (70, 64, 72)] {
                 let a = randvec(m * k, 1);
                 let b = randvec(k * n, 2);
                 let want = reference(layout, &a, &b, m, k, n);
-                let mut got = vec![0.0f32; m * n];
-                gemm_blocked(layout, &a, &b, &mut got, m, k, n);
                 let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
-                let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
-                assert_eq!(got_bits, want_bits, "blocked {layout:?} {m}x{k}x{n}");
+                for level in available_levels() {
+                    let mut got = vec![0.0f32; m * n];
+                    gemm_blocked_with(level, layout, &a, &b, &mut got, m, k, n);
+                    let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        got_bits,
+                        want_bits,
+                        "blocked {} {layout:?} {m}x{k}x{n}",
+                        level.name()
+                    );
+                }
                 // The dispatching entry point (which may pick the scalar
                 // path for these sizes) must agree bit-for-bit too.
                 let mut via_dispatch = vec![0.0f32; m * n];
@@ -508,6 +780,59 @@ mod tests {
                 assert_eq!(dispatch_bits, want_bits, "dispatch {layout:?} {m}x{k}x{n}");
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_shrinking_calls() {
+        // A big product followed by a smaller ragged one reuses the same
+        // (now longer) pack scratch; the pad lanes must still read zero.
+        for level in available_levels() {
+            let (m1, k1, n1) = (70, 64, 72);
+            let a1 = randvec(m1 * k1, 31);
+            let b1 = randvec(k1 * n1, 32);
+            let mut c1 = vec![0.0f32; m1 * n1];
+            gemm_blocked_with(level, Layout::NN, &a1, &b1, &mut c1, m1, k1, n1);
+            for layout in [Layout::NN, Layout::NT, Layout::TN] {
+                let (m, k, n) = (13, 9, 11);
+                let a = randvec(m * k, 33);
+                let b = randvec(k * n, 34);
+                let want = reference(layout, &a, &b, m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_blocked_with(level, layout, &a, &b, &mut got, m, k, n);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "stale scratch leaked into {} {layout:?}",
+                    level.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_an_unsupported_level_panics() {
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let r = std::panic::catch_unwind(|| {
+                let mut c = vec![0.0f32; 4];
+                gemm_blocked_with(
+                    SimdLevel::Avx2,
+                    Layout::NN,
+                    &[1.0; 4],
+                    &[1.0; 4],
+                    &mut c,
+                    2,
+                    2,
+                    2,
+                );
+            });
+            assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn simd_level_reports_a_supported_tier() {
+        assert!(simd_level().supported());
     }
 
     #[test]

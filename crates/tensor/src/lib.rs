@@ -25,6 +25,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod bf16;
 mod im2col;
 mod init;
 pub mod kernels;
@@ -36,6 +37,7 @@ mod shape;
 mod telemetry;
 mod tensor;
 
+pub use bf16::{StoragePrecision, BF16_REL_EPS};
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use pool::ThreadPool;
 pub use shape::{broadcast_shapes, Shape};

@@ -46,6 +46,27 @@ thread_local! {
     static SERIAL_DEPTH: Cell<usize> = const { Cell::new(0) };
     /// Per-thread pool override installed by [`with_pool`].
     static ACTIVE_POOL: RefCell<Option<Arc<ThreadPool>>> = const { RefCell::new(None) };
+    /// Per-thread GEMM packing scratch for A panels: allocated once per
+    /// worker (or caller) thread and grown monotonically, so the blocked
+    /// kernel never allocates on the hot path. Two separate buffers
+    /// because a chunk packs A while the (shared, already packed) B
+    /// buffer of the issuing thread is still borrowed.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread GEMM packing scratch for B panels.
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Hands `f` this thread's A-panel packing scratch. The buffer persists
+/// for the thread's lifetime; callers resize it as needed and must not
+/// assume its contents.
+pub(crate) fn with_pack_a_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    PACK_A.with(|buf| f(&mut buf.borrow_mut()))
+}
+
+/// Hands `f` this thread's B-panel packing scratch (see
+/// [`with_pack_a_scratch`]).
+pub(crate) fn with_pack_b_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    PACK_B.with(|buf| f(&mut buf.borrow_mut()))
 }
 
 impl ThreadPool {

@@ -1,0 +1,174 @@
+//! Scalar-vs-SIMD bit-parity tests for the GEMM microkernel tiers.
+//!
+//! The kernel layer's determinism contract says every tier —
+//! portable scalar, AVX2+FMA, AVX-512F — computes each output element
+//! as the same in-order FMA chain over depth, so forcing any supported
+//! tier through [`kernels::gemm_blocked_with`] must reproduce the
+//! forced-scalar result (and the per-element reference) to the last
+//! bit, at sizes that are deliberately ragged against every tile shape
+//! in play (scalar 8×8, AVX2 6×16, AVX-512 8×32 with ×2 depth unroll).
+//!
+//! The dispatched entry points (`gemm`/`gemm_nt`/`gemm_tn`, i.e.
+//! whatever [`kernels::simd_level`] picked on this host) get the same
+//! treatment, and a threaded run under the dispatched tier must match
+//! the single-threaded one — the `PIPEMARE_NUM_THREADS` guarantee does
+//! not bend under SIMD.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use pipemare_tensor::kernels::{self, Layout, SimdLevel};
+use pipemare_tensor::{pool, ThreadPool};
+
+/// Per-element scalar FMA reference for `C += op(A) · op(B)`.
+fn reference(layout: Layout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let (x, y) = match layout {
+                    Layout::NN => (a[i * k + p], b[p * n + j]),
+                    Layout::NT => (a[i * k + p], b[j * k + p]),
+                    Layout::TN => (a[p * m + i], b[p * n + j]),
+                };
+                acc = x.mul_add(y, acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn randvec(len: usize, seed: u64) -> Vec<f32> {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+/// Every tier this CPU can actually execute (always includes Scalar).
+fn runnable_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512]
+        .into_iter()
+        .filter(|l| l.supported())
+        .collect()
+}
+
+fn operand_lens(layout: Layout, m: usize, k: usize, n: usize) -> (usize, usize) {
+    match layout {
+        Layout::NN => (m * k, k * n),
+        Layout::NT => (m * k, n * k),
+        Layout::TN => (k * m, k * n),
+    }
+}
+
+/// Ragged against every tile edge: below, on, and just past the scalar
+/// 8×8, AVX2 6×16, and AVX-512 8×32 tiles, with odd depths to exercise
+/// the ×2 depth-unroll remainder.
+const DIMS: [usize; 14] = [1, 3, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33, 47];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supported tier, every layout: forced through
+    /// `gemm_blocked_with`, bit-identical to forced-scalar and to the
+    /// per-element reference.
+    #[test]
+    fn forced_tiers_match_scalar_bit_for_bit(
+        m in dim(), k in dim(), n in dim(), seed in 0u64..1000,
+    ) {
+        for layout in [Layout::NN, Layout::NT, Layout::TN] {
+            let (a_len, b_len) = operand_lens(layout, m, k, n);
+            let a = randvec(a_len, seed);
+            let b = randvec(b_len, seed + 7);
+            let want = reference(layout, &a, &b, m, k, n);
+            let mut scalar = vec![0.0f32; m * n];
+            kernels::gemm_blocked_with(SimdLevel::Scalar, layout, &a, &b, &mut scalar, m, k, n);
+            prop_assert_eq!(bits(&scalar), bits(&want), "scalar {:?} {}x{}x{}", layout, m, k, n);
+            for level in runnable_levels() {
+                let mut c = vec![0.0f32; m * n];
+                kernels::gemm_blocked_with(level, layout, &a, &b, &mut c, m, k, n);
+                prop_assert_eq!(
+                    bits(&c),
+                    bits(&scalar),
+                    "{} {:?} {}x{}x{} diverged from scalar",
+                    level.name(), layout, m, k, n
+                );
+            }
+        }
+    }
+
+    /// The dispatched entry points (whatever tier `simd_level()` picked)
+    /// accumulate into non-zero C exactly like the forced-scalar path.
+    #[test]
+    fn dispatched_entry_points_match_forced_scalar(
+        m in dim(), k in dim(), n in dim(), seed in 0u64..1000,
+    ) {
+        type Entry = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+        let entries: [(Entry, Layout); 3] = [
+            (kernels::gemm, Layout::NN),
+            (kernels::gemm_nt, Layout::NT),
+            (kernels::gemm_tn, Layout::TN),
+        ];
+        for (entry, layout) in entries {
+            let (a_len, b_len) = operand_lens(layout, m, k, n);
+            let a = randvec(a_len, seed);
+            let b = randvec(b_len, seed + 13);
+            let init = randvec(m * n, seed + 29);
+            let mut got = init.clone();
+            entry(&a, &b, &mut got, m, k, n);
+            let mut want = init;
+            kernels::gemm_blocked_with(SimdLevel::Scalar, layout, &a, &b, &mut want, m, k, n);
+            prop_assert_eq!(
+                bits(&got),
+                bits(&want),
+                "dispatched {:?} ({}) {}x{}x{}",
+                layout, kernels::simd_level().name(), m, k, n
+            );
+        }
+    }
+
+    /// Thread-count invariance under the dispatched SIMD tier: the pool
+    /// splits rows into fixed `MC` chunks, so 1 vs 4 workers must be
+    /// bit-identical even when each chunk runs the vector microkernel.
+    #[test]
+    fn threaded_simd_matches_single_thread(seed in 0u64..200) {
+        // Big enough to cross the parallel-dispatch threshold with
+        // several row chunks, ragged against every tile shape.
+        let (m, k, n) = (2 * kernels::MC + 5, 67, 95);
+        let a = randvec(m * k, seed);
+        let b = randvec(k * n, seed + 3);
+        let mut serial = vec![0.0f32; m * n];
+        kernels::gemm(&a, &b, &mut serial, m, k, n);
+        let p = ThreadPool::new(4);
+        let mut threaded = vec![0.0f32; m * n];
+        pool::with_pool(&p, || kernels::gemm(&a, &b, &mut threaded, m, k, n));
+        prop_assert_eq!(bits(&threaded), bits(&serial));
+        prop_assert_eq!(bits(&serial), bits(&reference(Layout::NN, &a, &b, m, k, n)));
+    }
+}
+
+/// The determinism contract holds for the tiers themselves: whatever
+/// `simd_level()` resolved to on this host is in the runnable set, and
+/// forcing it reproduces the dispatched `gemm_blocked` exactly.
+#[test]
+fn dispatched_level_is_runnable_and_reproducible() {
+    let level = kernels::simd_level();
+    assert!(runnable_levels().contains(&level), "{} not runnable", level.name());
+    let (m, k, n) = (33, 17, 47);
+    let a = randvec(m * k, 5);
+    let b = randvec(k * n, 6);
+    let mut dispatched = vec![0.0f32; m * n];
+    kernels::gemm_blocked(Layout::NN, &a, &b, &mut dispatched, m, k, n);
+    let mut forced = vec![0.0f32; m * n];
+    kernels::gemm_blocked_with(level, Layout::NN, &a, &b, &mut forced, m, k, n);
+    assert_eq!(bits(&dispatched), bits(&forced));
+}

@@ -33,4 +33,7 @@ pub use companion::{
 pub use complex::Complex;
 pub use poly::{spectral_radius, Polynomial};
 pub use quadratic::{QuadraticSim, RecomputeModel, SimResult};
-pub use stability::{lemma1_alpha_margin, max_stable_alpha, t2_alpha_margin, t2_max_alpha};
+pub use stability::{
+    lemma1_alpha_margin, max_stable_alpha, quantized_secant_denominator, t2_alpha_margin,
+    t2_max_alpha,
+};

@@ -38,6 +38,28 @@ pub fn max_stable_alpha(
     lo
 }
 
+/// Conservative secant denominator under quantized weight storage.
+///
+/// An online curvature estimate `λ̂ ≈ ‖g_t − g_{t−1}‖ / ‖u_t − u_{t−1}‖`
+/// reads the weight snapshots `u` from storage. If that storage has
+/// relative quantization error `eps` (e.g. `2⁻⁸` for bf16
+/// round-to-nearest), each snapshot may sit up to `eps·‖w‖` away from
+/// the true trajectory, so the *measured* movement overstates the true
+/// movement by at most `2·eps·‖w‖`. Subtracting that worst case — and
+/// clamping at `floor` so a movement entirely inside the quantization
+/// granularity cannot produce a wild quotient — keeps λ̂ conservative:
+/// it may overestimate curvature (shrinking the stability margins, the
+/// safe direction) but never underestimates it because of storage
+/// rounding. With `eps = 0` this is just `max(fwd_diff_norm, floor)`.
+pub fn quantized_secant_denominator(
+    fwd_diff_norm: f64,
+    weight_norm: f64,
+    eps: f64,
+    floor: f64,
+) -> f64 {
+    (fwd_diff_norm - 2.0 * eps * weight_norm).max(floor)
+}
+
 /// Lemma 1 stability margin: the ratio of the closed-form bound
 /// `(2/λ)·sin(π/(4τ+2))` at curvature `lambda` and delay `tau` to the
 /// step size `alpha` actually in use. `> 1` means headroom, `< 1` means
@@ -186,6 +208,22 @@ mod tests {
         assert_eq!(t2_alpha_margin(0.0, 0.0, 7.0, 0.0, 0.5, 0.01), f64::INFINITY);
         assert_eq!(t2_alpha_margin(1.0, 0.0, 7.0, 0.0, 0.5, 0.0), f64::INFINITY);
         assert_eq!(t2_max_alpha(-1.0, 0.0, 7.0, 0.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantized_denominator_is_conservative_and_floored() {
+        // eps = 0 degenerates to a plain floor clamp.
+        assert_eq!(quantized_secant_denominator(0.5, 10.0, 0.0, 1e-3), 0.5);
+        assert_eq!(quantized_secant_denominator(1e-6, 10.0, 0.0, 1e-3), 1e-3);
+        // bf16-scale eps shrinks the denominator by 2·eps·‖w‖ — the λ̂
+        // quotient built on it can only grow (conservative).
+        let eps = 1.0 / 256.0;
+        let d = quantized_secant_denominator(0.5, 10.0, eps, 1e-3);
+        assert!((d - (0.5 - 2.0 * eps * 10.0)).abs() < 1e-12);
+        assert!(d < 0.5);
+        // Movement entirely inside the quantization granularity clamps
+        // to the floor instead of going non-positive.
+        assert_eq!(quantized_secant_denominator(0.01, 10.0, eps, 1e-3), 1e-3);
     }
 
     #[test]

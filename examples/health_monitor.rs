@@ -36,6 +36,7 @@ use pipemare::pipeline::{run_threaded_pipeline_health, Method};
 use pipemare::telemetry::{
     HealthConfig, HealthEventKind, HealthMonitor, MetricsRegistry, Severity, TraceRecorder,
 };
+use pipemare::tensor::{StoragePrecision, BF16_REL_EPS};
 use pipemare::theory::lemma1_max_alpha_frac;
 
 fn main() {
@@ -147,4 +148,46 @@ fn main() {
     println!("\n{}", report_b.to_text());
     let (json_b, text_b) = report_b.save(&out, "health_pipemare").expect("write run B report");
     println!("wrote {} and {}", json_b.display(), text_b.display());
+
+    // --- Run C: the same stable configuration, but the weight-version
+    // history is stored in bf16 and the monitor is told so: the λ̂
+    // estimator sheds the worst-case storage rounding 2·ε·‖w‖ from its
+    // secant denominators (see `HealthConfig::with_quant_eps`), so
+    // quantization noise cannot fabricate curvature — the run must stay
+    // inside the same margins as the f32 baseline.
+    println!("\n=== run C: PipeMare T1+T2 at α = 0.3 α*, bf16 weight history ===");
+    let registry_c = MetricsRegistry::new();
+    let monitor_c = Arc::new(HealthMonitor::with_registry(
+        HealthConfig::default().with_quant_eps(BF16_REL_EPS as f64),
+        p,
+        &registry_c,
+    ));
+    let hook = HealthHook::new(Arc::clone(&monitor_c))
+        .snapshot_on(Severity::Warn, out.join("health_snapshots"))
+        .halt_on(Severity::Critical);
+    let mut cfg = TrainConfig::pipemare(
+        p,
+        1,
+        sgd,
+        Box::new(ConstantLr(alpha_good)),
+        T1Rescheduler::new(100),
+        0.135,
+    );
+    cfg.weight_storage = StoragePrecision::Bf16;
+    let (losses, diverged) = run_regression_training_observed(&model, &ds, cfg, 300, 7, Some(hook));
+    assert!(!diverged, "run C must not diverge under bf16 storage");
+    assert_eq!(monitor_c.anomaly_count(), 0, "run C must be anomaly-free");
+    println!(
+        "trained {} steps with bf16 weight history, loss {:.3e} → {:.3e}, zero anomalies",
+        losses.len(),
+        losses.first().copied().unwrap_or(f32::NAN),
+        losses.last().copied().unwrap_or(f32::NAN),
+    );
+    let report_c = monitor_c
+        .report("PipeMare T1+T2 @ 0.3x Lemma-1 bound, bf16 weight history")
+        .with_metrics(&registry_c.snapshot());
+    assert_eq!(report_c.verdict(), "healthy");
+    println!("\n{}", report_c.to_text());
+    let (json_c, text_c) = report_c.save(&out, "health_pipemare_bf16").expect("write run C report");
+    println!("wrote {} and {}", json_c.display(), text_c.display());
 }

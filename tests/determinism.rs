@@ -7,6 +7,12 @@
 //! the same loss trace, metric trace, and parameter norms to the last
 //! bit. This is the `PIPEMARE_NUM_THREADS=1` vs `4` guarantee from the
 //! kernel-layer design, exercised through the full public training path.
+//!
+//! The guarantee is dispatch-tier-agnostic: the GEMMs here run on
+//! whatever microkernel tier `simd_level()` resolved to, and CI runs
+//! the suite both with `PIPEMARE_SIMD=off` (scalar) and with default
+//! detection (AVX2/AVX-512 where the runner supports it), so this test
+//! pins thread-count determinism under both scalar and SIMD kernels.
 
 use pipemare::core::runners::run_image_training;
 use pipemare::core::RunHistory;
@@ -34,6 +40,8 @@ fn train_with_threads(threads: usize) -> RunHistory {
 
 #[test]
 fn training_is_bit_identical_across_thread_counts() {
+    let tier = pipemare::tensor::kernels::simd_level();
+    println!("dispatched microkernel tier: {}", tier.name());
     let one = train_with_threads(1);
     let four = train_with_threads(4);
     assert_eq!(one.epochs.len(), four.epochs.len());
