@@ -44,11 +44,11 @@ const INFORMATIONAL_PREFIXES: &[&str] =
 /// Keys that may never be silently skipped: if either side has a key
 /// with one of these prefixes, the other side must have it too. The
 /// per-thread pool variants stay skippable (smoke runs sweep a single
-/// thread count), but the forced scalar/SIMD pair and the bf16 memory
-/// ratios are the whole point of their benches — a run without them
-/// proved nothing.
+/// thread count), but the forced scalar/SIMD pair, the bf16 memory
+/// ratios and the serving-policy simulator outputs (`sim.*`) are the
+/// whole point of their benches — a run without them proved nothing.
 const REQUIRED_PREFIXES: &[&str] =
-    &["seconds.simd", "seconds.scalar", "dispatch.simd", "dispatch.scalar", "bf16_"];
+    &["seconds.simd", "seconds.scalar", "dispatch.simd", "dispatch.scalar", "bf16_", "sim."];
 
 fn is_informational(key: &str) -> bool {
     INFORMATIONAL_PREFIXES.iter().any(|p| key.starts_with(p))

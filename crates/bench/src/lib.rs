@@ -7,5 +7,6 @@
 //! experiments (as in the paper, where e.g. Figure 4 and Table 3 share
 //! setups).
 
+pub mod loadgen;
 pub mod report;
 pub mod workloads;

@@ -1,0 +1,258 @@
+//! Load generators for the serving frontend: closed-loop clients that
+//! keep a fixed concurrency level saturated, and open-loop senders that
+//! fire requests on a Poisson-like schedule at a target rate regardless
+//! of how fast responses come back.
+//!
+//! Both drive a live [`pipemare_serve::Server`] over loopback
+//! connections and aggregate wall-clock latencies into a
+//! [`LoadReport`]. Open-loop latency is measured from the request's
+//! *scheduled* arrival time, not the actual send instant, so a sender
+//! that falls behind cannot hide queueing delay (the coordinated
+//! omission trap).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pipemare_comms::{channel, Message, TensorPayload, Transport};
+use pipemare_serve::{quantile, InferClient, Server};
+use pipemare_tensor::Tensor;
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests handed to the transport.
+    pub sent: u64,
+    /// Requests answered with a result.
+    pub served: u64,
+    /// Requests shed by admission control (`QueueFull` rejects).
+    pub shed: u64,
+    /// Requests rejected for any other reason.
+    pub rejected: u64,
+    /// Per-served-request wall latency in µs, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Wall time from the first scheduled arrival to the last response.
+    pub elapsed_secs: f64,
+}
+
+impl LoadReport {
+    /// Nearest-rank latency quantile in µs (0 when nothing was served).
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        quantile(&self.latencies_us, q)
+    }
+
+    /// Served requests per wall second.
+    pub fn served_rps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.served as f64 / self.elapsed_secs
+    }
+
+    /// Shed requests as a fraction of everything sent.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.sent as f64
+    }
+
+    fn absorb(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.served += other.served;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// A deterministic single-row input: the values never matter to the
+/// load generators, only that every request carries `cols` floats.
+fn row(cols: usize, salt: u64) -> Vec<f32> {
+    (0..cols)
+        .map(|j| ((salt.wrapping_mul(31).wrapping_add(j as u64) % 13) as f32) * 0.1 - 0.6)
+        .collect()
+}
+
+/// Drives `clients` concurrent blocking clients, each performing
+/// `requests_per_client` single-row round trips as fast as responses
+/// allow. Closed-loop load is self-throttling: the server is always
+/// exactly `clients` requests deep, which is the saturation regime the
+/// coalescing-speedup claim is stated in.
+pub fn closed_loop(
+    server: &Server,
+    clients: usize,
+    requests_per_client: usize,
+    cols: usize,
+) -> LoadReport {
+    let epoch = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let transport: Box<dyn Transport> = Box::new(server.connect_loopback());
+        threads.push(thread::spawn(move || {
+            let mut client = InferClient::connect(transport).expect("loadgen client connects");
+            client.set_timeout(Some(Duration::from_secs(60))).expect("timeout is settable");
+            let mut report = LoadReport::default();
+            for i in 0..requests_per_client {
+                let x = Tensor::from_vec(row(cols, (c * 1_000_003 + i) as u64), &[1, cols]);
+                let t0 = Instant::now();
+                report.sent += 1;
+                match client.infer(&x) {
+                    Ok(_) => {
+                        report.served += 1;
+                        report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Err(e) => match e.rejection() {
+                        Some(r) if r.reason == pipemare_comms::RejectReason::QueueFull => {
+                            report.shed += 1
+                        }
+                        Some(_) => report.rejected += 1,
+                        None => panic!("closed-loop client hit a transport error: {e}"),
+                    },
+                }
+            }
+            report
+        }));
+    }
+    let mut total = LoadReport::default();
+    for t in threads {
+        total.absorb(t.join().expect("loadgen client thread panicked"));
+    }
+    total.elapsed_secs = epoch.elapsed().as_secs_f64();
+    total.latencies_us.sort_unstable();
+    total
+}
+
+/// Open-loop generator configuration.
+#[derive(Clone, Debug)]
+pub struct OpenLoopCfg {
+    /// Concurrent connections; the offered rate is spread across them.
+    pub conns: usize,
+    /// Requests each connection schedules.
+    pub requests_per_conn: usize,
+    /// Mean inter-arrival gap per connection, in µs. Aggregate offered
+    /// rate is `conns * 1e6 / mean_gap_us` requests/s.
+    pub mean_gap_us: u64,
+    /// Columns per single-row request.
+    pub cols: usize,
+    /// Seed for the arrival schedule.
+    pub seed: u64,
+}
+
+impl OpenLoopCfg {
+    /// The aggregate request rate this schedule offers, per second.
+    pub fn offered_rps(&self) -> f64 {
+        self.conns as f64 * 1e6 / self.mean_gap_us.max(1) as f64
+    }
+}
+
+/// splitmix64 — the same integer generator the policy simulator's
+/// trace builder uses, so open-loop schedules are seed-reproducible
+/// without threading a `StdRng` through every connection.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Poisson-like arrival schedule: cumulative µs offsets with mean gap
+/// `mean_gap_us`, bursty like the simulator's [`poissonish_trace`]
+/// (zero gap with probability 1/4, else uniform on a range with the
+/// compensating mean).
+///
+/// [`poissonish_trace`]: pipemare_serve::poissonish_trace
+fn schedule(seed: u64, n: usize, mean_gap_us: u64) -> Vec<u64> {
+    let mut state = seed ^ 0xa076_1d64_78bd_642f;
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = splitmix64(&mut state);
+        let gap = if r & 3 == 0 { 0 } else { 1 + (r >> 2) % ((8 * mean_gap_us / 3).max(1)) };
+        t += gap;
+        out.push(t);
+    }
+    out
+}
+
+/// Fires requests on a fixed schedule and measures latency against the
+/// scheduled arrival, splitting each connection into a paced sender
+/// thread and a receiver thread so a slow server cannot throttle the
+/// offered rate.
+pub fn open_loop(server: &Server, cfg: &OpenLoopCfg) -> LoadReport {
+    let epoch = Instant::now();
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    for c in 0..cfg.conns {
+        let transport: Box<dyn Transport> = Box::new(server.connect_loopback());
+        let (mut tx, mut rx) = channel(transport).expect("loadgen open-loop connection");
+        rx.set_timeout(Some(Duration::from_secs(60))).expect("timeout is settable");
+        let arrivals = Arc::new(schedule(
+            cfg.seed.wrapping_add(c as u64),
+            cfg.requests_per_conn,
+            cfg.mean_gap_us,
+        ));
+        let cols = cfg.cols;
+        let n = cfg.requests_per_conn;
+
+        let send_arrivals = Arc::clone(&arrivals);
+        // The sender returns its transport half so it stays alive until
+        // every response has been received: dropping it early closes
+        // the connection server-side and strands in-flight responses.
+        senders.push(thread::spawn(move || {
+            for (id, &at) in send_arrivals.iter().enumerate() {
+                let target = epoch + Duration::from_micros(at);
+                if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                let data = row(cols, at ^ id as u64);
+                tx.send(&Message::Infer {
+                    id: id as u64,
+                    rows: 1,
+                    cols: cols as u32,
+                    data: TensorPayload::Dense(data),
+                })
+                .expect("open-loop send");
+            }
+            tx
+        }));
+
+        receivers.push(thread::spawn(move || {
+            let mut report = LoadReport { sent: n as u64, ..Default::default() };
+            for _ in 0..n {
+                match rx.recv().expect("open-loop recv") {
+                    Message::InferResult { id, .. } => {
+                        report.served += 1;
+                        let scheduled = epoch + Duration::from_micros(arrivals[id as usize]);
+                        report
+                            .latencies_us
+                            .push(Instant::now().saturating_duration_since(scheduled).as_micros()
+                                as u64);
+                    }
+                    Message::InferReject { reason, .. } => {
+                        if reason == pipemare_comms::RejectReason::QueueFull {
+                            report.shed += 1;
+                        } else {
+                            report.rejected += 1;
+                        }
+                    }
+                    other => panic!("open-loop client got unexpected {}", other.name()),
+                }
+            }
+            report
+        }));
+    }
+    let mut live_txs = Vec::new();
+    for s in senders {
+        live_txs.push(s.join().expect("open-loop sender thread panicked"));
+    }
+    let mut total = LoadReport::default();
+    for r in receivers {
+        total.absorb(r.join().expect("open-loop receiver thread panicked"));
+    }
+    drop(live_txs);
+    total.elapsed_secs = epoch.elapsed().as_secs_f64();
+    total.latencies_us.sort_unstable();
+    total
+}

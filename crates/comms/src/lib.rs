@@ -46,9 +46,9 @@ pub use error::{CodecError, CommsError};
 pub use orchestrator::{
     handshake_worker, run_token_pipeline, spawn_loopback_workers, token_stage_config, DistConfig,
     DistRecompute, DistRunReport, DistStepStats, DistributedTrainer, TokenPipelineReport,
-    WorkerLink,
+    WorkerHandle, WorkerLink,
 };
-pub use protocol::{Message, PassKind, StageConfig, PROTOCOL_VERSION};
+pub use protocol::{Message, PassKind, RejectReason, StageConfig, PROTOCOL_VERSION};
 pub use stage::ShardStage;
 pub use transport::{
     channel, loopback_pair, FrameRx, FrameTx, LoopbackTransport, Receiver, Sender, TcpTransport,

@@ -191,14 +191,23 @@ impl WorkerLink {
         }
     }
 
-    fn send(&mut self, msg: &Message) -> Result<(), CommsError> {
+    /// The stage id this link talks to.
+    pub fn stage(&self) -> u32 {
+        self.stage
+    }
+
+    /// Sends one message, wrapping transport failures into
+    /// [`CommsError::WorkerLost`] with this link's diagnostics.
+    pub fn send(&mut self, msg: &Message) -> Result<(), CommsError> {
         match self.sender.send(msg) {
             Ok(()) => Ok(()),
             Err(e) => Err(self.lost(e)),
         }
     }
 
-    fn recv(&mut self) -> Result<Message, CommsError> {
+    /// Receives one message; a worker-side [`Message::Error`] surfaces
+    /// as [`CommsError::Remote`], transport failures as `WorkerLost`.
+    pub fn recv(&mut self) -> Result<Message, CommsError> {
         match self.receiver.recv() {
             Ok(Message::Error { message, .. }) => {
                 Err(CommsError::Remote { stage: self.stage, message })

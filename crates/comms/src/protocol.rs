@@ -14,8 +14,10 @@ use pipemare_tensor::StoragePrecision;
 
 /// Wire protocol version, validated during the hello exchange.
 /// v2 added the weight-storage precision to [`StageConfig`] and the
-/// bf16 dense tensor payload.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// bf16 dense tensor payload; v3 added the inference serving triplet
+/// ([`Message::Infer`] / [`Message::InferResult`] /
+/// [`Message::InferReject`]).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Which pass a shard fetch serves. Determines the weight-version and
 /// T2-correction math the worker applies before replying.
@@ -48,6 +50,53 @@ impl PassKind {
             2 => Ok(PassKind::Recomp),
             3 => Ok(PassKind::Latest),
             t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// Why a serving frontend refused an [`Message::Infer`] request.
+/// Travels in [`Message::InferReject`] so clients can tell back-off
+/// signals (shed) apart from caller bugs (invalid) and server faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission queue full: the request was shed. Retry with back-off.
+    QueueFull,
+    /// Server is draining for shutdown; no new work accepted.
+    Draining,
+    /// Malformed request (bad shape or empty batch). Do not retry.
+    Invalid,
+    /// Serving backend failed (e.g. a lost stage worker); the request
+    /// was accepted but cannot be served.
+    Backend,
+}
+
+impl RejectReason {
+    fn to_wire(self) -> u8 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::Draining => 1,
+            RejectReason::Invalid => 2,
+            RejectReason::Backend => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(RejectReason::QueueFull),
+            1 => Ok(RejectReason::Draining),
+            2 => Ok(RejectReason::Invalid),
+            3 => Ok(RejectReason::Backend),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+
+    /// Short name for diagnostics and stats keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Draining => "draining",
+            RejectReason::Invalid => "invalid",
+            RejectReason::Backend => "backend",
         }
     }
 }
@@ -342,6 +391,41 @@ pub enum Message {
         /// Human-readable description.
         message: String,
     },
+    /// Client → server: one inference request, a row-major `[rows,
+    /// cols]` input batch. `id` is client-chosen and echoed in the
+    /// reply so requests can be pipelined on one connection.
+    Infer {
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+        /// Input rows (samples) in this request.
+        rows: u32,
+        /// Input features per row.
+        cols: u32,
+        /// Row-major input values, `rows * cols` long.
+        data: TensorPayload,
+    },
+    /// Server → client: the `[rows, cols]` output batch for request
+    /// `id` (one output row per input row).
+    InferResult {
+        /// Echoed request id.
+        id: u64,
+        /// Output rows (equals the request's input rows).
+        rows: u32,
+        /// Output features per row.
+        cols: u32,
+        /// Row-major output values.
+        data: TensorPayload,
+    },
+    /// Server → client: request `id` was refused — shed by admission
+    /// control, rejected as malformed, or failed by the backend.
+    InferReject {
+        /// Echoed request id.
+        id: u64,
+        /// Typed refusal cause.
+        reason: RejectReason,
+        /// Human-readable detail (e.g. the backend error).
+        message: String,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -361,6 +445,9 @@ const TAG_SHUTDOWN_ACK: u8 = 13;
 const TAG_TOKEN: u8 = 14;
 const TAG_TOKEN_MODE: u8 = 15;
 const TAG_ERROR: u8 = 16;
+const TAG_INFER: u8 = 17;
+const TAG_INFER_RESULT: u8 = 18;
+const TAG_INFER_REJECT: u8 = 19;
 
 impl Message {
     /// Short name for diagnostics.
@@ -383,6 +470,9 @@ impl Message {
             Message::Token { .. } => "Token",
             Message::TokenMode { .. } => "TokenMode",
             Message::Error { .. } => "Error",
+            Message::Infer { .. } => "Infer",
+            Message::InferResult { .. } => "InferResult",
+            Message::InferReject { .. } => "InferReject",
         }
     }
 }
@@ -480,6 +570,26 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.put_u16(*code);
             w.put_str(message);
         }
+        Message::Infer { id, rows, cols, data } => {
+            w.put_u8(TAG_INFER);
+            w.put_u64(*id);
+            w.put_u32(*rows);
+            w.put_u32(*cols);
+            data.encode(&mut w);
+        }
+        Message::InferResult { id, rows, cols, data } => {
+            w.put_u8(TAG_INFER_RESULT);
+            w.put_u64(*id);
+            w.put_u32(*rows);
+            w.put_u32(*cols);
+            data.encode(&mut w);
+        }
+        Message::InferReject { id, reason, message } => {
+            w.put_u8(TAG_INFER_REJECT);
+            w.put_u64(*id);
+            w.put_u8(reason.to_wire());
+            w.put_str(message);
+        }
     }
     w.into_bytes()
 }
@@ -536,6 +646,23 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
             work_us: r.get_u64()?,
         },
         TAG_ERROR => Message::Error { code: r.get_u16()?, message: r.get_str()? },
+        TAG_INFER => Message::Infer {
+            id: r.get_u64()?,
+            rows: r.get_u32()?,
+            cols: r.get_u32()?,
+            data: TensorPayload::decode(&mut r)?,
+        },
+        TAG_INFER_RESULT => Message::InferResult {
+            id: r.get_u64()?,
+            rows: r.get_u32()?,
+            cols: r.get_u32()?,
+            data: TensorPayload::decode(&mut r)?,
+        },
+        TAG_INFER_REJECT => Message::InferReject {
+            id: r.get_u64()?,
+            reason: RejectReason::from_wire(r.get_u8()?)?,
+            message: r.get_str()?,
+        },
         t => return Err(CodecError::BadTag(t)),
     };
     r.finish()?;
@@ -598,6 +725,23 @@ mod tests {
             Message::Token { backward: true, id: 11 },
             Message::TokenMode { total: 24, is_last: false, work_us: 150 },
             Message::Error { code: 2, message: "shape mismatch".into() },
+            Message::Infer {
+                id: 31,
+                rows: 2,
+                cols: 3,
+                data: TensorPayload::Dense(vec![0.5, -1.0, 2.0, 0.0, 3.5, -0.125]),
+            },
+            Message::InferResult {
+                id: 31,
+                rows: 2,
+                cols: 2,
+                data: TensorPayload::Dense(vec![0.9, 0.1, 0.3, 0.7]),
+            },
+            Message::InferReject {
+                id: 32,
+                reason: RejectReason::QueueFull,
+                message: "admission queue full (cap 64)".into(),
+            },
         ];
         for m in msgs {
             let bytes = encode_message(&m);

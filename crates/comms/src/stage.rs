@@ -136,12 +136,17 @@ impl ShardStage {
         micro: u32,
         pass: PassKind,
     ) -> Result<(usize, Option<f64>), CommsError> {
-        self.check_step(step, "fetch")?;
-        if micro >= self.cfg.n_micro && pass != PassKind::Latest {
-            return Err(CommsError::Protocol(format!(
-                "stage {}: microbatch {micro} out of range ({} per step)",
-                self.cfg.stage, self.cfg.n_micro
-            )));
+        // Latest is step-free: a serving frontend fetches whatever is
+        // committed right now without tracking the worker's step, so
+        // the step/micro echo is not validated for it.
+        if pass != PassKind::Latest {
+            self.check_step(step, "fetch")?;
+            if micro >= self.cfg.n_micro {
+                return Err(CommsError::Protocol(format!(
+                    "stage {}: microbatch {micro} out of range ({} per step)",
+                    self.cfg.stage, self.cfg.n_micro
+                )));
+            }
         }
         let t = step as usize;
         let n = micro as usize;

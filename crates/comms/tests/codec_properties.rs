@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use pipemare_comms::codec::{deframe, frame, Reader, SparseMode, TensorPayload, MAX_FRAME};
 use pipemare_comms::protocol::{
-    decode_message, encode_message, Message, PassKind, StageConfig, PROTOCOL_VERSION,
+    decode_message, encode_message, Message, PassKind, RejectReason, StageConfig, PROTOCOL_VERSION,
 };
 use pipemare_comms::CodecError;
 
@@ -53,7 +53,7 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
         2 => PassKind::Recomp,
         _ => PassKind::Latest,
     };
-    match variant % 17 {
+    match variant % 20 {
         0 => Message::Hello(StageConfig {
             protocol: PROTOCOL_VERSION,
             stage: rng.gen_range(0..8u32),
@@ -140,9 +140,31 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
             is_last: rng.gen_bool(0.5),
             work_us: rng.gen_range(0..1u64 << 32),
         },
-        _ => Message::Error {
+        16 => Message::Error {
             code: rng.gen_range(0..u16::MAX as u32) as u16,
             message: format!("failure {}", rng.gen_range(0..1000)),
+        },
+        17 => Message::Infer {
+            id: rng.gen_range(0..u64::MAX),
+            rows: rng.gen_range(1..64u32),
+            cols: rng.gen_range(1..256u32),
+            data: payload(),
+        },
+        18 => Message::InferResult {
+            id: rng.gen_range(0..u64::MAX),
+            rows: rng.gen_range(1..64u32),
+            cols: rng.gen_range(1..256u32),
+            data: payload(),
+        },
+        _ => Message::InferReject {
+            id: rng.gen_range(0..u64::MAX),
+            reason: match variant % 4 {
+                0 => RejectReason::QueueFull,
+                1 => RejectReason::Draining,
+                2 => RejectReason::Invalid,
+                _ => RejectReason::Backend,
+            },
+            message: format!("rejected {}", rng.gen_range(0..1000)),
         },
     }
 }
@@ -214,7 +236,7 @@ proptest! {
     }
 
     #[test]
-    fn every_message_roundtrips_field_identical(variant in 0u8..17, seed in 0u64..u64::MAX) {
+    fn every_message_roundtrips_field_identical(variant in 0u8..20, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let back = decode_message(&encode_message(&msg)).unwrap();
@@ -222,7 +244,7 @@ proptest! {
     }
 
     #[test]
-    fn truncated_messages_error_and_never_panic(variant in 0u8..17, seed in 0u64..u64::MAX) {
+    fn truncated_messages_error_and_never_panic(variant in 0u8..20, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let b = encode_message(&msg);
@@ -237,7 +259,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupted_messages_never_panic(variant in 0u8..17, seed in 0u64..u64::MAX) {
+    fn corrupted_messages_never_panic(variant in 0u8..20, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let mut b = encode_message(&msg);

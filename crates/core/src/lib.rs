@@ -24,6 +24,7 @@ pub mod distributed;
 pub mod health;
 pub mod metrics;
 pub mod runners;
+pub mod serving;
 pub mod stats;
 pub mod trainer;
 
@@ -39,5 +40,6 @@ pub use runners::{
     run_regression_training, run_regression_training_observed, run_translation_training,
     ClassifierModel,
 };
+pub use serving::{serve_checkpoint, serve_live_loopback};
 pub use stats::{EpochRecord, RunHistory, StepStats};
 pub use trainer::{PipelineTrainer, StageInfo};

@@ -63,7 +63,7 @@ pub use layer::{Layer, ParamAlloc, WeightUnit};
 pub use linear::Linear;
 pub use loss::{cross_entropy_logits, mse_loss, CrossEntropyCfg};
 pub use mlp::Mlp;
-pub use model::{ImageBatch, RegressionBatch, SeqBatch, TrainModel};
+pub use model::{ImageBatch, InferModel, RegressionBatch, SeqBatch, ServeSplit, TrainModel};
 pub use norm::{BatchNorm2d, GroupNorm, LayerNorm};
 pub use pool::{Flatten, GlobalAvgPool2d, MaxPool2d};
 pub use regression::LinearRegression;

@@ -9,7 +9,7 @@ use crate::cache::Cache;
 use crate::layer::{Layer, WeightUnit};
 use crate::linear::Linear;
 use crate::loss::{cross_entropy_logits, CrossEntropyCfg};
-use crate::model::{ImageBatch, TrainModel};
+use crate::model::{ImageBatch, InferModel, ServeSplit, TrainModel};
 use crate::sequential::Sequential;
 
 /// A ReLU MLP classifier over flattened inputs.
@@ -82,6 +82,50 @@ impl Mlp {
         let preds = self.logits(params, &batch.x).argmax_rows();
         let correct = preds.iter().zip(batch.y.iter()).filter(|(p, y)| p == y).count();
         correct as f32 / batch.y.len() as f32
+    }
+
+    /// Output classes (width of the last linear layer).
+    pub fn out_features(&self) -> usize {
+        self.chain.output_shape(&[1, self.in_features])[1]
+    }
+
+    /// Number of parameters. Inherent so call sites stay unambiguous
+    /// now that both [`TrainModel`] and [`InferModel`] define it.
+    pub fn param_len(&self) -> usize {
+        self.chain.param_len()
+    }
+}
+
+impl InferModel for Mlp {
+    fn param_len(&self) -> usize {
+        self.chain.param_len()
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_features
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_features()
+    }
+
+    fn prepare_input(&self, x: &Tensor) -> Tensor {
+        let b = x.shape()[0];
+        let flat = x.reshape(&[b, x.len() / b]);
+        assert_eq!(flat.shape()[1], self.in_features, "Mlp: input feature mismatch");
+        flat
+    }
+
+    fn infer(&self, params: &[f32], x: &Tensor) -> Tensor {
+        self.chain.forward_inference(params, x)
+    }
+
+    fn serve_splits(&self, stages: usize) -> Vec<ServeSplit> {
+        self.chain.serve_splits(stages)
+    }
+
+    fn infer_split(&self, params: &[f32], split: &ServeSplit, x: &Tensor) -> Tensor {
+        self.chain.forward_inference_span(params, x, split.layer_lo, split.layer_hi)
     }
 }
 
@@ -185,6 +229,35 @@ mod tests {
                 grads.iter().zip(grads0.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
                 "seg={seg}: recompute gradients diverge from stash-everything"
             );
+        }
+    }
+
+    #[test]
+    fn inference_forward_is_bit_identical_to_training_path() {
+        let model = Mlp::new(&[6, 16, 12, 3]);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut params = vec![0.0; model.param_len()];
+        model.init_params(&mut params, &mut rng);
+        let x = Tensor::randn(&[5, 6], &mut rng);
+        // Training-path forward: the caching chain the trainers run.
+        let train_bits: Vec<u32> =
+            model.logits(&params, &x).data().iter().map(|v| v.to_bits()).collect();
+        // Serving path, monolithic: no caches, same bits.
+        let flat = model.prepare_input(&x);
+        let inf: Vec<u32> =
+            model.infer(&params, &flat).data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(inf, train_bits, "inference forward must match the training path bit for bit");
+        // Serving path, staged: chaining every split partition is still
+        // bit-identical, for any stage count (including stages > layers).
+        for stages in 1..=7 {
+            let splits = model.serve_splits(stages);
+            assert_eq!(splits.len(), stages);
+            let mut cur = flat.clone();
+            for sp in &splits {
+                cur = model.infer_split(&params, sp, &cur);
+            }
+            let staged: Vec<u32> = cur.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(staged, train_bits, "staged forward diverged at {stages} stages");
         }
     }
 

@@ -38,6 +38,51 @@ pub trait TrainModel: Send + Sync {
     fn backward(&self, params: &[f32], cache: &Cache) -> Vec<f32>;
 }
 
+/// One contiguous slice of a model assigned to a serving stage: a layer
+/// range and the matching range into the flat parameter vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeSplit {
+    /// First chain layer of this stage (inclusive).
+    pub layer_lo: usize,
+    /// Last chain layer of this stage (exclusive).
+    pub layer_hi: usize,
+    /// Parameter offset of `layer_lo` in the flat vector.
+    pub param_lo: usize,
+    /// Parameter offset just past `layer_hi - 1`'s parameters.
+    pub param_hi: usize,
+}
+
+/// Forward-only serving interface: what the inference pipeline needs
+/// from a model. No gradient caches are ever built; every entry point
+/// is bit-identical to the training-path forward on the same weights
+/// and inputs (the kernels use one in-order FMA chain per output
+/// element regardless of batch size or dispatch tier).
+pub trait InferModel: Send + Sync {
+    /// Number of parameters.
+    fn param_len(&self) -> usize;
+
+    /// Features per input row after [`InferModel::prepare_input`].
+    fn input_len(&self) -> usize;
+
+    /// Features per output row.
+    fn output_len(&self) -> usize;
+
+    /// Canonicalizes a request batch before stage 0 (e.g. flattens
+    /// `(B, C, H, W)` images to `(B, D)`).
+    fn prepare_input(&self, x: &Tensor) -> Tensor;
+
+    /// Full inference forward on a prepared `(B, input_len)` batch.
+    fn infer(&self, params: &[f32], x: &Tensor) -> Tensor;
+
+    /// Partitions the model into `stages` contiguous splits, balanced
+    /// by parameter count. Chaining [`InferModel::infer_split`] over
+    /// the splits in order equals [`InferModel::infer`] bit for bit.
+    fn serve_splits(&self, stages: usize) -> Vec<ServeSplit>;
+
+    /// Forward through one split; `params` is the full flat vector.
+    fn infer_split(&self, params: &[f32], split: &ServeSplit, x: &Tensor) -> Tensor;
+}
+
 /// A labelled image (micro)batch: inputs `(B, C, H, W)` and class ids.
 #[derive(Clone, Debug)]
 pub struct ImageBatch {

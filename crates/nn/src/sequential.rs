@@ -6,6 +6,7 @@ use pipemare_tensor::{StoragePrecision, Tensor};
 
 use crate::cache::{Bf16Stash, Cache};
 use crate::layer::{Layer, ParamAlloc, WeightUnit};
+use crate::model::ServeSplit;
 
 /// A chain of layers applied in order; parameters are concatenated.
 pub struct Sequential {
@@ -53,6 +54,90 @@ impl Sequential {
             acc += l.param_len();
         }
         offsets
+    }
+
+    /// Inference-only forward: chains every layer's
+    /// [`Layer::forward_no_cache`], building no activation caches at
+    /// all. Bit-identical to [`Layer::forward`]'s output on the same
+    /// weights and inputs — the serving path reuses the exact kernels
+    /// the training forward runs.
+    pub fn forward_inference(&self, params: &[f32], x: &Tensor) -> Tensor {
+        self.forward_inference_span(params, x, 0, self.layers.len())
+    }
+
+    /// [`Sequential::forward_inference`] restricted to layers
+    /// `lo..hi`. `params` is the *full* chain vector; the span's slices
+    /// are located by layer offset, so a staged serving engine can run
+    /// each stage's span against one shared parameter vector.
+    pub fn forward_inference_span(
+        &self,
+        params: &[f32],
+        x: &Tensor,
+        lo: usize,
+        hi: usize,
+    ) -> Tensor {
+        assert!(lo <= hi && hi <= self.layers.len(), "layer span {lo}..{hi} out of range");
+        let offsets = self.offsets();
+        let mut cur = x.clone();
+        for (l, &off) in self.layers[lo..hi].iter().zip(&offsets[lo..hi]) {
+            cur = l.forward_no_cache(&params[off..off + l.param_len()], &cur);
+        }
+        cur
+    }
+
+    /// Partitions the chain into `stages` contiguous layer spans,
+    /// greedily balanced by parameter count (parameter-free layers ride
+    /// with their predecessors). Always returns exactly `stages`
+    /// non-overlapping splits covering every layer; trailing splits may
+    /// be empty when the chain has fewer layers than stages.
+    pub fn serve_splits(&self, stages: usize) -> Vec<ServeSplit> {
+        assert!(stages >= 1, "need at least one stage");
+        let offsets = self.offsets();
+        let total = self.param_len();
+        let n = self.layers.len();
+        let mut splits = Vec::with_capacity(stages);
+        let mut layer = 0usize;
+        for s in 0..stages {
+            let lo = layer;
+            let param_lo = if lo < n { offsets[lo] } else { total };
+            let remaining = stages - s;
+            if remaining == 1 {
+                layer = n;
+            } else {
+                // Take this stage's fair share of the remaining
+                // parameters, but leave at least one layer for each
+                // later stage.
+                let budget = (total - param_lo).div_ceil(remaining);
+                let max_hi = n.saturating_sub(remaining - 1).max(lo);
+                let mut taken = 0usize;
+                while layer < max_hi {
+                    let l_params = self.layers[layer].param_len();
+                    // Stop before a layer that would overshoot the
+                    // budget by more than stopping now undershoots it
+                    // (but always take at least one layer).
+                    if taken > 0
+                        && taken + l_params > budget
+                        && taken + l_params - budget > budget - taken
+                    {
+                        break;
+                    }
+                    taken += l_params;
+                    layer += 1;
+                    // Drag along parameter-free layers (activations) so
+                    // a stage boundary never lands mid-block.
+                    while layer < max_hi && self.layers[layer].param_len() == 0 {
+                        layer += 1;
+                    }
+                    if taken >= budget {
+                        break;
+                    }
+                }
+            }
+            let hi = layer;
+            let param_hi = if hi < n { offsets[hi] } else { total };
+            splits.push(ServeSplit { layer_lo: lo, layer_hi: hi, param_lo, param_hi });
+        }
+        splits
     }
 
     /// Forward pass that stashes only the inputs at segment boundaries
@@ -295,6 +380,45 @@ mod tests {
         let (h, _) = l1.forward(&params[..l1.param_len()], &x);
         let (y2, _) = l2.forward(&params[l1.param_len()..], &h.relu());
         assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn serve_splits_tile_layers_and_params() {
+        use crate::gradcheck::init_layer;
+        use rand::SeedableRng;
+        let chain = Sequential::new()
+            .push(Linear::new(4, 8))
+            .push(Activation::relu())
+            .push(Linear::new(8, 8))
+            .push(Activation::relu())
+            .push(Linear::new(8, 2));
+        let mut rng = StdRng::seed_from_u64(61);
+        let params = init_layer(&chain, &mut rng);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        let full = chain.forward_inference(&params, &x);
+        assert_eq!(full, chain.forward(&params, &x).0);
+        for stages in 1..=8 {
+            let splits = chain.serve_splits(stages);
+            assert_eq!(splits.len(), stages);
+            // Contiguous tiling of both the layer list and the params.
+            assert_eq!(splits[0].layer_lo, 0);
+            assert_eq!(splits[0].param_lo, 0);
+            assert_eq!(splits.last().unwrap().layer_hi, chain.len());
+            assert_eq!(splits.last().unwrap().param_hi, chain.param_len());
+            for w in splits.windows(2) {
+                assert_eq!(w[0].layer_hi, w[1].layer_lo);
+                assert_eq!(w[0].param_hi, w[1].param_lo);
+            }
+            if stages <= 3 {
+                // Enough linear layers: every stage holds parameters.
+                assert!(splits.iter().all(|s| s.param_hi > s.param_lo), "{splits:?}");
+            }
+            let mut cur = x.clone();
+            for sp in &splits {
+                cur = chain.forward_inference_span(&params, &cur, sp.layer_lo, sp.layer_hi);
+            }
+            assert_eq!(cur, full, "stages={stages}");
+        }
     }
 
     #[test]

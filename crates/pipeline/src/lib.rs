@@ -52,5 +52,5 @@ pub use recompute::{
     is_segment_boundary, simulate_peaks, stage_replays, stage_timelines, ActivationLedger,
     RecomputePolicy, StageOp, StageOpKind,
 };
-pub use schedule::{Schedule, SlotOp};
+pub use schedule::{ForwardPipeline, Schedule, SlotOp};
 pub use stage::{FwdOutcome, StageEvent, StageFlow};

@@ -1,0 +1,90 @@
+//! The serving client: sends `Infer`, awaits `InferResult` or a typed
+//! `InferReject` over any [`Transport`].
+
+use std::time::Duration;
+
+use pipemare_comms::{channel, CommsError, Message, Receiver, Sender, TensorPayload, Transport};
+use pipemare_tensor::Tensor;
+
+use crate::error::{Rejection, ServeError};
+
+/// A client connection to a serving frontend.
+///
+/// Request ids are assigned per connection, monotonically; responses
+/// may be awaited out of order with [`InferClient::recv`] (the server
+/// replies in batch-completion order, which can interleave requests
+/// from one connection across batches).
+pub struct InferClient {
+    tx: Sender,
+    rx: Receiver,
+    next_id: u64,
+}
+
+impl InferClient {
+    /// Wraps a connected transport. No handshake: the serving port
+    /// accepts `Infer` immediately.
+    pub fn connect(transport: Box<dyn Transport>) -> Result<Self, CommsError> {
+        let (tx, rx) = channel(transport)?;
+        Ok(InferClient { tx, rx, next_id: 0 })
+    }
+
+    /// Bounds how long [`InferClient::recv`] blocks.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), CommsError> {
+        self.rx.set_timeout(timeout)
+    }
+
+    /// Sends one inference request for a `[rows, cols]` input tensor,
+    /// returning its request id.
+    pub fn send(&mut self, x: &Tensor) -> Result<u64, CommsError> {
+        assert_eq!(x.shape().len(), 2, "serving inputs are [rows, cols] tensors");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tx.send(&Message::Infer {
+            id,
+            rows: x.shape()[0] as u32,
+            cols: x.shape()[1] as u32,
+            data: TensorPayload::Dense(x.data().to_vec()),
+        })?;
+        Ok(id)
+    }
+
+    /// Awaits the next response: `(request id, result-or-rejection)`.
+    pub fn recv(&mut self) -> Result<(u64, Result<Tensor, Rejection>), ServeError> {
+        match self.rx.recv()? {
+            Message::InferResult { id, rows, cols, data } => {
+                let values = data.into_dense();
+                if values.len() != rows as usize * cols as usize {
+                    return Err(ServeError::Protocol(format!(
+                        "result for request {id} claims [{rows}, {cols}] but carries {} values",
+                        values.len()
+                    )));
+                }
+                Ok((id, Ok(Tensor::from_vec(values, &[rows as usize, cols as usize]))))
+            }
+            Message::InferReject { id, reason, message } => {
+                Ok((id, Err(Rejection { reason, message })))
+            }
+            Message::Error { message, .. } => {
+                Err(ServeError::Comms(CommsError::Remote { stage: u32::MAX, message }))
+            }
+            other => Err(ServeError::Protocol(format!(
+                "expected InferResult or InferReject, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// One blocking round trip: send `x`, await *this* request's
+    /// response (panics if the server interleaves another id, which
+    /// cannot happen when the caller strictly alternates send/infer).
+    pub fn infer(&mut self, x: &Tensor) -> Result<Tensor, ServeError> {
+        let id = self.send(x)?;
+        let (got, outcome) = self.recv()?;
+        if got != id {
+            return Err(ServeError::Protocol(format!(
+                "awaited response for request {id}, got {got}"
+            )));
+        }
+        outcome.map_err(ServeError::Rejected)
+    }
+}

@@ -1,0 +1,61 @@
+//! The serving-side error taxonomy.
+
+use std::fmt;
+
+use pipemare_comms::{CommsError, RejectReason};
+
+/// A typed refusal received for one request: the server's
+/// [`pipemare_comms::Message::InferReject`] surfaced to the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// Why the request was refused.
+    pub reason: RejectReason,
+    /// Human-readable detail (e.g. the backend's `WorkerLost` text).
+    pub message: String,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request rejected ({}): {}", self.reason.name(), self.message)
+    }
+}
+
+/// Anything that can go wrong on the client side of a serving call.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or protocol failure on the connection.
+    Comms(CommsError),
+    /// The server refused the request with a typed reason.
+    Rejected(Rejection),
+    /// The server replied with something other than a result or a
+    /// reject for the awaited request.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Comms(e) => write!(f, "serving transport error: {e}"),
+            ServeError::Rejected(r) => write!(f, "{r}"),
+            ServeError::Protocol(m) => write!(f, "serving protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CommsError> for ServeError {
+    fn from(e: CommsError) -> Self {
+        ServeError::Comms(e)
+    }
+}
+
+impl ServeError {
+    /// The typed rejection, when this error is one.
+    pub fn rejection(&self) -> Option<&Rejection> {
+        match self {
+            ServeError::Rejected(r) => Some(r),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end serving tests: concurrent clients over loopback and TCP
+//! get bit-identical results, admission control sheds deterministically,
+//! and a killed weight worker surfaces as a typed reject, never a hang.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use pipemare_comms::{
+    channel, loopback_pair, Message, RejectReason, TcpTransport, Transport, PROTOCOL_VERSION,
+};
+use pipemare_nn::{InferModel, Mlp, TrainModel};
+use pipemare_serve::{
+    DynRecorder, InferClient, Rejection, ServeConfig, Server, ShardWeightSource, WeightSource,
+};
+use pipemare_telemetry::TraceRecorder;
+use pipemare_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const IN: usize = 6;
+
+fn model_and_params(seed: u64) -> (Arc<Mlp>, Vec<f32>) {
+    let model = Mlp::new(&[IN, 24, 16, 5]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = vec![0.0; TrainModel::param_len(&model)];
+    TrainModel::init_params(&model, &mut params, &mut rng);
+    (Arc::new(model), params)
+}
+
+fn start_server(model: &Arc<Mlp>, params: &[f32], cfg: ServeConfig) -> Server {
+    let recorder: DynRecorder = Arc::new(TraceRecorder::with_tracks(cfg.stages + 1));
+    Server::start(Arc::clone(model), params.to_vec(), cfg, None, recorder)
+        .expect("server must start")
+}
+
+/// Drives `n_requests` blocking round trips and checks each result
+/// bit-for-bit against the training-path forward (`Mlp::logits`).
+fn drive_client(
+    transport: Box<dyn Transport>,
+    model: &Mlp,
+    params: &[f32],
+    seed: u64,
+    n_requests: usize,
+) {
+    let mut client = InferClient::connect(transport).expect("client must connect");
+    client.set_timeout(Some(Duration::from_secs(20))).expect("timeout is settable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n_requests {
+        let rows = 1 + (seed as usize + i) % 4;
+        let x = Tensor::randn(&[rows, IN], &mut rng);
+        let got = client.infer(&x).expect("request must be served");
+        let want = model.logits(params, &x);
+        assert_eq!(got, want, "serving output must be bit-identical to the training forward");
+    }
+}
+
+#[test]
+fn concurrent_loopback_clients_get_bit_identical_results() {
+    let (model, params) = model_and_params(11);
+    let server = start_server(&model, &params, ServeConfig { stages: 3, ..Default::default() });
+    let mut clients = Vec::new();
+    for c in 0..8u64 {
+        let transport: Box<dyn Transport> = Box::new(server.connect_loopback());
+        let model = Arc::clone(&model);
+        let params = params.clone();
+        clients.push(thread::spawn(move || drive_client(transport, &model, &params, c, 10)));
+    }
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served_requests, 80);
+    assert_eq!(stats.accepted, 80);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.batches as usize, stats.batch_rows.len());
+    assert_eq!(
+        stats.batch_rows.iter().map(|&r| r as u64).sum::<u64>(),
+        stats.served_rows,
+        "every admitted row must be dispatched exactly once"
+    );
+}
+
+#[test]
+fn concurrent_tcp_clients_get_bit_identical_results() {
+    let (model, params) = model_and_params(12);
+    let mut server = start_server(&model, &params, ServeConfig { stages: 2, ..Default::default() });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("listen must succeed");
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        let model = Arc::clone(&model);
+        let params = params.clone();
+        let addr = addr.to_string();
+        clients.push(thread::spawn(move || {
+            let transport: Box<dyn Transport> =
+                Box::new(TcpTransport::connect(&addr).expect("tcp connect"));
+            drive_client(transport, &model, &params, 100 + c, 8)
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served_requests, 32);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn full_queue_sheds_with_typed_queue_full_rejects() {
+    let (model, params) = model_and_params(13);
+    let cfg = ServeConfig { stages: 2, queue_cap: 4, max_batch_rows: 16, ..Default::default() };
+    let server = start_server(&model, &params, cfg);
+    // Freeze the batcher so admission control alone decides: exactly
+    // queue_cap requests fit, the rest shed deterministically.
+    server.pause_batcher();
+    let mut client =
+        InferClient::connect(Box::new(server.connect_loopback())).expect("client must connect");
+    client.set_timeout(Some(Duration::from_secs(20))).expect("timeout is settable");
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::randn(&[1, IN], &mut rng);
+    let mut ids = Vec::new();
+    for _ in 0..10 {
+        ids.push(client.send(&x).expect("send must succeed"));
+    }
+    // The 6 overflow rejects arrive while the batcher is still paused.
+    let mut rejected = Vec::new();
+    for _ in 0..6 {
+        let (id, outcome) = client.recv().expect("reject must arrive");
+        let rej = outcome.expect_err("overflow requests must be rejected");
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        rejected.push(id);
+    }
+    server.resume_batcher();
+    let want = model.logits(&params, &x);
+    let mut served = Vec::new();
+    for _ in 0..4 {
+        let (id, outcome) = client.recv().expect("result must arrive");
+        assert_eq!(outcome.expect("queued requests must be served"), want);
+        served.push(id);
+    }
+    // FIFO admission: the first queue_cap sends are served, the rest shed.
+    served.sort_unstable();
+    rejected.sort_unstable();
+    assert_eq!(served.as_slice(), &ids[..4]);
+    assert_eq!(rejected.as_slice(), &ids[4..]);
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 6);
+    assert_eq!(stats.served_requests, 4);
+}
+
+#[test]
+fn malformed_requests_get_invalid_rejects() {
+    let (model, params) = model_and_params(14);
+    let server = start_server(&model, &params, ServeConfig::default());
+    let mut client =
+        InferClient::connect(Box::new(server.connect_loopback())).expect("client must connect");
+    client.set_timeout(Some(Duration::from_secs(20))).expect("timeout is settable");
+    let mut rng = StdRng::seed_from_u64(8);
+    // Wrong width: the model wants IN columns.
+    let bad = Tensor::randn(&[2, IN + 1], &mut rng);
+    let err = client.infer(&bad).expect_err("wrong-width input must be rejected");
+    let rej = err.rejection().expect("error must be a typed rejection").clone();
+    assert_eq!(rej.reason, RejectReason::Invalid);
+    // The connection survives a rejected request.
+    let good = Tensor::randn(&[2, IN], &mut rng);
+    assert_eq!(client.infer(&good).expect("valid request"), model.logits(&params, &good));
+    server.shutdown();
+}
+
+/// A weight worker that completes the handshake and takes its initial
+/// shard, then dies — the serving side must observe `WorkerLost`.
+fn spawn_dying_worker() -> Box<dyn Transport> {
+    let (driver_end, worker_end) = loopback_pair();
+    thread::spawn(move || {
+        let (mut tx, mut rx) = channel(Box::new(worker_end)).expect("worker channel");
+        let Ok(Message::Hello(cfg)) = rx.recv() else { return };
+        tx.send(&Message::HelloAck { protocol: PROTOCOL_VERSION, stage: cfg.stage, clock_us: 0 })
+            .expect("ack must send");
+        let _ = rx.recv(); // InitShard — accepted, then the worker dies.
+    });
+    Box::new(driver_end)
+}
+
+#[test]
+fn killed_weight_worker_surfaces_typed_backend_reject() {
+    let (model, params) = model_and_params(15);
+    let splits = model.serve_splits(2);
+    // Stage 0 is a real worker; stage 1 dies right after init.
+    let (mut transports, handles) = pipemare_comms::spawn_loopback_workers(1);
+    let victim = spawn_dying_worker();
+    transports.push(victim);
+    let source = ShardWeightSource::connect(
+        transports,
+        splits,
+        &params,
+        InferModel::param_len(&*model),
+        Some(Duration::from_secs(5)),
+    )
+    .expect("both workers complete the handshake");
+    let cfg = ServeConfig { stages: 2, refresh_every: Some(1), ..Default::default() };
+    let recorder: DynRecorder = Arc::new(TraceRecorder::with_tracks(3));
+    let server = Server::start(
+        Arc::clone(&model),
+        params.clone(),
+        cfg,
+        Some(Box::new(source) as Box<dyn WeightSource>),
+        recorder,
+    )
+    .expect("server must start");
+    let mut client =
+        InferClient::connect(Box::new(server.connect_loopback())).expect("client must connect");
+    client.set_timeout(Some(Duration::from_secs(20))).expect("timeout is settable");
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = Tensor::randn(&[1, IN], &mut rng);
+    // The first batch triggers a weight refresh, which hits the dead
+    // stage-1 link: the request must come back as a typed Backend
+    // reject instead of hanging.
+    let err = client.infer(&x).expect_err("refresh against a dead worker must fail the request");
+    let Rejection { reason, message } =
+        err.rejection().expect("error must be a typed rejection").clone();
+    assert_eq!(reason, RejectReason::Backend);
+    assert!(
+        message.contains("weight refresh failed"),
+        "reject must name the refresh failure, got: {message}"
+    );
+    assert!(message.contains("stage 1"), "reject must name the dead stage, got: {message}");
+    // The server is poisoned: later requests fail fast the same way.
+    let err2 = client.infer(&x).expect_err("poisoned server must keep rejecting");
+    assert_eq!(err2.rejection().expect("typed rejection").reason, RejectReason::Backend);
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_backend, 2);
+    assert_eq!(stats.served_requests, 0);
+    for h in handles {
+        let _ = h.join();
+    }
+}

@@ -37,6 +37,9 @@ pub enum SpanKind {
     Flush,
     /// One optimizer step of a trainer.
     Step,
+    /// A serving batcher's coalescing window: from popping the first
+    /// queued request to dispatching the assembled batch.
+    Coalesce,
 }
 
 impl SpanKind {
@@ -51,6 +54,7 @@ impl SpanKind {
             SpanKind::Inject => "inject",
             SpanKind::Flush => "flush",
             SpanKind::Step => "step",
+            SpanKind::Coalesce => "coalesce",
         }
     }
 
@@ -65,6 +69,7 @@ impl SpanKind {
             "inject" => SpanKind::Inject,
             "flush" => SpanKind::Flush,
             "step" => SpanKind::Step,
+            "coalesce" => SpanKind::Coalesce,
             _ => return None,
         })
     }

@@ -62,6 +62,7 @@ fn pack_kind(kind: SpanKind) -> u64 {
         SpanKind::Inject => 5,
         SpanKind::Flush => 6,
         SpanKind::Step => 7,
+        SpanKind::Coalesce => 8,
     }
 }
 
@@ -74,6 +75,7 @@ fn unpack_kind(code: u64) -> SpanKind {
         4 => SpanKind::QueueWaitBkwd,
         5 => SpanKind::Inject,
         6 => SpanKind::Flush,
+        8 => SpanKind::Coalesce,
         _ => SpanKind::Step,
     }
 }
@@ -324,6 +326,7 @@ mod tests {
             SpanKind::Inject,
             SpanKind::Flush,
             SpanKind::Step,
+            SpanKind::Coalesce,
         ] {
             assert_eq!(unpack_kind(pack_kind(kind)), kind);
         }

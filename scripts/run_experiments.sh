@@ -45,6 +45,7 @@ benches=(
   recompute_memory
   flight_recorder
   comms
+  serving
   ablation_gamma_choice
   ablation_partitioning
 )
@@ -76,6 +77,13 @@ echo "=== orchestrator (subprocess workers over TCP + merged trace) ==="
   cargo run --release -p pipemare-telemetry --bin pmtrace -- \
     summary "$out/distributed_tcp.jsonl"
 } 2>&1 | tee "$out/orchestrator.txt"
+
+echo "=== serving (TCP bit-identity + load sweep + serving trace) ==="
+{
+  cargo run --release --example serving
+  cargo run --release -p pipemare-telemetry --bin pmtrace -- \
+    summary "$out/serving/serving.jsonl"
+} 2>&1 | tee "$out/serving.txt"
 
 echo "=== pmtrace (post-mortem trace analysis) ==="
 {

@@ -15,6 +15,7 @@
 //! | [`core`] | `pipemare-core` | the PipeMare/GPipe/PipeDream/Hogwild trainers |
 //! | [`telemetry`] | `pipemare-telemetry` | trace recording (null/flight/full tiers), metrics, Chrome-trace export, `pmtrace` analysis |
 //! | [`comms`] | `pipemare-comms` | multi-process distributed pipeline: binary wire codec, TCP/loopback transports, stage workers, `orchestrator` binary |
+//! | [`serve`] | `pipemare-serve` | pipelined inference serving: admission control, deadline coalescing, staged forward engine, policy simulator |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use pipemare_data as data;
 pub use pipemare_nn as nn;
 pub use pipemare_optim as optim;
 pub use pipemare_pipeline as pipeline;
+pub use pipemare_serve as serve;
 pub use pipemare_telemetry as telemetry;
 pub use pipemare_tensor as tensor;
 pub use pipemare_theory as theory;

@@ -71,6 +71,35 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::try_send`]; gives the un-sent value back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity (receivers still connected).
+    Full(T),
+    /// Every [`Receiver`] has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: Send> std::error::Error for TrySendError<T> {}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -146,6 +175,28 @@ impl<T> Sender<T> {
         self.chan.not_empty.notify_one();
         Ok(())
     }
+
+    /// Non-blocking send.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] once every [`Receiver`] is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.chan.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
 }
 
 impl<T> Receiver<T> {
@@ -205,6 +256,44 @@ impl<T> Receiver<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Blocking iterator: yields messages until the channel is empty
+    /// *and* every [`Sender`] is gone.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator: yields currently queued messages, then
+    /// stops (whether or not senders remain).
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Iterator over [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Iterator over [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
     }
 }
 
@@ -382,6 +471,31 @@ mod tests {
             recv(rx_b) -> msg => { panic!("unexpected arm: {msg:?}"); }
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1u8), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn iterators_drain_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_iter().next(), None);
+        for i in 5..8 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![5, 6, 7]);
     }
 
     #[test]
