@@ -41,6 +41,7 @@ fn event(i: u64) -> TraceEvent {
         microbatch: i as u32,
         ts_us: i,
         dur_us: 1,
+        trace: i,
     }
 }
 

@@ -211,6 +211,7 @@ pub fn open_loop(server: &Server, cfg: &OpenLoopCfg) -> LoadReport {
                     id: id as u64,
                     rows: 1,
                     cols: cols as u32,
+                    trace: id as u64 + 1,
                     data: TensorPayload::Dense(data),
                 })
                 .expect("open-loop send");

@@ -24,23 +24,34 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pipemare_comms::{
-    channel, run_stage_worker, spawn_loopback_workers, CommsError, DistConfig, DistRunReport,
+    channel, run_stage_worker_stats, spawn_loopback_workers, CommsError, DistConfig, DistRunReport,
     DistributedTrainer, SparseMode, TcpTransport, Transport,
 };
 use pipemare_nn::{ImageBatch, Mlp};
 use pipemare_optim::{ConstantLr, OptimizerKind, T1Rescheduler};
-use pipemare_telemetry::write_jsonl;
+use pipemare_telemetry::{write_jsonl, StatsEndpoint, StoreTicker};
 use pipemare_tensor::Tensor;
 
 const SEED: u64 = 42;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  orchestrator worker --listen <addr>\n  orchestrator train \
+        "usage:\n  orchestrator worker --listen <addr> [--stats <addr>]\n  orchestrator train \
          [--transport tcp|loopback] [--stages N] [--minibatches K] [--micro M] \
-         [--sparse dense|dropzeros|threshold:<t>|topk:<frac>]"
+         [--sparse dense|dropzeros|threshold:<t>|topk:<frac>] \
+         [--stats <addr>] [--worker-stats-base <port>]\n\
+         \n\
+         --stats (or PIPEMARE_STATS_ADDR) exposes a plain-TCP stats scrape\n\
+         endpoint for pmtop; --worker-stats-base gives spawned TCP worker s\n\
+         the endpoint 127.0.0.1:<port>+s."
     );
     std::process::exit(2);
+}
+
+/// The stats scrape address: an explicit flag wins, then the
+/// `PIPEMARE_STATS_ADDR` environment variable.
+fn stats_addr(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| std::env::var("PIPEMARE_STATS_ADDR").ok()).filter(|a| !a.is_empty())
 }
 
 fn main() {
@@ -62,20 +73,23 @@ fn main() {
 
 fn cmd_worker(args: &[String]) -> Result<(), CommsError> {
     let mut listen = "127.0.0.1:0".to_string();
+    let mut stats: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--listen" => listen = it.next().cloned().unwrap_or_else(|| usage()),
+            "--stats" => stats = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
+    let stats = stats_addr(stats);
     let listener = TcpListener::bind(&listen)?;
     // The parent parses this line to learn the ephemeral port.
     println!("LISTENING {}", listener.local_addr()?);
     let (stream, peer) = listener.accept()?;
     eprintln!("worker: serving {peer}");
     let (tx, rx) = channel(Box::new(TcpTransport::new(stream)?))?;
-    let report = run_stage_worker(tx, rx)?;
+    let report = run_stage_worker_stats(tx, rx, stats.as_deref())?;
     eprintln!(
         "worker: stage {} done, {} steps committed, sent {} B / recv {} B",
         report.stage, report.committed_steps, report.sent.bytes, report.recv.bytes
@@ -93,6 +107,8 @@ struct TrainArgs {
     minibatches: usize,
     n_micro: usize,
     sparse: SparseMode,
+    stats: Option<String>,
+    worker_stats_base: Option<u16>,
 }
 
 fn parse_sparse(s: &str) -> SparseMode {
@@ -118,6 +134,8 @@ fn parse_train_args(args: &[String]) -> TrainArgs {
         minibatches: 6,
         n_micro: 4,
         sparse: SparseMode::DropZeros,
+        stats: None,
+        worker_stats_base: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -128,9 +146,14 @@ fn parse_train_args(args: &[String]) -> TrainArgs {
             "--minibatches" => out.minibatches = val().parse().unwrap_or_else(|_| usage()),
             "--micro" => out.n_micro = val().parse().unwrap_or_else(|_| usage()),
             "--sparse" => out.sparse = parse_sparse(&val()),
+            "--stats" => out.stats = Some(val()),
+            "--worker-stats-base" => {
+                out.worker_stats_base = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
+    out.stats = stats_addr(out.stats.take());
     if !matches!(out.transport.as_str(), "tcp" | "loopback") {
         usage();
     }
@@ -177,6 +200,18 @@ fn run_job(
     quiet: bool,
 ) -> Result<(Vec<f32>, DistRunReport), CommsError> {
     let mut trainer = DistributedTrainer::connect(model, dist_config(a), SEED, transports)?;
+    // The live stats plane: a sampling ticker over the driver's store
+    // plus a plain-TCP scrape endpoint pmtop can poll. Quiet runs are
+    // self-check replays — no second endpoint on the same address.
+    let _stats = match a.stats.as_deref().filter(|_| !quiet) {
+        Some(addr) => {
+            let store = trainer.live_store();
+            let endpoint = StatsEndpoint::bind(addr, std::sync::Arc::clone(&store))?;
+            println!("STATS {}", endpoint.addr());
+            Some((endpoint, StoreTicker::spawn(store, Duration::from_millis(250))))
+        }
+        None => None,
+    };
     let weights = vec![1.0 / a.n_micro as f32; a.n_micro];
     for mb in 0..a.minibatches {
         let micro = blob_micro(SEED + 1 + mb as u64, a.n_micro, 8, 8);
@@ -200,15 +235,23 @@ fn run_job(
 /// Driver-side transports plus the spawned worker subprocesses.
 type TcpWorkers = (Vec<Box<dyn Transport>>, Vec<Child>);
 
-fn spawn_tcp_workers(stages: usize) -> Result<TcpWorkers, CommsError> {
+fn spawn_tcp_workers(stages: usize, stats_base: Option<u16>) -> Result<TcpWorkers, CommsError> {
     let exe = std::env::current_exe()?;
     let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(stages);
     let mut children = Vec::with_capacity(stages);
     for s in 0..stages {
-        let mut child = Command::new(&exe)
-            .args(["worker", "--listen", "127.0.0.1:0"])
-            .stdout(Stdio::piped())
-            .spawn()?;
+        let mut cmd = Command::new(&exe);
+        cmd.args(["worker", "--listen", "127.0.0.1:0"]);
+        // Never inherit the parent's stats address: every worker would
+        // race to bind the same port. Stats come from --worker-stats-base
+        // instead, one port per stage.
+        cmd.env_remove("PIPEMARE_STATS_ADDR");
+        if let Some(base) = stats_base {
+            let addr = format!("127.0.0.1:{}", base + s as u16);
+            println!("stage {s} stats -> {addr}");
+            cmd.args(["--stats", &addr]);
+        }
+        let mut child = cmd.stdout(Stdio::piped()).spawn()?;
         let stdout = child.stdout.take().expect("piped stdout");
         let mut line = String::new();
         BufReader::new(stdout).read_line(&mut line)?;
@@ -242,7 +285,7 @@ fn cmd_train(args: &[String]) -> Result<(), CommsError> {
     );
 
     let (params, report) = if a.transport == "tcp" {
-        let (transports, children) = spawn_tcp_workers(a.stages)?;
+        let (transports, children) = spawn_tcp_workers(a.stages, a.worker_stats_base)?;
         let out = run_job(&model, &a, transports, false)?;
         for mut child in children {
             let _ = child.wait();

@@ -54,4 +54,4 @@ pub use transport::{
     channel, loopback_pair, FrameRx, FrameTx, LoopbackTransport, Receiver, Sender, TcpTransport,
     Transport, WireStats,
 };
-pub use worker::{run_stage_worker, StageWorkerReport};
+pub use worker::{run_stage_worker, run_stage_worker_stats, StageWorkerReport};

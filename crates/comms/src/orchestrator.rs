@@ -21,6 +21,7 @@
 //! timestamps by the NTP-lite clock offset measured at handshake, and
 //! merges everything into one trace `pmtrace` can summarize.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -30,8 +31,8 @@ use pipemare_nn::TrainModel;
 use pipemare_optim::{clip_grad_norm, LrSchedule, OptimizerKind, T1Rescheduler};
 use pipemare_pipeline::{Method, PipelineClock, StagePartition};
 use pipemare_telemetry::{
-    events_from_jsonl_string, merge_worker_events, sort_events, Recorder, SpanKind, TraceEvent,
-    TraceRecorder, NO_MICROBATCH,
+    events_from_jsonl_string, merge_worker_events, sort_events, EventSource, LiveStore,
+    MetricsRegistry, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH,
 };
 use pipemare_tensor::StoragePrecision;
 use pipemare_theory::gamma_from_d;
@@ -310,7 +311,9 @@ pub struct DistributedTrainer<'m, M: TrainModel> {
     partition: StagePartition,
     clock: PipelineClock,
     links: Vec<WorkerLink>,
-    recorder: TraceRecorder,
+    recorder: Arc<TraceRecorder>,
+    registry: Arc<MetricsRegistry>,
+    live: Arc<LiveStore>,
     merged: Vec<TraceEvent>,
     step: usize,
     diverged: bool,
@@ -346,15 +349,26 @@ impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
         let mut rng = StdRng::seed_from_u64(init_seed);
         let mut params = vec![0.0f32; total];
         model.init_params(&mut params, &mut rng);
-        let recorder = TraceRecorder::with_tracks(cfg.stages + 1);
+        let recorder = Arc::new(TraceRecorder::with_tracks(cfg.stages + 1));
+        let registry = Arc::new(MetricsRegistry::new());
         let mut links = Vec::with_capacity(cfg.stages);
         for (s, transport) in transports.into_iter().enumerate() {
             let sc = build_stage_config(&cfg, &clock, &partition, total, s);
             let mut link = handshake_worker(transport, sc, cfg.recv_timeout, &recorder)?;
+            // Mirror this link's wire counters into live gauges so a
+            // stats scrape sees per-stage traffic without touching the
+            // links themselves.
+            link.sender.bind_gauges(&registry, &format!("wire.stage{s}"));
+            link.receiver.bind_gauges(&registry, &format!("wire.stage{s}"));
             let (lo, hi) = partition.range(s);
             link.send(&Message::InitShard { params: params[lo..hi].to_vec() })?;
             links.push(link);
         }
+        let live = Arc::new(
+            LiveStore::new("orchestrator", cfg.stages)
+                .with_registry(Arc::clone(&registry))
+                .with_events(Arc::clone(&recorder) as Arc<dyn EventSource + Send + Sync>),
+        );
         Ok(DistributedTrainer {
             model,
             cfg,
@@ -362,11 +376,27 @@ impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
             clock,
             links,
             recorder,
+            registry,
+            live,
             merged: Vec::new(),
             step: 0,
             diverged: false,
             flush_seq: 0,
         })
+    }
+
+    /// The driver's live stats store (role `orchestrator`): driver-side
+    /// step spans folded into per-stage activity plus `wire.stage{s}.*`
+    /// traffic gauges. Hook it to a
+    /// [`pipemare_telemetry::StatsEndpoint`] /
+    /// [`pipemare_telemetry::StoreTicker`] to let `pmtop` watch a run.
+    pub fn live_store(&self) -> Arc<LiveStore> {
+        Arc::clone(&self.live)
+    }
+
+    /// The driver-side metrics registry backing [`Self::live_store`].
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Optimizer steps completed.
@@ -523,6 +553,10 @@ impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
                 step: t as u64,
                 lr,
                 apply: grad_finite,
+                // The step's causal trace id (step is 0-based; trace 0
+                // means "absent"): the worker stamps its Step span with
+                // it, chaining the update across processes.
+                trace: t as u64 + 1,
                 data,
             })?;
         }
@@ -555,11 +589,12 @@ impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
             }
         }
         self.step += 1;
-        self.recorder.record_span(
+        self.recorder.record_span_traced(
             SpanKind::Step,
             self.cfg.stages as u32,
             0,
             t as u32,
+            t as u64 + 1,
             span_t0,
             self.recorder.now_us(),
         );

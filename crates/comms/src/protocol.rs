@@ -16,8 +16,11 @@ use pipemare_tensor::StoragePrecision;
 /// v2 added the weight-storage precision to [`StageConfig`] and the
 /// bf16 dense tensor payload; v3 added the inference serving triplet
 /// ([`Message::Infer`] / [`Message::InferResult`] /
-/// [`Message::InferReject`]).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// [`Message::InferReject`]); v4 added causal trace ids on
+/// [`Message::Infer`] / [`Message::Shard`] / [`Message::GradShard`]
+/// and the live stats scrape pair ([`Message::StatsRequest`] /
+/// [`Message::StatsReply`]).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Which pass a shard fetch serves. Determines the weight-version and
 /// T2-correction math the worker applies before replying.
@@ -296,6 +299,9 @@ pub enum Message {
         pass: PassKind,
         /// Worker's stage id.
         stage: u32,
+        /// Causal trace id of the microbatch this pass belongs to
+        /// (`0` = none), stamped on the worker's compute span.
+        trace: u64,
         /// Shard values (dense or sparse per the link's mode).
         data: TensorPayload,
     },
@@ -309,6 +315,9 @@ pub enum Message {
         lr: f32,
         /// Whether to run the optimizer (false on non-finite grads).
         apply: bool,
+        /// Causal trace id of the minibatch driving this step (`0` =
+        /// none), stamped on the worker's Step span.
+        trace: u64,
         /// Gradient values for this shard.
         data: TensorPayload,
     },
@@ -397,6 +406,10 @@ pub enum Message {
     Infer {
         /// Client-chosen request id, echoed in the reply.
         id: u64,
+        /// Causal trace id propagated onto every span this request
+        /// touches server-side (`0` = none; clients default to a
+        /// nonzero id so `pmtrace path` works out of the box).
+        trace: u64,
         /// Input rows (samples) in this request.
         rows: u32,
         /// Input features per row.
@@ -426,6 +439,21 @@ pub enum Message {
         /// Human-readable detail (e.g. the backend error).
         message: String,
     },
+    /// Either direction: ask the peer for a one-line JSON snapshot of
+    /// its live stats (see `pipemare_telemetry::store`). Served from
+    /// the live store's ring — never blocks the peer's hot path.
+    StatsRequest {
+        /// Caller-chosen id, echoed in the reply.
+        id: u64,
+    },
+    /// Reply to [`Message::StatsRequest`]: the snapshot as one compact
+    /// JSON object (schema documented in DESIGN §6.9).
+    StatsReply {
+        /// Echoed request id.
+        id: u64,
+        /// Compact JSON snapshot (no trailing newline).
+        json: String,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -448,6 +476,8 @@ const TAG_ERROR: u8 = 16;
 const TAG_INFER: u8 = 17;
 const TAG_INFER_RESULT: u8 = 18;
 const TAG_INFER_REJECT: u8 = 19;
+const TAG_STATS_REQUEST: u8 = 20;
+const TAG_STATS_REPLY: u8 = 21;
 
 impl Message {
     /// Short name for diagnostics.
@@ -473,6 +503,8 @@ impl Message {
             Message::Infer { .. } => "Infer",
             Message::InferResult { .. } => "InferResult",
             Message::InferReject { .. } => "InferReject",
+            Message::StatsRequest { .. } => "StatsRequest",
+            Message::StatsReply { .. } => "StatsReply",
         }
     }
 }
@@ -501,19 +533,21 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.put_u32(*micro);
             w.put_u8(pass.to_wire());
         }
-        Message::Shard { step, micro, pass, stage, data } => {
+        Message::Shard { step, micro, pass, stage, trace, data } => {
             w.put_u8(TAG_SHARD);
             w.put_u64(*step);
             w.put_u32(*micro);
             w.put_u8(pass.to_wire());
             w.put_u32(*stage);
+            w.put_u64(*trace);
             data.encode(&mut w);
         }
-        Message::GradShard { step, lr, apply, data } => {
+        Message::GradShard { step, lr, apply, trace, data } => {
             w.put_u8(TAG_GRAD_SHARD);
             w.put_u64(*step);
             w.put_f32(*lr);
             w.put_bool(*apply);
+            w.put_u64(*trace);
             data.encode(&mut w);
         }
         Message::StepAck { step, stage, sq_norm, finite } => {
@@ -570,9 +604,10 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.put_u16(*code);
             w.put_str(message);
         }
-        Message::Infer { id, rows, cols, data } => {
+        Message::Infer { id, trace, rows, cols, data } => {
             w.put_u8(TAG_INFER);
             w.put_u64(*id);
+            w.put_u64(*trace);
             w.put_u32(*rows);
             w.put_u32(*cols);
             data.encode(&mut w);
@@ -589,6 +624,15 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.put_u64(*id);
             w.put_u8(reason.to_wire());
             w.put_str(message);
+        }
+        Message::StatsRequest { id } => {
+            w.put_u8(TAG_STATS_REQUEST);
+            w.put_u64(*id);
+        }
+        Message::StatsReply { id, json } => {
+            w.put_u8(TAG_STATS_REPLY);
+            w.put_u64(*id);
+            w.put_str(json);
         }
     }
     w.into_bytes()
@@ -616,12 +660,14 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
             micro: r.get_u32()?,
             pass: PassKind::from_wire(r.get_u8()?)?,
             stage: r.get_u32()?,
+            trace: r.get_u64()?,
             data: TensorPayload::decode(&mut r)?,
         },
         TAG_GRAD_SHARD => Message::GradShard {
             step: r.get_u64()?,
             lr: r.get_f32()?,
             apply: r.get_bool()?,
+            trace: r.get_u64()?,
             data: TensorPayload::decode(&mut r)?,
         },
         TAG_STEP_ACK => Message::StepAck {
@@ -648,6 +694,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
         TAG_ERROR => Message::Error { code: r.get_u16()?, message: r.get_str()? },
         TAG_INFER => Message::Infer {
             id: r.get_u64()?,
+            trace: r.get_u64()?,
             rows: r.get_u32()?,
             cols: r.get_u32()?,
             data: TensorPayload::decode(&mut r)?,
@@ -663,6 +710,8 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
             reason: RejectReason::from_wire(r.get_u8()?)?,
             message: r.get_str()?,
         },
+        TAG_STATS_REQUEST => Message::StatsRequest { id: r.get_u64()? },
+        TAG_STATS_REPLY => Message::StatsReply { id: r.get_u64()?, json: r.get_str()? },
         t => return Err(CodecError::BadTag(t)),
     };
     r.finish()?;
@@ -706,12 +755,14 @@ mod tests {
                 micro: 2,
                 pass: PassKind::Fwd,
                 stage: 0,
+                trace: 3,
                 data: TensorPayload::from_dense(&[0.0, 1.0, 0.0, -2.0], SparseMode::DropZeros),
             },
             Message::GradShard {
                 step: 7,
                 lr: 0.01,
                 apply: true,
+                trace: 8,
                 data: TensorPayload::Dense(vec![1.0; 5]),
             },
             Message::StepAck { step: 7, stage: 2, sq_norm: 42.5, finite: true },
@@ -727,6 +778,7 @@ mod tests {
             Message::Error { code: 2, message: "shape mismatch".into() },
             Message::Infer {
                 id: 31,
+                trace: 32,
                 rows: 2,
                 cols: 3,
                 data: TensorPayload::Dense(vec![0.5, -1.0, 2.0, 0.0, 3.5, -0.125]),
@@ -742,6 +794,8 @@ mod tests {
                 reason: RejectReason::QueueFull,
                 message: "admission queue full (cap 64)".into(),
             },
+            Message::StatsRequest { id: 77 },
+            Message::StatsReply { id: 77, json: "{\"role\":\"worker\",\"seq\":4}".into() },
         ];
         for m in msgs {
             let bytes = encode_message(&m);

@@ -212,16 +212,33 @@ impl WireStats {
     }
 }
 
+/// The `<bytes gauge, frames gauge>` pair a bound link direction keeps
+/// current after every message.
+type WireGauges =
+    (std::sync::Arc<pipemare_telemetry::Gauge>, std::sync::Arc<pipemare_telemetry::Gauge>);
+
 /// Blocking message sender over a frame transport.
 pub struct Sender {
     tx: Box<dyn FrameTx>,
     stats: WireStats,
+    gauges: Option<WireGauges>,
 }
 
 impl Sender {
     /// Wraps a frame-transport send half.
     pub fn new(tx: Box<dyn FrameTx>) -> Self {
-        Sender { tx, stats: WireStats::default() }
+        Sender { tx, stats: WireStats::default(), gauges: None }
+    }
+
+    /// Mirrors the cumulative send counters into `{prefix}.tx_bytes` /
+    /// `{prefix}.tx_frames` gauges on `registry` (e.g. prefix
+    /// `"wire.stage0"`), updated after every send, so a live scrape
+    /// shows wire throughput without waiting for the final report.
+    pub fn bind_gauges(&mut self, registry: &pipemare_telemetry::MetricsRegistry, prefix: &str) {
+        self.gauges = Some((
+            registry.gauge(&format!("{prefix}.tx_bytes")),
+            registry.gauge(&format!("{prefix}.tx_frames")),
+        ));
     }
 
     /// Encodes and sends one message.
@@ -229,6 +246,10 @@ impl Sender {
         let payload = encode_message(msg);
         self.tx.send_frame(&payload)?;
         self.stats.add(payload.len());
+        if let Some((bytes, frames)) = &self.gauges {
+            bytes.set(self.stats.bytes as f64);
+            frames.set(self.stats.msgs as f64);
+        }
         Ok(())
     }
 
@@ -242,18 +263,33 @@ impl Sender {
 pub struct Receiver {
     rx: Box<dyn FrameRx>,
     stats: WireStats,
+    gauges: Option<WireGauges>,
 }
 
 impl Receiver {
     /// Wraps a frame-transport receive half.
     pub fn new(rx: Box<dyn FrameRx>) -> Self {
-        Receiver { rx, stats: WireStats::default() }
+        Receiver { rx, stats: WireStats::default(), gauges: None }
+    }
+
+    /// Mirrors the cumulative receive counters into `{prefix}.rx_bytes`
+    /// / `{prefix}.rx_frames` gauges on `registry`, updated after every
+    /// receive. See [`Sender::bind_gauges`].
+    pub fn bind_gauges(&mut self, registry: &pipemare_telemetry::MetricsRegistry, prefix: &str) {
+        self.gauges = Some((
+            registry.gauge(&format!("{prefix}.rx_bytes")),
+            registry.gauge(&format!("{prefix}.rx_frames")),
+        ));
     }
 
     /// Blocks for and decodes the next message.
     pub fn recv(&mut self) -> Result<Message, CommsError> {
         let payload = self.rx.recv_frame()?;
         self.stats.add(payload.len());
+        if let Some((bytes, frames)) = &self.gauges {
+            bytes.set(self.stats.bytes as f64);
+            frames.set(self.stats.msgs as f64);
+        }
         Ok(decode_message(&payload)?)
     }
 
@@ -288,6 +324,23 @@ mod tests {
         assert_eq!(b_rx.recv().unwrap(), Message::Flush { id: 3 });
         assert_eq!(a_tx.stats().msgs, 1);
         assert_eq!(a_tx.stats(), b_rx.stats());
+    }
+
+    #[test]
+    fn bound_gauges_mirror_wire_stats() {
+        use pipemare_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let (a, b) = loopback_pair();
+        let (mut a_tx, _a_rx) = channel(Box::new(a)).unwrap();
+        let (_b_tx, mut b_rx) = channel(Box::new(b)).unwrap();
+        a_tx.bind_gauges(&reg, "wire.peer");
+        b_rx.bind_gauges(&reg, "wire.peer");
+        a_tx.send(&Message::Flush { id: 1 }).unwrap();
+        b_rx.recv().unwrap();
+        assert_eq!(reg.gauge("wire.peer.tx_frames").get(), 1.0);
+        assert_eq!(reg.gauge("wire.peer.tx_bytes").get(), a_tx.stats().bytes as f64);
+        assert_eq!(reg.gauge("wire.peer.rx_frames").get(), 1.0);
+        assert_eq!(reg.gauge("wire.peer.rx_bytes").get(), b_rx.stats().bytes as f64);
     }
 
     #[test]

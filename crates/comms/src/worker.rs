@@ -19,11 +19,13 @@
 //! back as JSONL in [`Message::Telemetry`] batches at every flush; the
 //! orchestrator re-tracks and clock-shifts them into one merged trace.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use pipemare_pipeline::{FwdOutcome, StageEvent, StageFlow};
 use pipemare_telemetry::{
-    events_to_jsonl_string, Recorder, SpanKind, TraceRecorder, NO_MICROBATCH,
+    events_to_jsonl_string, EventSource, LiveStore, MetricsRegistry, Recorder, SpanKind,
+    StatsEndpoint, StoreTicker, TraceRecorder, NO_MICROBATCH,
 };
 
 use crate::error::CommsError;
@@ -63,7 +65,20 @@ fn telemetry_batch(recorder: &TraceRecorder, stage: u32) -> Message {
 /// The handshake validates protocol version and shard shapes; a
 /// mismatch is reported to the orchestrator as [`Message::Error`] and
 /// returned as [`CommsError::Handshake`].
-pub fn run_stage_worker(mut tx: Sender, mut rx: Receiver) -> Result<StageWorkerReport, CommsError> {
+pub fn run_stage_worker(tx: Sender, rx: Receiver) -> Result<StageWorkerReport, CommsError> {
+    run_stage_worker_stats(tx, rx, None)
+}
+
+/// [`run_stage_worker`] with the live-stats plane enabled: wire gauges,
+/// a [`LiveStore`] over the worker's recorder answering in-band
+/// [`Message::StatsRequest`]s, and — when `stats_addr` is given — a
+/// plain-TCP scrape endpoint plus a 250 ms background ticker so `pmtop`
+/// and `nc` can poll the worker while it trains.
+pub fn run_stage_worker_stats(
+    mut tx: Sender,
+    mut rx: Receiver,
+    stats_addr: Option<&str>,
+) -> Result<StageWorkerReport, CommsError> {
     // --- Handshake -------------------------------------------------------
     let cfg = match rx.recv()? {
         Message::Hello(cfg) => cfg,
@@ -81,7 +96,24 @@ pub fn run_stage_worker(mut tx: Sender, mut rx: Receiver) -> Result<StageWorkerR
     // The recorder's origin is the worker's time zero; the HelloAck clock
     // sample below is on the same clock, so the orchestrator's offset
     // estimate maps every recorded event into driver time.
-    let recorder = TraceRecorder::with_tracks(cfg.stages as usize + 1);
+    let recorder = Arc::new(TraceRecorder::with_tracks(cfg.stages as usize + 1));
+    let registry = Arc::new(MetricsRegistry::new());
+    tx.bind_gauges(&registry, "wire.orchestrator");
+    rx.bind_gauges(&registry, "wire.orchestrator");
+    let store = Arc::new(
+        LiveStore::new(&format!("worker-{stage_id}"), cfg.stages as usize)
+            .with_registry(Arc::clone(&registry))
+            .with_events(Arc::clone(&recorder) as Arc<dyn EventSource + Send + Sync>),
+    );
+    // Endpoint + ticker (if enabled) live exactly as long as this call.
+    let _live = match stats_addr {
+        Some(addr) => {
+            let endpoint = StatsEndpoint::bind(addr, Arc::clone(&store))?;
+            let ticker = StoreTicker::spawn(Arc::clone(&store), Duration::from_millis(250));
+            Some((endpoint, ticker))
+        }
+        None => None,
+    };
     tx.send(&Message::HelloAck {
         protocol: PROTOCOL_VERSION,
         stage: stage_id,
@@ -95,10 +127,10 @@ pub fn run_stage_worker(mut tx: Sender, mut rx: Receiver) -> Result<StageWorkerR
                 Ok(s) => s,
                 Err(e) => return Err(fail(&mut tx, e)),
             };
-            run_training_loop(stage, &recorder, tx, rx)
+            run_training_loop(stage, &recorder, &store, tx, rx)
         }
         Message::TokenMode { total, is_last, work_us } => {
-            run_token_loop(stage_id, total, is_last, work_us, &recorder, tx, rx)
+            run_token_loop(stage_id, total, is_last, work_us, &recorder, &store, tx, rx)
         }
         other => Err(fail(
             &mut tx,
@@ -107,9 +139,18 @@ pub fn run_stage_worker(mut tx: Sender, mut rx: Receiver) -> Result<StageWorkerR
     }
 }
 
+/// Answers one in-band stats scrape: sample now (the worker has no
+/// background ticker unless the TCP endpoint is on), reply with the
+/// live-store payload.
+fn answer_stats(store: &LiveStore, id: u64, tx: &mut Sender) -> Result<(), CommsError> {
+    store.sample();
+    tx.send(&Message::StatsReply { id, json: store.scrape_line() })
+}
+
 fn run_training_loop(
     mut stage: ShardStage,
     recorder: &TraceRecorder,
+    store: &LiveStore,
     mut tx: Sender,
     mut rx: Receiver,
 ) -> Result<StageWorkerReport, CommsError> {
@@ -131,28 +172,34 @@ fn run_training_loop(
                     PassKind::Recomp => Some(SpanKind::Recompute),
                     PassKind::Latest => None,
                 };
+                // The microbatch's causal trace id (0-based id, trace 0
+                // means "absent") — stamped on the local span and on the
+                // Shard frame so merged traces keep the chain.
+                let trace = micro as u64 + 1;
                 if let Some(kind) = kind {
-                    recorder.record_span(kind, stage_id, stage_id, micro, t0, t1);
+                    recorder.record_span_traced(kind, stage_id, stage_id, micro, trace, t0, t1);
                 }
-                tx.send(&Message::Shard { step, micro, pass, stage: stage_id, data })?;
+                tx.send(&Message::Shard { step, micro, pass, stage: stage_id, trace, data })?;
             }
-            Message::GradShard { step, lr, apply, data } => {
+            Message::GradShard { step, lr, apply, trace, data } => {
                 let grad = data.into_dense();
                 let t0 = recorder.now_us();
                 let (sq_norm, finite) = match stage.apply_grad(step, lr, apply, &grad) {
                     Ok(r) => r,
                     Err(e) => return Err(fail(&mut tx, e)),
                 };
-                recorder.record_span(
+                recorder.record_span_traced(
                     SpanKind::Step,
                     stage_id,
                     stage_id,
                     step as u32,
+                    trace,
                     t0,
                     recorder.now_us(),
                 );
                 tx.send(&Message::StepAck { step, stage: stage_id, sq_norm, finite })?;
             }
+            Message::StatsRequest { id } => answer_stats(store, id, &mut tx)?,
             Message::Commit { step, keep } => {
                 let sq_norm = match stage.commit(step, keep) {
                     Ok(n) => n,
@@ -201,6 +248,7 @@ fn run_token_loop(
     is_last: bool,
     work_us: u64,
     recorder: &TraceRecorder,
+    store: &LiveStore,
     mut tx: Sender,
     mut rx: Receiver,
 ) -> Result<StageWorkerReport, CommsError> {
@@ -221,15 +269,24 @@ fn run_token_loop(
                 );
                 std::thread::sleep(work);
                 let t1 = recorder.now_us();
-                recorder.record_span(SpanKind::Forward, stage_id, stage_id, id as u32, t0, t1);
+                recorder.record_span_traced(
+                    SpanKind::Forward,
+                    stage_id,
+                    stage_id,
+                    id as u32,
+                    id + 1,
+                    t0,
+                    t1,
+                );
                 match flow.on_forward() {
                     FwdOutcome::ForwardBackward => {
                         std::thread::sleep(2 * work);
-                        recorder.record_span(
+                        recorder.record_span_traced(
                             SpanKind::Backward,
                             stage_id,
                             stage_id,
                             id as u32,
+                            id + 1,
                             t1,
                             recorder.now_us(),
                         );
@@ -251,11 +308,12 @@ fn run_token_loop(
                     t0,
                 );
                 std::thread::sleep(2 * work);
-                recorder.record_span(
+                recorder.record_span_traced(
                     SpanKind::Backward,
                     stage_id,
                     stage_id,
                     id as u32,
+                    id + 1,
                     t0,
                     recorder.now_us(),
                 );
@@ -266,6 +324,7 @@ fn run_token_loop(
                 tx.send(&telemetry_batch(recorder, stage_id))?;
                 tx.send(&Message::FlushAck { id, last_step: 0 })?;
             }
+            Message::StatsRequest { id } => answer_stats(store, id, &mut tx)?,
             Message::Shutdown => {
                 // Early shutdown (orchestrator aborting): ack and leave.
                 tx.send(&telemetry_batch(recorder, stage_id))?;
@@ -292,6 +351,7 @@ fn run_token_loop(
                 tx.send(&telemetry_batch(recorder, stage_id))?;
                 tx.send(&Message::FlushAck { id, last_step: 0 })?;
             }
+            Message::StatsRequest { id } => answer_stats(store, id, &mut tx)?,
             Message::Shutdown => {
                 tx.send(&telemetry_batch(recorder, stage_id))?;
                 tx.send(&Message::ShutdownAck { stage: stage_id, last_step: 0 })?;

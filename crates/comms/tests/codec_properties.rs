@@ -53,7 +53,7 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
         2 => PassKind::Recomp,
         _ => PassKind::Latest,
     };
-    match variant % 20 {
+    match variant % 22 {
         0 => Message::Hello(StageConfig {
             protocol: PROTOCOL_VERSION,
             stage: rng.gen_range(0..8u32),
@@ -96,12 +96,14 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
             micro: rng.gen_range(0..256u32),
             pass,
             stage: rng.gen_range(0..32u32),
+            trace: rng.gen_range(0..u64::MAX),
             data: payload(),
         },
         5 => Message::GradShard {
             step: rng.gen_range(0..1u64 << 48),
             lr: rng.gen_range(0.0..1.0f32),
             apply: rng.gen_bool(0.5),
+            trace: rng.gen_range(0..u64::MAX),
             data: payload(),
         },
         6 => Message::StepAck {
@@ -148,6 +150,7 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
             id: rng.gen_range(0..u64::MAX),
             rows: rng.gen_range(1..64u32),
             cols: rng.gen_range(1..256u32),
+            trace: rng.gen_range(0..u64::MAX),
             data: payload(),
         },
         18 => Message::InferResult {
@@ -155,6 +158,11 @@ fn arbitrary_message(variant: u8, rng: &mut StdRng) -> Message {
             rows: rng.gen_range(1..64u32),
             cols: rng.gen_range(1..256u32),
             data: payload(),
+        },
+        19 => Message::StatsRequest { id: rng.gen_range(0..u64::MAX) },
+        20 => Message::StatsReply {
+            id: rng.gen_range(0..u64::MAX),
+            json: format!("{{\"seq\":{}}}", rng.gen_range(0..1000)),
         },
         _ => Message::InferReject {
             id: rng.gen_range(0..u64::MAX),
@@ -236,7 +244,7 @@ proptest! {
     }
 
     #[test]
-    fn every_message_roundtrips_field_identical(variant in 0u8..20, seed in 0u64..u64::MAX) {
+    fn every_message_roundtrips_field_identical(variant in 0u8..22, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let back = decode_message(&encode_message(&msg)).unwrap();
@@ -244,7 +252,7 @@ proptest! {
     }
 
     #[test]
-    fn truncated_messages_error_and_never_panic(variant in 0u8..20, seed in 0u64..u64::MAX) {
+    fn truncated_messages_error_and_never_panic(variant in 0u8..22, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let b = encode_message(&msg);
@@ -259,7 +267,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupted_messages_never_panic(variant in 0u8..20, seed in 0u64..u64::MAX) {
+    fn corrupted_messages_never_panic(variant in 0u8..22, seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arbitrary_message(variant, &mut rng);
         let mut b = encode_message(&msg);

@@ -234,22 +234,26 @@ pub fn run_threaded_pipeline_traced<R: Recorder>(
                                 );
                                 work_for(work_per_stage);
                                 let t1 = recorder.now_us();
-                                recorder.record_span(
+                                // Trace id: the microbatch's causal id (ids
+                                // are 0-based; trace 0 means "absent").
+                                recorder.record_span_traced(
                                     SpanKind::Forward,
                                     track,
                                     stage,
                                     id as u32,
+                                    id as u64 + 1,
                                     t0,
                                     t1,
                                 );
                                 match flow.on_forward() {
                                     crate::stage::FwdOutcome::ForwardBackward => {
                                         work_for(2 * work_per_stage);
-                                        recorder.record_span(
+                                        recorder.record_span_traced(
                                             SpanKind::Backward,
                                             track,
                                             stage,
                                             id as u32,
+                                            id as u64 + 1,
                                             t1,
                                             recorder.now_us(),
                                         );
@@ -275,11 +279,12 @@ pub fn run_threaded_pipeline_traced<R: Recorder>(
                                     t0,
                                 );
                                 work_for(2 * work_per_stage);
-                                recorder.record_span(
+                                recorder.record_span_traced(
                                     SpanKind::Backward,
                                     track,
                                     stage,
                                     id as u32,
+                                    id as u64 + 1,
                                     t0,
                                     recorder.now_us(),
                                 );
@@ -495,11 +500,12 @@ pub fn run_recompute_pipeline_traced<R: Recorder>(
                                 }
                                 let t0 = recorder.now_us();
                                 work_for(work_per_stage);
-                                recorder.record_span(
+                                recorder.record_span_traced(
                                     SpanKind::Forward,
                                     track,
                                     stage,
                                     op.micro as u32,
+                                    op.micro as u64 + 1,
                                     t0,
                                     recorder.now_us(),
                                 );
@@ -528,11 +534,12 @@ pub fn run_recompute_pipeline_traced<R: Recorder>(
                                 }
                                 let t0 = recorder.now_us();
                                 work_for(work_per_stage);
-                                recorder.record_span(
+                                recorder.record_span_traced(
                                     SpanKind::Recompute,
                                     track,
                                     stage,
                                     op.micro as u32,
+                                    op.micro as u64 + 1,
                                     t0,
                                     recorder.now_us(),
                                 );
@@ -556,11 +563,12 @@ pub fn run_recompute_pipeline_traced<R: Recorder>(
                                 }
                                 let t0 = recorder.now_us();
                                 work_for(2 * work_per_stage);
-                                recorder.record_span(
+                                recorder.record_span_traced(
                                     SpanKind::Backward,
                                     track,
                                     stage,
                                     op.micro as u32,
+                                    op.micro as u64 + 1,
                                     t0,
                                     recorder.now_us(),
                                 );
@@ -676,6 +684,30 @@ mod tests {
         let replays = events.iter().filter(|e| e.kind == SpanKind::Recompute).count();
         assert_eq!(replays, 2 * 8, "one replay span per microbatch on stages 0 and 1");
         assert!(events.iter().all(|e| e.kind != SpanKind::Recompute || e.stage < 2));
+    }
+
+    #[test]
+    fn traced_run_stamps_microbatch_trace_ids() {
+        use pipemare_telemetry::TraceRecorder;
+        let recorder = TraceRecorder::new();
+        run_threaded_pipeline_traced(
+            Method::PipeMare,
+            3,
+            2,
+            2,
+            Duration::from_micros(20),
+            &recorder,
+        );
+        let events = recorder.events();
+        for e in events.iter().filter(|e| matches!(e.kind, SpanKind::Forward | SpanKind::Backward))
+        {
+            assert_eq!(e.trace, e.microbatch as u64 + 1, "{e:?}");
+        }
+        // Microbatch 0 (trace 1) crosses every stage twice: 3 forwards
+        // then 3 backwards, reconstructable as one causal chain.
+        let path = pipemare_telemetry::analyze::trace_path(&events, 1);
+        assert_eq!(path.len(), 6, "{path:?}");
+        assert!(path.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
     }
 
     #[test]

@@ -43,6 +43,10 @@ impl InferClient {
             id,
             rows: x.shape()[0] as u32,
             cols: x.shape()[1] as u32,
+            // The request's causal trace id (ids are 0-based; trace 0
+            // means "absent"): follows the request through the server's
+            // queue-wait span into the merged flight trace.
+            trace: id + 1,
             data: TensorPayload::Dense(x.data().to_vec()),
         })?;
         Ok(id)

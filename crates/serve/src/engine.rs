@@ -21,11 +21,17 @@ use std::thread;
 use crossbeam_channel::{bounded, Receiver, Sender};
 
 use pipemare_nn::{InferModel, ServeSplit};
-use pipemare_telemetry::{Recorder, SpanKind};
+use pipemare_telemetry::{EventSource, Recorder, SpanKind};
 use pipemare_tensor::{pool, Tensor};
 
+/// Everything the serving plane needs from a recorder: span recording
+/// for the stage threads plus event snapshots so the live stats store
+/// can fold per-stage utilization out of the same black box.
+pub trait ServeRecorder: Recorder + EventSource {}
+impl<T: Recorder + EventSource + ?Sized> ServeRecorder for T {}
+
 /// A dynamic recorder handle shared across serving threads.
-pub type DynRecorder = Arc<dyn Recorder + Send + Sync>;
+pub type DynRecorder = Arc<dyn ServeRecorder + Send + Sync>;
 
 /// A staged, forward-only inference engine over an [`InferModel`].
 ///

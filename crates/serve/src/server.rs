@@ -20,6 +20,7 @@
 //! that showed up together.
 
 use std::collections::HashMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,7 +34,10 @@ use pipemare_comms::{
     TcpTransport, TensorPayload, Transport,
 };
 use pipemare_nn::InferModel;
-use pipemare_telemetry::SpanKind;
+use pipemare_telemetry::{
+    Counter, EventSource, Gauge, Histogram, LiveStore, MetricsRegistry, SpanKind, StatsEndpoint,
+    StoreTicker, TraceEvent,
+};
 use pipemare_tensor::Tensor;
 
 use crate::config::ServeConfig;
@@ -70,6 +74,52 @@ struct QueuedReq {
     rows: u32,
     data: Vec<f32>,
     enq_us: u64,
+    /// The request's causal trace id (0 means the client sent none).
+    trace: u64,
+}
+
+/// Registry-backed mirrors of [`ServeStats`], kept in lockstep at every
+/// increment site so a live scrape (`pmtop`, the stats endpoint) sees
+/// the same numbers [`Server::stats`] reports — without taking the
+/// stats mutex on the scrape path.
+struct ServeMetrics {
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    rejected_invalid: Arc<Counter>,
+    rejected_draining: Arc<Counter>,
+    rejected_backend: Arc<Counter>,
+    served_requests: Arc<Counter>,
+    served_rows: Arc<Counter>,
+    batches: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    batch_rows: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            accepted: reg.counter("serve.accepted"),
+            shed: reg.counter("serve.shed"),
+            rejected_invalid: reg.counter("serve.rejected_invalid"),
+            rejected_draining: reg.counter("serve.rejected_draining"),
+            rejected_backend: reg.counter("serve.rejected_backend"),
+            served_requests: reg.counter("serve.served_requests"),
+            served_rows: reg.counter("serve.served_rows"),
+            batches: reg.counter("serve.batches"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            batch_rows: reg
+                .histogram("serve.batch_rows", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]),
+        }
+    }
+}
+
+/// Adapts the server's recorder into the live store's event feed.
+struct RecorderEvents(DynRecorder);
+
+impl EventSource for RecorderEvents {
+    fn snapshot_events(&self) -> Vec<TraceEvent> {
+        self.0.snapshot_events()
+    }
 }
 
 /// What the demux needs to route one batch's rows back to callers.
@@ -92,6 +142,8 @@ struct Inner {
     poisoned: Mutex<Option<String>>,
     stats: Mutex<ServeStats>,
     recorder: DynRecorder,
+    metrics: ServeMetrics,
+    live: Arc<LiveStore>,
 }
 
 impl Inner {
@@ -106,6 +158,12 @@ impl Inner {
                 RejectReason::Invalid => st.rejected_invalid += 1,
                 RejectReason::Backend => st.rejected_backend += 1,
             }
+        }
+        match reason {
+            RejectReason::QueueFull => self.metrics.shed.inc(),
+            RejectReason::Draining => self.metrics.rejected_draining.inc(),
+            RejectReason::Invalid => self.metrics.rejected_invalid.inc(),
+            RejectReason::Backend => self.metrics.rejected_backend.inc(),
         }
         let sender = self.conns.lock().expect("conns lock poisoned").get(&conn_id).cloned();
         if let Some(sender) = sender {
@@ -127,6 +185,7 @@ pub struct Server {
     readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     acceptors: Vec<thread::JoinHandle<()>>,
     tcp_addrs: Vec<SocketAddr>,
+    stats_plane: Option<(StatsEndpoint, StoreTicker)>,
 }
 
 impl Server {
@@ -155,6 +214,14 @@ impl Server {
             Arc::new(StagedEngine::new(Arc::clone(&model), splits, params, Arc::clone(&recorder)));
         let (queue_tx, queue_rx) = bounded::<QueuedReq>(cfg.queue_cap);
         let (meta_tx, meta_rx) = unbounded::<BatchMeta>();
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServeMetrics::new(&registry);
+        let live = Arc::new(
+            LiveStore::new("serve", cfg.stages)
+                .with_registry(Arc::clone(&registry))
+                .with_events(Arc::new(RecorderEvents(Arc::clone(&recorder)))
+                    as Arc<dyn EventSource + Send + Sync>),
+        );
         let inner = Arc::new(Inner {
             cfg,
             in_cols,
@@ -167,6 +234,8 @@ impl Server {
             poisoned: Mutex::new(None),
             stats: Mutex::new(ServeStats::default()),
             recorder: Arc::clone(&recorder),
+            metrics,
+            live,
         });
 
         let batcher = {
@@ -193,7 +262,33 @@ impl Server {
             readers: Arc::new(Mutex::new(Vec::new())),
             acceptors: Vec::new(),
             tcp_addrs: Vec::new(),
+            stats_plane: None,
         })
+    }
+
+    /// The server's live stats store (role `serve`): per-stage forward
+    /// utilization folded from the flight recorder plus the `serve.*`
+    /// admission/batching metrics. Sampled by the background ticker
+    /// when [`Server::serve_stats_tcp`] is active; call
+    /// [`LiveStore::sample`] yourself otherwise.
+    pub fn live_store(&self) -> Arc<LiveStore> {
+        Arc::clone(&self.inner.live)
+    }
+
+    /// Exposes the plain-TCP stats scrape endpoint on `addr` (port 0
+    /// for ephemeral) and starts the background sampling ticker.
+    /// `pmtop <addr>` then renders this server live. Returns the bound
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_stats_tcp(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let endpoint = StatsEndpoint::bind(addr, Arc::clone(&self.inner.live))?;
+        let local = endpoint.addr();
+        let ticker = StoreTicker::spawn(Arc::clone(&self.inner.live), Duration::from_millis(250));
+        self.stats_plane = Some((endpoint, ticker));
+        Ok(local)
     }
 
     /// Registers an in-process client connection, returning the client
@@ -255,6 +350,9 @@ impl Server {
     /// requests are served, in-flight batches complete and reach their
     /// clients, then every thread is joined. Returns final stats.
     pub fn shutdown(mut self) -> ServeStats {
+        // 0. Stop the stats plane first: a scrape of a half-torn-down
+        //    server is useless.
+        self.stats_plane = None;
         // 1. Refuse new work, let the batcher drain what's queued.
         self.inner.draining.store(true, Ordering::SeqCst);
         self.inner.paused.store(false, Ordering::SeqCst);
@@ -320,7 +418,20 @@ fn register_conn(
 fn run_reader(inner: &Inner, conn_id: u64, receiver: &mut pipemare_comms::Receiver) {
     loop {
         match receiver.recv() {
-            Ok(Message::Infer { id, rows, cols, data }) => {
+            Ok(Message::StatsRequest { id }) => {
+                // A live scrape over the serving port: sample now so the
+                // reply is current, then answer on this connection.
+                inner.live.sample();
+                let sender =
+                    inner.conns.lock().expect("conns lock poisoned").get(&conn_id).cloned();
+                if let Some(sender) = sender {
+                    let _ = sender
+                        .lock()
+                        .expect("conn sender lock poisoned")
+                        .send(&Message::StatsReply { id, json: inner.live.scrape_line() });
+                }
+            }
+            Ok(Message::Infer { id, rows, cols, trace, data }) => {
                 let expected = (rows as usize).saturating_mul(cols as usize);
                 if rows == 0 || cols as usize != inner.in_cols || data.dense_len() != expected {
                     inner.reject(
@@ -350,10 +461,15 @@ fn run_reader(inner: &Inner, conn_id: u64, receiver: &mut pipemare_comms::Receiv
                     rows,
                     data: data.into_dense(),
                     enq_us: inner.recorder.now_us(),
+                    // Clients that predate trace ids send 0; give those
+                    // requests a per-connection causal id anyway.
+                    trace: if trace != 0 { trace } else { id + 1 },
                 };
                 match inner.queue_tx.try_send(req) {
                     Ok(()) => {
                         inner.stats.lock().expect("stats lock poisoned").accepted += 1;
+                        inner.metrics.accepted.inc();
+                        inner.metrics.queue_depth.set(inner.queue_tx.len() as f64);
                     }
                     Err(crossbeam_channel::TrySendError::Full(_)) => {
                         inner.reject(
@@ -481,11 +597,15 @@ fn run_batcher(
         let mut data = Vec::with_capacity(rows as usize * inner.in_cols);
         let mut meta = Vec::with_capacity(members.len());
         for m in &members {
-            rec.record_span(
+            // The queue-wait span carries the request's trace id, tying
+            // the request to the batch (the span's end instant equals
+            // the batch's coalesce end) for `pmtrace path`.
+            rec.record_span_traced(
                 SpanKind::QueueWaitFwd,
                 driver_track,
                 driver_track,
                 m.id as u32,
+                m.trace,
                 m.enq_us,
                 dispatch_us,
             );
@@ -497,6 +617,9 @@ fn run_batcher(
             st.batches += 1;
             st.batch_rows.push(rows);
         }
+        inner.metrics.batches.inc();
+        inner.metrics.batch_rows.observe(rows as f64);
+        inner.metrics.queue_depth.set(queue_rx.len() as f64);
         let x = Tensor::from_vec(data, &[rows as usize, inner.in_cols]);
         // Meta first so the demux never sees an orphan completion.
         let _ = meta_tx.send(BatchMeta { batch_id, members: meta });
@@ -535,6 +658,9 @@ fn run_demux(
             let mut st = inner.stats.lock().expect("stats lock poisoned");
             st.served_requests += 1;
             st.served_rows += rows as u64;
+            drop(st);
+            inner.metrics.served_requests.inc();
+            inner.metrics.served_rows.add(rows as u64);
         }
     }
 }

@@ -13,10 +13,42 @@
 use std::io;
 use std::path::Path;
 
-use crate::event::{SpanKind, TraceEvent};
+use crate::event::{SpanKind, TraceEvent, NO_TRACE};
 use crate::export::{chrome_trace_events, event_from_jsonl};
 use crate::json::Value;
 use crate::summary::{delay_slot_samples, PipelineTimelineSummary};
+
+/// Serving-trace shape: batches, member requests, and throughput,
+/// detected from `Coalesce` spans (the serving batcher's signature).
+/// Training traces (which carry `Flush` spans) report `None`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingShape {
+    /// Coalesced batches dispatched.
+    pub batches: usize,
+    /// Member requests admitted (the batcher's per-request waits).
+    pub requests: usize,
+    /// Requests per second over the trace span.
+    pub qps: f64,
+}
+
+/// Detects a serving-only trace: no driver `Flush` spans (so the GPipe
+/// `N/(N+P−1)` bubble model has no `N` to infer) but `Coalesce` spans
+/// from a serving batcher. Returns the serving shape, or `None` for
+/// training-shaped (or empty) traces.
+pub fn serving_shape(events: &[TraceEvent], span_us: u64) -> Option<ServingShape> {
+    if events.iter().any(|e| e.kind == SpanKind::Flush) {
+        return None;
+    }
+    let driver_track =
+        events.iter().filter(|e| e.kind == SpanKind::Coalesce).map(|e| e.track).min()?;
+    let batches = events.iter().filter(|e| e.kind == SpanKind::Coalesce).count();
+    let requests = events
+        .iter()
+        .filter(|e| e.kind == SpanKind::QueueWaitFwd && e.track == driver_track)
+        .count();
+    let qps = if span_us == 0 { 0.0 } else { requests as f64 / (span_us as f64 / 1e6) };
+    Some(ServingShape { batches, requests, qps })
+}
 
 /// Loads a trace from disk, auto-detecting the format: a leading `[`
 /// means a Chrome `trace_event` JSON array, anything else is treated as
@@ -94,10 +126,20 @@ pub fn summary_text(events: &[TraceEvent], label: &str, seg: Option<usize>) -> S
         s.microbatches,
         fmt_ms(s.span_us),
     ));
-    out.push_str(&format!(
-        "bubble fraction: {:.3} measured   ({:.3} GPipe model (P-1)/(N+P-1) at N = {n})\n\n",
-        s.bubble_fraction, nominal_bubble,
-    ));
+    if let Some(shape) = serving_shape(events, s.span_us) {
+        // Serving-only trace: no Flush spans, so N (and the GPipe
+        // bubble model) would be fabricated. Report throughput instead.
+        out.push_str(&format!(
+            "serving trace: {} batches   {} requests   {:.1} req/s   \
+             (no Flush spans; GPipe bubble model not applicable)\n\n",
+            shape.batches, shape.requests, shape.qps,
+        ));
+    } else {
+        out.push_str(&format!(
+            "bubble fraction: {:.3} measured   ({:.3} GPipe model (P-1)/(N+P-1) at N = {n})\n\n",
+            s.bubble_fraction, nominal_bubble,
+        ));
+    }
     out.push_str(
         "stage   util    fwd_ms   bkwd_ms  recomp_ms  wait_fwd_ms  wait_bkwd_ms  \
          tau_fwd meas/nom   tau_recomp meas/nom\n",
@@ -166,13 +208,23 @@ pub fn summary_json(events: &[TraceEvent], label: &str, seg: Option<usize>) -> V
                 row
             })
             .collect();
-        obj = obj
-            .set("microbatches_per_minibatch", n as u64)
-            .set(
+        if let Some(shape) = serving_shape(events, s.span_us) {
+            // Serving-only: the inferred N and the GPipe bubble model
+            // would be bogus — report the request-level shape instead.
+            obj = obj.set(
+                "serving",
+                Value::obj()
+                    .set("batches", shape.batches as u64)
+                    .set("requests", shape.requests as u64)
+                    .set("qps", shape.qps),
+            );
+        } else {
+            obj = obj.set("microbatches_per_minibatch", n as u64).set(
                 "nominal_bubble_fraction",
                 PipelineTimelineSummary::nominal_gpipe_bubble_fraction(p, n),
-            )
-            .set("nominal_delays", Value::Arr(nominal));
+            );
+        }
+        obj = obj.set("nominal_delays", Value::Arr(nominal));
         if let Some((bottleneck, starved)) = stragglers(&s) {
             obj = obj
                 .set("critical_path_stage", bottleneck as u64)
@@ -324,7 +376,7 @@ pub fn drift_text(events: &[TraceEvent], n_windows: usize, label: &str) -> Strin
     out
 }
 
-fn pct_delta(a: f64, b: f64) -> String {
+pub(crate) fn pct_delta(a: f64, b: f64) -> String {
     if a == 0.0 && b == 0.0 {
         "0%".to_string()
     } else if a == 0.0 {
@@ -409,6 +461,110 @@ pub fn diff_text(
     out
 }
 
+/// Collects the causal span chain of one trace id, in time order.
+///
+/// Training traces stamp every hop (inject, per-stage forward/backward,
+/// wire shards) with the microbatch's trace id, so a plain filter
+/// suffices. Serving traces stamp the per-request admission wait; the
+/// batch the request rode in is joined structurally — the wait ends at
+/// the batch's dispatch instant (the `Coalesce` span's end, recorded
+/// from the same clock read), and the engine's per-stage `Forward`
+/// spans share the batch id in their `microbatch` field.
+pub fn trace_path(events: &[TraceEvent], trace_id: u64) -> Vec<TraceEvent> {
+    let mut own: Vec<TraceEvent> =
+        events.iter().filter(|e| e.trace == trace_id && trace_id != NO_TRACE).copied().collect();
+    let waits: Vec<TraceEvent> =
+        own.iter().filter(|e| e.kind == SpanKind::QueueWaitFwd).copied().collect();
+    for w in &waits {
+        let Some(c) = events.iter().find(|c| {
+            c.kind == SpanKind::Coalesce
+                && c.track == w.track
+                && c.ts_us + c.dur_us == w.ts_us + w.dur_us
+        }) else {
+            continue;
+        };
+        own.push(*c);
+        own.extend(events.iter().filter(|f| {
+            f.kind == SpanKind::Forward
+                && f.trace != trace_id
+                && f.microbatch == c.microbatch
+                && f.ts_us >= c.ts_us
+        }));
+    }
+    own.sort_by_key(|e| (e.ts_us, e.track, e.kind as u32));
+    own.dedup();
+    own
+}
+
+/// Renders the cross-process critical path of one trace id: each hop
+/// with its track, stage, duration, and the gap since the previous hop
+/// ended, plus end-to-end latency and busy/gap totals.
+pub fn path_text(events: &[TraceEvent], trace_id: u64) -> String {
+    let chain = trace_path(events, trace_id);
+    let mut out = String::new();
+    out.push_str(&format!("== trace path: id {trace_id} ==\n"));
+    if chain.is_empty() {
+        out.push_str("no events carry this trace id\n");
+        return out;
+    }
+    let t0 = chain[0].ts_us;
+    let end = chain.iter().map(|e| e.ts_us + e.dur_us).max().unwrap();
+    let busy: u64 = chain.iter().map(|e| e.dur_us).sum();
+    out.push_str(&format!(
+        "hops: {}   latency: {} ms   busy: {} ms\n\n",
+        chain.len(),
+        fmt_ms(end - t0),
+        fmt_ms(busy),
+    ));
+    out.push_str("    ts_ms  track  stage  mb      kind             dur_ms    gap_ms\n");
+    let mut prev_end = t0;
+    for e in &chain {
+        let gap = e.ts_us.saturating_sub(prev_end);
+        out.push_str(&format!(
+            "{:>9}  {:>5}  {:>5}  {:>6}  {:<15}  {:>7}  {:>8}\n",
+            fmt_ms(e.ts_us - t0),
+            e.track,
+            e.stage,
+            if e.microbatch == crate::event::NO_MICROBATCH {
+                "-".to_string()
+            } else {
+                e.microbatch.to_string()
+            },
+            format!("{:?}", e.kind),
+            fmt_ms(e.dur_us),
+            fmt_ms(gap),
+        ));
+        prev_end = prev_end.max(e.ts_us + e.dur_us);
+    }
+    out
+}
+
+/// JSON rendering of [`path_text`]: the hop list plus latency totals.
+pub fn path_json(events: &[TraceEvent], trace_id: u64) -> Value {
+    let chain = trace_path(events, trace_id);
+    let mut obj = Value::obj().set("trace", trace_id).set("hops", chain.len() as u64);
+    if let (Some(first), Some(end)) =
+        (chain.first(), chain.iter().map(|e| e.ts_us + e.dur_us).max())
+    {
+        obj = obj
+            .set("latency_us", end - first.ts_us)
+            .set("busy_us", chain.iter().map(|e| e.dur_us).sum::<u64>());
+    }
+    let rows: Vec<Value> = chain
+        .iter()
+        .map(|e| {
+            Value::obj()
+                .set("kind", format!("{:?}", e.kind))
+                .set("track", e.track as u64)
+                .set("stage", e.stage as u64)
+                .set("microbatch", e.microbatch as u64)
+                .set("ts_us", e.ts_us)
+                .set("dur_us", e.dur_us)
+        })
+        .collect();
+    obj.set("path", Value::Arr(rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,7 +572,7 @@ mod tests {
     use crate::export::{write_chrome_trace, write_jsonl};
 
     fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
-        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur, trace: 0 }
     }
 
     /// A 2-stage trace: stage 1 is the bottleneck (3× the compute),
@@ -495,6 +651,87 @@ mod tests {
         let text = drift_text(&events, 2, "unit");
         assert!(text.contains("nominal tau_fwd"), "{text}");
         assert!(drift_text(&[], 2, "none").contains("no compute events"));
+    }
+
+    fn traced(
+        kind: SpanKind,
+        track: u32,
+        stage: u32,
+        mb: u32,
+        ts: u64,
+        dur: u64,
+        trace: u64,
+    ) -> TraceEvent {
+        TraceEvent { kind, track, stage, microbatch: mb, ts_us: ts, dur_us: dur, trace }
+    }
+
+    /// A serving trace: two requests coalesced into batch 0, run through
+    /// a 2-stage engine. No Flush spans anywhere.
+    fn serving_trace() -> Vec<TraceEvent> {
+        vec![
+            traced(SpanKind::QueueWaitFwd, 2, 0, 7, 0, 10, 11),
+            traced(SpanKind::QueueWaitFwd, 2, 0, 8, 2, 8, 12),
+            traced(SpanKind::Coalesce, 2, 0, 0, 0, 10, 0),
+            traced(SpanKind::Forward, 0, 0, 0, 10, 5, 0),
+            traced(SpanKind::Forward, 1, 1, 0, 15, 5, 0),
+        ]
+    }
+
+    #[test]
+    fn serving_only_summary_reports_requests_not_bubble() {
+        let events = serving_trace();
+        let s = PipelineTimelineSummary::from_events(&events);
+        assert_eq!(
+            serving_shape(&events, s.span_us),
+            Some(ServingShape { batches: 1, requests: 2, qps: 2.0 / (s.span_us as f64 / 1e6) })
+        );
+        let text = summary_text(&events, "serve", None);
+        assert!(text.contains("serving trace: 1 batches   2 requests"), "{text}");
+        assert!(!text.contains("GPipe model"), "{text}");
+        let j = summary_json(&events, "serve", None);
+        assert!(j.get("nominal_bubble_fraction").is_none());
+        assert_eq!(j.get("serving").unwrap().get("requests").and_then(Value::as_f64), Some(2.0));
+        // Training traces keep the bubble line.
+        assert!(summary_text(&sample_trace(), "train", None).contains("GPipe model"));
+        assert_eq!(serving_shape(&sample_trace(), 100), None);
+    }
+
+    #[test]
+    fn trace_path_joins_request_to_its_batch() {
+        let events = serving_trace();
+        let chain = trace_path(&events, 11);
+        let kinds: Vec<SpanKind> = chain.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::QueueWaitFwd, SpanKind::Coalesce, SpanKind::Forward, SpanKind::Forward],
+            "{chain:?}"
+        );
+        let text = path_text(&events, 11);
+        assert!(text.contains("hops: 4"), "{text}");
+        assert!(text.contains("latency: 0.02 ms"), "{text}");
+        let j = path_json(&events, 11);
+        assert_eq!(j.get("hops").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(j.get("latency_us").and_then(Value::as_f64), Some(20.0));
+        // Unknown ids degrade gracefully, and NO_TRACE never matches.
+        assert!(path_text(&events, 99).contains("no events carry"));
+        assert!(trace_path(&events, NO_TRACE).is_empty());
+    }
+
+    #[test]
+    fn trace_path_filters_training_hops_by_id() {
+        let events = vec![
+            traced(SpanKind::Inject, 2, 0, 0, 0, 1, 5),
+            traced(SpanKind::Forward, 0, 0, 0, 1, 4, 5),
+            traced(SpanKind::Forward, 0, 0, 1, 5, 4, 6),
+            traced(SpanKind::Forward, 1, 1, 0, 5, 4, 5),
+            traced(SpanKind::Backward, 1, 1, 0, 9, 4, 5),
+            traced(SpanKind::Backward, 0, 0, 0, 13, 4, 5),
+        ];
+        let chain = trace_path(&events, 5);
+        assert_eq!(chain.len(), 5);
+        assert!(chain.iter().all(|e| e.trace == 5));
+        // Sorted by time even though hops interleave across tracks.
+        assert!(chain.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! `pmtop` — live dashboard over pipemare stats endpoints.
+//!
+//! Each endpoint is a plain-TCP stats socket (see
+//! `pipemare_telemetry::scrape`): connect, read one JSON line, done.
+//! Processes expose one when launched with `PIPEMARE_STATS_ADDR` set
+//! (stage workers, the orchestrator, the serving example).
+//!
+//! ```text
+//! pmtop <addr>... [--watch SECS] [--once] [--json]
+//!       [--baseline FILE] [--save-baseline FILE]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pipemare_telemetry::json::{self, Value};
+use pipemare_telemetry::{scrape_once, top};
+
+const USAGE: &str = "pmtop: live dashboard over pipemare stats endpoints
+
+usage:
+  pmtop <addr>... [options]
+
+options:
+  --watch SECS          re-poll and redraw every SECS seconds (default 2)
+  --once                poll once, print, exit (for scripts / CI)
+  --json                print the raw JSON payloads instead of the table
+  --baseline FILE       render run-vs-run deltas against a saved payload
+  --save-baseline FILE  write the first endpoint's payload to FILE and exit
+
+endpoints are plain TCP stats sockets: any process started with
+PIPEMARE_STATS_ADDR=host:port answers each connection with one JSON
+line (try `nc host port`).
+";
+
+struct Options {
+    addrs: Vec<String>,
+    watch_secs: f64,
+    once: bool,
+    json: bool,
+    baseline: Option<String>,
+    save_baseline: Option<String>,
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("pmtop: {flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(raw))
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let watch_secs = match take_opt(&mut args, "--watch")? {
+        Some(raw) => raw.parse::<f64>().map_err(|_| format!("pmtop: bad --watch value: {raw}"))?,
+        None => 2.0,
+    };
+    let opts = Options {
+        once: take_flag(&mut args, "--once"),
+        json: take_flag(&mut args, "--json"),
+        baseline: take_opt(&mut args, "--baseline")?,
+        save_baseline: take_opt(&mut args, "--save-baseline")?,
+        watch_secs,
+        addrs: args,
+    };
+    if opts.addrs.is_empty() || opts.addrs.iter().any(|a| a.starts_with("--")) {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+fn poll(addrs: &[String]) -> Result<Vec<(String, Value)>, String> {
+    let mut out = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let line =
+            scrape_once(addr, Duration::from_secs(2)).map_err(|e| format!("pmtop: {addr}: {e}"))?;
+        let v = json::parse(&line).map_err(|e| format!("pmtop: {addr}: bad payload: {e}"))?;
+        out.push((addr.clone(), v));
+    }
+    Ok(out)
+}
+
+fn render_round(opts: &Options, baseline: Option<&Value>) -> Result<String, String> {
+    let snaps = poll(&opts.addrs)?;
+    if opts.json {
+        let mut out = String::new();
+        for (_, v) in &snaps {
+            out.push_str(&v.to_compact());
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    let mut out = top::render_many(&snaps);
+    if let Some(base) = baseline {
+        out.push('\n');
+        out.push_str(&top::render_delta(&snaps[0].0, &snaps[0].1, base));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    if let Some(path) = &opts.save_baseline {
+        let snaps = poll(&opts.addrs)?;
+        std::fs::write(path, snaps[0].1.to_compact()).map_err(|e| format!("pmtop: {path}: {e}"))?;
+        eprintln!("pmtop: baseline for {} saved to {path}", snaps[0].0);
+        return Ok(());
+    }
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("pmtop: {path}: {e}"))?;
+            Some(json::parse(&text).map_err(|e| format!("pmtop: {path}: bad baseline: {e}"))?)
+        }
+        None => None,
+    };
+    if opts.once {
+        print!("{}", render_round(&opts, baseline.as_ref())?);
+        return Ok(());
+    }
+    loop {
+        let frame = render_round(&opts, baseline.as_ref())?;
+        // Clear the screen and home the cursor between frames.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs_f64(opts.watch_secs.max(0.1)));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

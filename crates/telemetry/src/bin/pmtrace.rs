@@ -8,6 +8,7 @@
 //! pmtrace summary <trace> [--seg S] [--json]
 //! pmtrace drift   <trace> [--windows N]
 //! pmtrace diff    <a> <b>
+//! pmtrace path    <trace> <id> [--json]
 //! ```
 
 use std::path::Path;
@@ -31,6 +32,11 @@ usage:
   pmtrace diff <a> <b>
       Compare two runs stage by stage: utilization, wait, measured
       delays, bubble fraction, throughput.
+  pmtrace path <trace> <id> [--json]
+      Reconstruct the causal span chain of one trace id (a training
+      microbatch or a serving request) across processes: each hop with
+      its track, stage, duration and inter-hop gap, plus end-to-end
+      latency. Works on merged distributed traces.
 ";
 
 fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
@@ -94,6 +100,19 @@ fn run() -> Result<(), String> {
                 return Err(USAGE.to_string());
             };
             print!("{}", analyze::diff_text(&load(a)?, &load(b)?, a, b));
+        }
+        "path" => {
+            let json = take_flag(&mut args, "--json");
+            let [path, id] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            let id: u64 = id.parse().map_err(|_| format!("pmtrace: bad trace id: {id}"))?;
+            let events = load(path)?;
+            if json {
+                println!("{}", analyze::path_json(&events, id).to_pretty());
+            } else {
+                print!("{}", analyze::path_text(&events, id));
+            }
         }
         _ => return Err(USAGE.to_string()),
     }

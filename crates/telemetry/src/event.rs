@@ -84,6 +84,11 @@ impl SpanKind {
 /// Sentinel for [`TraceEvent::microbatch`] when no microbatch applies.
 pub const NO_MICROBATCH: u32 = u32::MAX;
 
+/// Sentinel for [`TraceEvent::trace`] when no causal trace id applies.
+/// Real trace ids are nonzero, so `0` doubles as "absent" on the wire
+/// and in JSONL (the field is simply omitted).
+pub const NO_TRACE: u64 = 0;
+
 /// One recorded span or instant. `Copy` so the hot path never allocates.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceEvent {
@@ -100,6 +105,12 @@ pub struct TraceEvent {
     pub ts_us: u64,
     /// Duration in microseconds (0 for instants).
     pub dur_us: u64,
+    /// Causal trace id stamped on this event, or [`NO_TRACE`]. Unlike
+    /// `microbatch` (a per-run index that collides across processes and
+    /// restarts), a trace id survives the wire: the same id stamped on a
+    /// request's spans in every process lets `pmtrace path <id>`
+    /// reconstruct its cross-process critical path from a merged trace.
+    pub trace: u64,
 }
 
 /// The write side of the tracing subsystem.
@@ -120,6 +131,22 @@ pub trait Recorder: Sync {
 
     /// Convenience: records a completed span from its measured endpoints.
     fn record_span(&self, kind: SpanKind, track: u32, stage: u32, mb: u32, t0: u64, t1: u64) {
+        self.record_span_traced(kind, track, stage, mb, NO_TRACE, t0, t1);
+    }
+
+    /// Convenience: records a completed span stamped with a causal
+    /// trace id (see [`TraceEvent::trace`]).
+    #[allow(clippy::too_many_arguments)]
+    fn record_span_traced(
+        &self,
+        kind: SpanKind,
+        track: u32,
+        stage: u32,
+        mb: u32,
+        trace: u64,
+        t0: u64,
+        t1: u64,
+    ) {
         self.record(TraceEvent {
             kind,
             track,
@@ -127,13 +154,22 @@ pub trait Recorder: Sync {
             microbatch: mb,
             ts_us: t0,
             dur_us: t1.saturating_sub(t0),
+            trace,
         });
     }
 
     /// Convenience: records an instant event at the current time.
     fn record_instant(&self, kind: SpanKind, track: u32, stage: u32, mb: u32) {
         let now = self.now_us();
-        self.record(TraceEvent { kind, track, stage, microbatch: mb, ts_us: now, dur_us: 0 });
+        self.record(TraceEvent {
+            kind,
+            track,
+            stage,
+            microbatch: mb,
+            ts_us: now,
+            dur_us: 0,
+            trace: NO_TRACE,
+        });
     }
 }
 
@@ -315,6 +351,7 @@ mod tests {
             microbatch: 0,
             ts_us: 50,
             dur_us: 10,
+            trace: NO_TRACE,
         });
         r.record(TraceEvent {
             kind: SpanKind::Forward,
@@ -323,6 +360,7 @@ mod tests {
             microbatch: 0,
             ts_us: 5,
             dur_us: 10,
+            trace: NO_TRACE,
         });
         let evs = r.events();
         assert_eq!(evs.len(), 2);
@@ -358,6 +396,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: track as u64,
                 dur_us: 1,
+                trace: NO_TRACE,
             });
         }
         assert_eq!(wide.len(), 64);
@@ -371,6 +410,7 @@ mod tests {
             microbatch: 0,
             ts_us: 10,
             dur_us: 1,
+            trace: NO_TRACE,
         });
         narrow.record(TraceEvent {
             kind: SpanKind::Forward,
@@ -379,6 +419,7 @@ mod tests {
             microbatch: 0,
             ts_us: 5,
             dur_us: 1,
+            trace: NO_TRACE,
         });
         let evs = narrow.events();
         assert_eq!(evs.iter().map(|e| e.track).collect::<Vec<_>>(), vec![0, 32]);

@@ -10,13 +10,16 @@
 use std::io;
 use std::path::Path;
 
-use crate::event::{SpanKind, TraceEvent, NO_MICROBATCH};
+use crate::event::{SpanKind, TraceEvent, NO_MICROBATCH, NO_TRACE};
 use crate::json::Value;
 
 fn event_args(ev: &TraceEvent) -> Value {
     let mut args = Value::obj().set("stage", ev.stage as u64);
     if ev.microbatch != NO_MICROBATCH {
         args = args.set("microbatch", ev.microbatch as u64);
+    }
+    if ev.trace != NO_TRACE {
+        args = args.set("trace", ev.trace);
     }
     args
 }
@@ -123,6 +126,10 @@ pub fn chrome_trace_events(doc: &Value) -> Result<Vec<TraceEvent>, String> {
             Some(mb) => mb as u32,
             None => NO_MICROBATCH,
         };
+        let trace = match args.get("trace").and_then(Value::as_f64) {
+            Some(t) => t as u64,
+            None => NO_TRACE,
+        };
         events.push(TraceEvent {
             kind,
             track: field("tid")? as u32,
@@ -130,6 +137,7 @@ pub fn chrome_trace_events(doc: &Value) -> Result<Vec<TraceEvent>, String> {
             microbatch,
             ts_us: field("ts")? as u64,
             dur_us: if ph == "X" { field("dur")? as u64 } else { 0 },
+            trace,
         });
     }
     Ok(events)
@@ -145,6 +153,9 @@ pub fn event_to_jsonl(ev: &TraceEvent) -> String {
         .set("dur_us", ev.dur_us);
     if ev.microbatch != NO_MICROBATCH {
         obj = obj.set("microbatch", ev.microbatch as u64);
+    }
+    if ev.trace != NO_TRACE {
+        obj = obj.set("trace", ev.trace);
     }
     obj.to_compact()
 }
@@ -184,6 +195,7 @@ pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
         },
         ts_us: num("ts_us")?,
         dur_us: num("dur_us")?,
+        trace: if v.get("trace").is_some() { num("trace")? } else { NO_TRACE },
     })
 }
 
@@ -290,6 +302,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: 1,
                 dur_us: 0,
+                trace: 1,
             },
             TraceEvent {
                 kind: SpanKind::Forward,
@@ -298,6 +311,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: 2,
                 dur_us: 10,
+                trace: 1,
             },
             TraceEvent {
                 kind: SpanKind::Backward,
@@ -306,6 +320,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: 13,
                 dur_us: 20,
+                trace: NO_TRACE,
             },
             TraceEvent {
                 kind: SpanKind::Flush,
@@ -314,6 +329,7 @@ mod tests {
                 microbatch: NO_MICROBATCH,
                 ts_us: 34,
                 dur_us: 5,
+                trace: NO_TRACE,
             },
         ]
     }
@@ -395,8 +411,12 @@ mod tests {
             assert_eq!(v.get("kind").unwrap().as_str(), Some(ev.kind.name()));
             assert_eq!(v.get("ts_us").unwrap().as_f64(), Some(ev.ts_us as f64));
         }
-        // The flush row (no microbatch) must omit the field.
-        assert!(json::parse(&lines[3]).unwrap().get("microbatch").is_none());
+        // The flush row (no microbatch, no trace) must omit both fields;
+        // the forward row carries its trace id.
+        let flush = json::parse(&lines[3]).unwrap();
+        assert!(flush.get("microbatch").is_none());
+        assert!(flush.get("trace").is_none());
+        assert_eq!(json::parse(&lines[1]).unwrap().get("trace").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]
@@ -433,6 +453,7 @@ mod tests {
                 microbatch: NO_MICROBATCH,
                 ts_us: 2,
                 dur_us: 9,
+                trace: NO_TRACE,
             },
             TraceEvent {
                 kind: SpanKind::Recompute,
@@ -441,6 +462,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: 14,
                 dur_us: 3,
+                trace: 1,
             },
             TraceEvent {
                 kind: SpanKind::Backward,
@@ -449,6 +471,7 @@ mod tests {
                 microbatch: 0,
                 ts_us: 20,
                 dur_us: 8,
+                trace: 1,
             },
         ]);
         let dir = std::env::temp_dir().join("pipemare-telemetry-roundtrip");

@@ -15,7 +15,7 @@
 //! ## Write protocol
 //!
 //! Each track owns a ring of slots; each slot is a per-slot seqlock: a
-//! `seq` word plus four packed payload words. A writer claims a slot
+//! `seq` word plus five packed payload words. A writer claims a slot
 //! index with one `fetch_add` on the track cursor, marks the slot's
 //! `seq` odd (write in progress), stores the payload, and publishes
 //! `seq = (index + 1) << 1` with `Release`. Readers validate `seq`
@@ -35,11 +35,11 @@
 //!
 //! ## Sizing guidance
 //!
-//! One slot is 40 bytes (five `u64` words). The threaded executor emits
+//! One slot is 48 bytes (six `u64` words). The threaded executor emits
 //! ≈ 4 events per microbatch per stage (forward, backward, two queue
 //! waits), so a ring of `capacity` slots holds the last
 //! `capacity / 4` microbatches of history per stage. The default
-//! (`DEFAULT_CAPACITY` = 4096 slots ≈ 160 KiB/track) covers ~1000
+//! (`DEFAULT_CAPACITY` = 4096 slots ≈ 192 KiB/track) covers ~1000
 //! microbatches per stage; size up with [`FlightRecorder::new`] if your
 //! anomaly-to-dump window spans more.
 
@@ -93,6 +93,8 @@ struct Slot {
     w2: AtomicU64,
     /// `dur_us`.
     w3: AtomicU64,
+    /// `trace` (causal trace id; [`crate::NO_TRACE`] when absent).
+    w4: AtomicU64,
 }
 
 impl Slot {
@@ -103,6 +105,7 @@ impl Slot {
             w1: AtomicU64::new(0),
             w2: AtomicU64::new(0),
             w3: AtomicU64::new(0),
+            w4: AtomicU64::new(0),
         }
     }
 }
@@ -222,6 +225,7 @@ impl FlightRecorder {
                 let w1 = slot.w1.load(Ordering::Relaxed);
                 let w2 = slot.w2.load(Ordering::Relaxed);
                 let w3 = slot.w3.load(Ordering::Relaxed);
+                let w4 = slot.w4.load(Ordering::Relaxed);
                 // Order the payload loads before the validation re-read.
                 fence(Ordering::Acquire);
                 if slot.seq.load(Ordering::Relaxed) != seq1 {
@@ -234,6 +238,7 @@ impl FlightRecorder {
                     microbatch: (w1 >> 32) as u32,
                     ts_us: w2,
                     dur_us: w3,
+                    trace: w4,
                 });
             }
         }
@@ -289,6 +294,7 @@ impl Recorder for FlightRecorder {
         slot.w1.store(ev.stage as u64 | (ev.microbatch as u64) << 32, Ordering::Relaxed);
         slot.w2.store(ev.ts_us, Ordering::Relaxed);
         slot.w3.store(ev.dur_us, Ordering::Relaxed);
+        slot.w4.store(ev.trace, Ordering::Relaxed);
         slot.seq.store((idx + 1) << 1, Ordering::Release);
     }
 }
@@ -312,6 +318,7 @@ mod tests {
             microbatch: mb,
             ts_us: ts,
             dur_us: 3,
+            trace: crate::event::NO_TRACE,
         }
     }
 
@@ -342,6 +349,7 @@ mod tests {
             microbatch: NO_MICROBATCH,
             ts_us: 42,
             dur_us: 7,
+            trace: 0xdead_beef_cafe,
         };
         rec.record(original);
         assert_eq!(rec.snapshot(), vec![original]);
@@ -488,6 +496,7 @@ mod tests {
                             microbatch: i as u32,
                             ts_us: i,
                             dur_us: i,
+                            trace: i,
                         });
                     }
                 })
@@ -497,6 +506,7 @@ mod tests {
                 for e in rec.snapshot() {
                     assert_eq!(e.microbatch as u64, e.ts_us, "torn slot surfaced");
                     assert_eq!(e.ts_us, e.dur_us, "torn slot surfaced");
+                    assert_eq!(e.trace, e.ts_us, "torn slot surfaced");
                     assert_eq!(e.stage, 7);
                 }
             }

@@ -1193,6 +1193,7 @@ mod tests {
             microbatch: mb,
             ts_us: ts,
             dur_us: 1,
+            trace: crate::event::NO_TRACE,
         };
         mon.ingest_events(&[
             span(SpanKind::Forward, 0, 0, 0),

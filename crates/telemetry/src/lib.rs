@@ -30,8 +30,18 @@
 //!   [`health::RunReport`]s.
 //! * [`analyze`]: the `pmtrace` trace-analysis engine — per-stage
 //!   utilization and wait breakdown, windowed bubble/τ drift against
-//!   the nominal models, straggler identification, and run diffs over
-//!   JSONL or Chrome traces (also shipped as the `pmtrace` binary).
+//!   the nominal models, straggler identification, causal-path
+//!   reconstruction by trace id, and run diffs over JSONL or Chrome
+//!   traces (also shipped as the `pmtrace` binary).
+//! * [`store`]: the live plane — [`LiveStore`], a fixed-size ring of
+//!   periodic snapshots (counter deltas, per-stage utilization and τ
+//!   drift folded incrementally from a flight recorder) sampled by the
+//!   background [`StoreTicker`].
+//! * [`scrape`]: the plain-TCP stats endpoint serving one JSON line
+//!   per connection, plus the [`scrape_once`] polling client `pmtop`
+//!   is built on.
+//! * [`top`]: the `pmtop` live-dashboard render engine (also shipped
+//!   as the `pmtop` binary).
 //! * [`json`]: the minimal JSON document model the exporters are built
 //!   on (the workspace has no serde).
 //!
@@ -64,10 +74,14 @@ pub mod flight;
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod scrape;
+pub mod store;
 pub mod summary;
+pub mod top;
 
 pub use event::{
     EventSource, NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH,
+    NO_TRACE,
 };
 pub use export::{
     chrome_trace, chrome_trace_events, event_from_jsonl, event_to_jsonl, events_from_jsonl_string,
@@ -81,5 +95,9 @@ pub use health::{
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use scrape::{scrape_once, StatsEndpoint};
+pub use store::{
+    LiveSample, LiveStore, StageLive, StoreTicker, DEFAULT_SAMPLES, SAMPLE_COST_BOUND_US,
 };
 pub use summary::{PipelineTimelineSummary, StageTimeline};

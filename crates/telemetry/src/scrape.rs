@@ -1,0 +1,147 @@
+//! The plain-TCP stats endpoint: one connection, one line of JSON.
+//!
+//! The wire-protocol `StatsRequest`/`StatsReply` pair serves peers that
+//! already speak the framed pipemare protocol; this module is the
+//! lowest-common-denominator complement, so anything that can open a
+//! TCP socket — `pmtop`, `nc`, a shell script — can poll a live
+//! process. The contract is deliberately tiny: connect, receive one
+//! compact JSON line (the [`LiveStore::scrape_json`] payload) followed
+//! by a newline, connection closes. No request parsing, no HTTP.
+//!
+//! The endpoint thread only ever reads the live store's ring (see the
+//! store's staleness contract); a scrape can never block recording
+//! threads.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::store::LiveStore;
+
+/// A background TCP listener answering each connection with one JSON
+/// scrape line. Dropping the handle stops it.
+pub struct StatsEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatsEndpoint {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, store: Arc<LiveStore>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept polled on a short sleep keeps shutdown
+        // prompt without platform-specific socket shenanigans.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pm-stats-endpoint".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut conn, _)) => {
+                            let line = store.scrape_line();
+                            let _ = conn.write_all(line.as_bytes());
+                            let _ = conn.write_all(b"\n");
+                            let _ = conn.flush();
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning the stats endpoint thread cannot fail");
+        Ok(StatsEndpoint { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatsEndpoint {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Polls one endpoint: connects to `addr`, reads the JSON line, closes.
+///
+/// # Errors
+///
+/// Propagates connect/read failures; an empty reply is an error.
+pub fn scrape_once(addr: &str, timeout: Duration) -> io::Result<String> {
+    let sock_addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad address: {e}")))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let line = line.trim_end().to_string();
+    if line.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "empty stats reply"));
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn endpoint_serves_one_line_json_per_connection() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("hits").add(2);
+        let store = Arc::new(LiveStore::new("endpoint-test", 1).with_registry(reg));
+        store.sample();
+        let mut ep = StatsEndpoint::bind("127.0.0.1:0", Arc::clone(&store)).unwrap();
+        let addr = ep.addr().to_string();
+        for _ in 0..3 {
+            let line = scrape_once(&addr, Duration::from_secs(2)).unwrap();
+            let v = json::parse(&line).unwrap();
+            assert_eq!(v.get("role").unwrap().as_str(), Some("endpoint-test"));
+            assert_eq!(
+                v.get("metrics").unwrap().get("hits").unwrap().get("value").unwrap().as_f64(),
+                Some(2.0)
+            );
+        }
+        ep.stop();
+        // After stop, connections must fail (possibly after the OS
+        // drains the backlog; give it a couple of tries).
+        let mut ok = 0;
+        for _ in 0..3 {
+            if scrape_once(&addr, Duration::from_millis(200)).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok <= 1, "endpoint kept answering after stop");
+    }
+
+    #[test]
+    fn scrape_once_rejects_bad_addresses() {
+        assert!(scrape_once("not-an-addr", Duration::from_millis(100)).is_err());
+    }
+}

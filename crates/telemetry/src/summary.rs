@@ -245,7 +245,7 @@ mod tests {
     use crate::event::NO_MICROBATCH;
 
     fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
-        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+        TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur, trace: 0 }
     }
 
     #[test]

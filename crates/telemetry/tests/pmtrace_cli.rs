@@ -17,7 +17,7 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 fn span(kind: SpanKind, stage: u32, mb: u32, ts: u64, dur: u64) -> TraceEvent {
-    TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur }
+    TraceEvent { kind, track: stage, stage, microbatch: mb, ts_us: ts, dur_us: dur, trace: 0 }
 }
 
 fn sample(scale: u64) -> Vec<TraceEvent> {

@@ -65,6 +65,12 @@ fn main() {
         serve_checkpoint(Arc::clone(&model), params.clone(), cfg).expect("server starts");
     let addr = server.listen_tcp("127.0.0.1:0").expect("listen");
     println!("serving a {IN}-feature MLP over {STAGES} stages on {addr}");
+    // With PIPEMARE_STATS_ADDR set the server also answers plain-TCP
+    // stats scrapes — point `pmtop` at it while the sweeps run.
+    if let Some(stats) = std::env::var("PIPEMARE_STATS_ADDR").ok().filter(|a| !a.is_empty()) {
+        let bound = server.serve_stats_tcp(&stats).expect("stats endpoint binds");
+        println!("STATS {bound}");
+    }
 
     // --- Concurrent TCP clients, bit-checked ------------------------
     let mut clients = Vec::new();

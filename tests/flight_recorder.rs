@@ -131,8 +131,8 @@ fn flight_attached_training_is_bit_identical() {
 }
 
 fn arb_event() -> impl Strategy<Value = TraceEvent> {
-    ((0usize..8, 0u32..6, 0u32..6), (0u32..101, 0u64..1_000_000, 0u64..10_000)).prop_map(
-        |((k, track, stage), (mb, ts_us, dur_us))| {
+    ((0usize..8, 0u32..6, 0u32..6), (0u32..101, 0u64..1_000_000, 0u64..10_000, 0u64..5)).prop_map(
+        |((k, track, stage), (mb, ts_us, dur_us, trace))| {
             let kind = match k {
                 0 => SpanKind::Forward,
                 1 => SpanKind::Backward,
@@ -151,6 +151,7 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                 ts_us,
                 // Instants carry no duration through the Chrome format.
                 dur_us: if kind.is_instant() { 0 } else { dur_us },
+                trace,
             }
         },
     )
@@ -188,6 +189,7 @@ proptest! {
                 microbatch: i as u32,
                 ts_us: i as u64,
                 dur_us: 0,
+                trace: 0,
             });
         }
         prop_assert_eq!(flight.recorded(), n_events as u64);
@@ -222,6 +224,7 @@ proptest! {
                             microbatch: i as u32,
                             ts_us: i as u64,
                             dur_us: 1,
+                            trace: 0,
                         });
                     }
                 });

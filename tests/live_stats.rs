@@ -1,0 +1,296 @@
+//! End-to-end live observability plane: the in-band wire scrape
+//! (`StatsRequest`/`StatsReply`), the plain-TCP stats endpoint, the
+//! `pmtop` rendering layer over real payloads, and cross-process trace
+//! ids surviving a round trip through a live serving frontend.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pipemare::comms::{
+    channel, loopback_pair, run_stage_worker_stats, spawn_loopback_workers, DistConfig,
+    DistributedTrainer, Message, PassKind, StageConfig, PROTOCOL_VERSION,
+};
+use pipemare::nn::{ImageBatch, Mlp, TrainModel};
+use pipemare::pipeline::Method;
+use pipemare::serve::{InferClient, ServeConfig};
+use pipemare::telemetry::analyze;
+use pipemare::telemetry::json;
+use pipemare::telemetry::top;
+use pipemare::telemetry::{scrape_once, EventSource, SpanKind};
+use pipemare::tensor::{StoragePrecision, Tensor};
+use pipemare_core::serve_checkpoint;
+
+use pipemare::optim::{ConstantLr, OptimizerKind, T1Rescheduler};
+
+/// A single-stage worker handshake config covering the whole (tiny)
+/// parameter vector.
+fn one_stage_config() -> StageConfig {
+    StageConfig {
+        protocol: PROTOCOL_VERSION,
+        stage: 0,
+        stages: 1,
+        n_micro: 2,
+        method: Method::PipeMare,
+        param_len: 4,
+        shard_lo: 0,
+        shard_hi: 4,
+        opt: OptimizerKind::Momentum { beta: 0.9, weight_decay: 0.0 },
+        t2_decay: None,
+        gamma: 0.9,
+        recomp_slots: None,
+        recomp_t2: false,
+        warmup_steps: 0,
+        weight_storage: StoragePrecision::F32,
+    }
+}
+
+#[test]
+fn stage_worker_answers_in_band_stats_scrape() {
+    let (driver_end, worker_end) = loopback_pair();
+    let worker = thread::spawn(move || {
+        let (tx, rx) = channel(Box::new(worker_end))?;
+        run_stage_worker_stats(tx, rx, None)
+    });
+    let (mut tx, mut rx) = channel(Box::new(driver_end)).expect("driver channel");
+
+    tx.send(&Message::Hello(one_stage_config())).unwrap();
+    match rx.recv().unwrap() {
+        Message::HelloAck { protocol, stage, .. } => {
+            assert_eq!(protocol, PROTOCOL_VERSION);
+            assert_eq!(stage, 0);
+        }
+        other => panic!("expected HelloAck, got {}", other.name()),
+    }
+    tx.send(&Message::InitShard { params: vec![0.1, 0.2, 0.3, 0.4] }).unwrap();
+
+    // One forward fetch so the worker records a span — and stamps the
+    // microbatch's trace id (0-based id + 1) on the Shard frame.
+    tx.send(&Message::FetchShard { step: 0, micro: 0, pass: PassKind::Fwd }).unwrap();
+    match rx.recv().unwrap() {
+        Message::Shard { micro, trace, .. } => {
+            assert_eq!(micro, 0);
+            assert_eq!(trace, 1, "shard frames must carry micro's causal trace id");
+        }
+        other => panic!("expected Shard, got {}", other.name()),
+    }
+
+    // The in-band scrape: sampled on demand, answered on the same link.
+    tx.send(&Message::StatsRequest { id: 7 }).unwrap();
+    match rx.recv().unwrap() {
+        Message::StatsReply { id, json: payload } => {
+            assert_eq!(id, 7);
+            let v = json::parse(&payload).expect("stats payload parses");
+            assert_eq!(v.get("role").unwrap().as_str(), Some("worker-0"));
+            assert!(
+                v.get("seq").unwrap().as_f64().unwrap() >= 1.0,
+                "on-demand scrape must carry a fresh sample"
+            );
+            // Wire gauges bound at handshake mirror the link traffic.
+            let tx_bytes = v
+                .get("metrics")
+                .and_then(|m| m.get("wire.orchestrator.tx_bytes"))
+                .and_then(|g| g.get("value"))
+                .and_then(|x| x.as_f64())
+                .expect("wire tx gauge present");
+            assert!(tx_bytes > 0.0, "worker has sent frames by now");
+            // The payload renders as a pmtop block without panicking.
+            let text = top::render("worker", &v);
+            assert!(text.contains("role worker-0"), "{text}");
+        }
+        other => panic!("expected StatsReply, got {}", other.name()),
+    }
+
+    tx.send(&Message::Shutdown).unwrap();
+    match rx.recv().unwrap() {
+        Message::Telemetry { .. } => {}
+        other => panic!("expected Telemetry, got {}", other.name()),
+    }
+    match rx.recv().unwrap() {
+        Message::ShutdownAck { .. } => {}
+        other => panic!("expected ShutdownAck, got {}", other.name()),
+    }
+    worker.join().expect("worker thread").expect("worker exits cleanly");
+}
+
+#[test]
+fn serve_server_scrapes_over_tcp_and_traces_requests() {
+    let model = Arc::new(Mlp::new(&[4, 12, 3]));
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut params = vec![0.0; TrainModel::param_len(&*model)];
+    TrainModel::init_params(&*model, &mut params, &mut rng);
+    let cfg = ServeConfig { stages: 2, ..Default::default() };
+    let (mut server, recorder) =
+        serve_checkpoint(Arc::clone(&model), params.clone(), cfg).expect("server starts");
+    let stats = server.serve_stats_tcp("127.0.0.1:0").expect("stats endpoint binds");
+
+    let mut client =
+        InferClient::connect(Box::new(server.connect_loopback())).expect("client connects");
+    client.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    for _ in 0..3 {
+        let x = Tensor::randn(&[1, 4], &mut rng);
+        assert_eq!(client.infer(&x).expect("served"), model.logits(&params, &x));
+    }
+
+    // Deterministic freshness: sample explicitly instead of waiting out
+    // the background ticker's period.
+    server.live_store().sample();
+    let line = scrape_once(&stats.to_string(), Duration::from_secs(2)).expect("scrape");
+    let v = json::parse(&line).expect("payload parses");
+    assert_eq!(v.get("role").unwrap().as_str(), Some("serve"));
+    assert_eq!(v.get("n_stages").unwrap().as_f64(), Some(2.0));
+    let accepted = v
+        .get("metrics")
+        .and_then(|m| m.get("serve.accepted"))
+        .and_then(|c| c.get("value"))
+        .and_then(|x| x.as_f64())
+        .expect("serve.accepted counter present");
+    assert!(accepted >= 3.0, "three requests were admitted, metric says {accepted}");
+    assert!(
+        v.get("metrics").and_then(|m| m.get("serve.batch_rows")).is_some(),
+        "batch-size histogram exported"
+    );
+    let text = top::render(&stats.to_string(), &v);
+    assert!(text.contains("serve:"), "pmtop renders the serve line:\n{text}");
+
+    // Request 0's trace id (0 + 1) reconstructs a cross-thread path:
+    // queue wait -> its batch's coalesce -> the engine's stage forwards.
+    let events = recorder.snapshot_events();
+    let path = analyze::trace_path(&events, 1);
+    assert!(
+        path.iter().any(|e| e.kind == SpanKind::QueueWaitFwd),
+        "path must include the request's queue wait"
+    );
+    assert!(
+        path.iter().filter(|e| e.kind == SpanKind::Forward).count() >= 2,
+        "path must include every stage's forward hop"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn orchestrator_live_store_sees_stages_and_wire_traffic() {
+    let model = Mlp::new(&[4, 10, 2]);
+    let stages = 2;
+    let n_micro = 2;
+    let cfg = DistConfig::pipemare(
+        stages,
+        n_micro,
+        OptimizerKind::Momentum { beta: 0.9, weight_decay: 0.0 },
+        Box::new(ConstantLr(0.05)),
+        T1Rescheduler::new(24),
+        0.9,
+    );
+    let (transports, handles) = spawn_loopback_workers(stages);
+    let mut trainer =
+        DistributedTrainer::connect(&model, cfg, 3, transports).expect("trainer connects");
+    let weights = vec![1.0 / n_micro as f32; n_micro];
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..2 {
+        let micro: Vec<ImageBatch> = (0..n_micro)
+            .map(|_| ImageBatch { x: Tensor::randn(&[4, 4], &mut rng), y: vec![0, 1, 0, 1] })
+            .collect();
+        trainer.train_minibatch(&micro, &weights).expect("minibatch trains");
+    }
+
+    let store = trainer.live_store();
+    store.sample();
+    let v = json::parse(&store.scrape_line()).expect("payload parses");
+    assert_eq!(v.get("role").unwrap().as_str(), Some("orchestrator"));
+    for s in 0..stages {
+        let g = v
+            .get("metrics")
+            .and_then(|m| m.get(&format!("wire.stage{s}.tx_bytes")))
+            .and_then(|g| g.get("value"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        assert!(g > 0.0, "stage {s} wire gauge must reflect sent traffic");
+    }
+    assert!(store.latest().is_some(), "store holds a sample");
+    trainer.shutdown().expect("clean shutdown");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker ok");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NTP-lite offset alignment under skewed clocks
+// ---------------------------------------------------------------------------
+
+use pipemare::telemetry::{merge_worker_events, sort_events, TraceEvent, NO_TRACE};
+use proptest::prelude::*;
+
+fn span(track: u32, ts_us: u64) -> TraceEvent {
+    TraceEvent {
+        kind: SpanKind::Forward,
+        track,
+        stage: track,
+        microbatch: 0,
+        ts_us,
+        dur_us: 1,
+        trace: NO_TRACE,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The handshake's NTP-lite estimate (worker clock sampled between
+    /// two driver clock reads, offset = clock − midpoint) aligns merged
+    /// traces to within half the handshake round trip: every merged
+    /// timestamp lands within rtt/2 of its true driver time, and any
+    /// two events from different workers separated by more than the
+    /// worst rtt keep their true order after the merge.
+    #[test]
+    fn skewed_worker_clocks_align_within_half_rtt(
+        skews in proptest::collection::vec(0u64..10_000_000, 2..5),
+        rtts in proptest::collection::vec(2u64..5_000, 2..5),
+        sample_fracs in proptest::collection::vec(0u64..=100, 2..5),
+        seed in 0u64..1_000,
+    ) {
+        let workers = skews.len().min(rtts.len()).min(sample_fracs.len());
+        let max_rtt = rtts[..workers].iter().copied().max().unwrap();
+        // True driver-time instants, one event per worker per round,
+        // spaced > max_rtt so cross-worker order is decidable.
+        let base = 50_000_000u64;
+        let gap = max_rtt + 1_000 + seed;
+        let mut merged = Vec::new();
+        let mut truth = Vec::new(); // (true driver ts, worker)
+        for (w, ((&skew, &rtt), &frac)) in
+            skews.iter().zip(&rtts).zip(&sample_fracs).take(workers).enumerate()
+        {
+            // Handshake: driver reads t_d0, worker samples its clock at
+            // some point inside the round trip, driver reads t_d1.
+            let t_d0 = 1_000u64;
+            let t_d1 = t_d0 + rtt;
+            let t_sample = t_d0 + rtt * frac / 100;
+            let clock_us = t_sample + skew; // the worker's HelloAck clock
+            let offset = clock_us as i64 - ((t_d0 + t_d1) / 2) as i64;
+
+            let events: Vec<TraceEvent> = (0..4u64)
+                .map(|round| {
+                    let true_ts = base + round * workers as u64 * gap + w as u64 * gap;
+                    truth.push((true_ts, w));
+                    span(w as u32, true_ts + skew) // worker-clock stamp
+                })
+                .collect();
+            merge_worker_events(&mut merged, &events, w as u32, offset);
+        }
+        sort_events(&mut merged);
+        truth.sort_unstable();
+
+        // 1. Residual error bounded by half the handshake round trip.
+        for (ev, &(true_ts, w)) in merged.iter().zip(&truth) {
+            prop_assert_eq!(ev.track as usize, w, "order must match truth");
+            let err = ev.ts_us.abs_diff(true_ts);
+            prop_assert!(
+                err <= rtts[w] / 2 + 1,
+                "worker {} merged ts {} vs true {} (err {} > rtt/2 {})",
+                w, ev.ts_us, true_ts, err, rtts[w] / 2
+            );
+        }
+    }
+}

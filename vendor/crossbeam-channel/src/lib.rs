@@ -197,6 +197,16 @@ impl<T> Sender<T> {
         self.chan.not_empty.notify_one();
         Ok(())
     }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Receiver<T> {
