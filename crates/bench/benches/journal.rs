@@ -1,0 +1,184 @@
+//! Durable-journal overhead: what writing telemetry history to disk
+//! costs the live plane, plus deterministic evidence that the format's
+//! guarantees hold on this host.
+//!
+//! Four questions, the first with a stated bound enforced in-process:
+//!
+//! 1. **Per-append cost** — one [`JournalWriter::append`] of a busy
+//!    sample (4 stages, the metric families real roles export) must
+//!    stay under [`JOURNAL_APPEND_BOUND_US`] at the median. The append
+//!    runs on the ticker thread, never a training/serving thread, so
+//!    this bounds observability lag, not hot-path work — but a slow
+//!    append would starve the 250 ms ticker, so it is gated anyway.
+//! 2. **Bytes per sample** — the raw frame size for that sample shape
+//!    (deterministic: length-prefixed fields, f64 bit patterns).
+//! 3. **Rotation + compaction** — a byte-capped config over a fixed
+//!    sample stream must rotate and compact to the same segment/rollup
+//!    counts on every host.
+//! 4. **Crash tolerance** — cutting the tail frame mid-byte and
+//!    reopening must yield a clean prefix with the torn frame counted.
+//!
+//! The run writes `bench_journal.json`: `journal.*` keys are
+//! deterministic and gated by `scripts/check_bench.sh`; `seconds.*` /
+//! `metric.*` keys are informational wall-clock numbers.
+//!
+//! Passing `--test` anywhere runs a smoke version; the deterministic
+//! workload and keys are identical in both modes.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use pipemare_bench::report::ExperimentLog;
+use pipemare_telemetry::{
+    JournalConfig, JournalReader, JournalWriter, LiveSample, MetricValue, MetricsSnapshot,
+    StageLive, JOURNAL_APPEND_BOUND_US,
+};
+
+const STAGES: usize = 4;
+
+/// A busy sample: 4 live stages plus the wire/health/serve metric
+/// families real roles export. Values vary with `seq`, but every field
+/// is fixed-width on disk, so the frame size is seq-independent.
+fn busy_sample(seq: u64) -> LiveSample {
+    let stages = (0..STAGES as u32)
+        .map(|s| StageLive {
+            stage: s,
+            util: 0.5 + (seq % 7) as f64 * 0.01,
+            fwd_us: 40.0 + s as f64,
+            bkwd_us: 80.0 + s as f64,
+            recomp_us: if s == 0 { f64::NAN } else { 22.0 },
+            wait_us: 1200 + seq,
+            tau: 3.0 - s as f64 * 0.5,
+            tau_pairs: 12,
+            events: 48 + seq % 5,
+        })
+        .collect();
+    let mut metrics = Vec::new();
+    for s in 0..STAGES {
+        metrics.push((format!("wire.stage{s}.tx_bytes"), MetricValue::Gauge(1e6 + seq as f64)));
+        metrics.push((format!("wire.stage{s}.rx_bytes"), MetricValue::Gauge(2e6)));
+        metrics.push((format!("health.stage{s}.alpha_margin"), MetricValue::Gauge(1.25)));
+    }
+    metrics.push(("serve.accepted".to_string(), MetricValue::Counter(100 * seq)));
+    metrics.push(("serve.shed".to_string(), MetricValue::Counter(seq)));
+    LiveSample {
+        seq,
+        ts_us: seq * 250_000,
+        window_us: 250_000,
+        stages,
+        metrics: MetricsSnapshot { metrics },
+        sample_cost_us: 42,
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_journal_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps: u64 = if smoke { 256 } else { 4096 };
+
+    let mut log = ExperimentLog::new("bench_journal");
+    log.push_scalar("journal.append_bound_us", JOURNAL_APPEND_BOUND_US as f64);
+
+    // --- 1+2. Per-append cost and bytes per sample, pure raw ---------
+    let dir = temp_dir("raw");
+    let cfg = JournalConfig {
+        max_segment_bytes: u64::MAX,
+        max_segment_age: Duration::from_secs(3600),
+        ..JournalConfig::default()
+    };
+    let mut writer = JournalWriter::create(&dir, "bench", STAGES, cfg).expect("journal opens");
+    let mut appends_us: Vec<f64> = Vec::with_capacity(reps as usize);
+    for seq in 1..=reps {
+        let sample = busy_sample(seq);
+        let t0 = Instant::now();
+        writer.append(std::hint::black_box(&sample)).expect("append succeeds");
+        appends_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    drop(writer);
+    appends_us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = appends_us[appends_us.len() / 2];
+    let p99 = appends_us[(appends_us.len() as f64 * 0.99) as usize - 1];
+    let seg_bytes = std::fs::metadata(dir.join("seg-000000.pmj")).expect("segment exists").len();
+    let bytes_per_sample = seg_bytes as f64 / reps as f64;
+    println!(
+        "append cost over {reps} busy samples: median {median:.1} µs, p99 {p99:.1} µs \
+         (bound {JOURNAL_APPEND_BOUND_US} µs); {bytes_per_sample:.1} B/sample raw"
+    );
+    log.push_series("seconds.append", [median / 1e6]);
+    log.push_scalar("metric.append_us_median", median);
+    log.push_scalar("metric.append_us_p99", p99);
+    log.push_scalar("journal.bytes_per_sample_raw", bytes_per_sample);
+    assert!(
+        median <= JOURNAL_APPEND_BOUND_US as f64,
+        "median append {median:.1} µs exceeds the stated {JOURNAL_APPEND_BOUND_US} µs bound"
+    );
+
+    // --- 4. Crash tolerance: cut the tail frame, reopen --------------
+    let seg = dir.join("seg-000000.pmj");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .expect("segment opens")
+        .set_len(seg_bytes - 1)
+        .expect("truncate");
+    let reader = JournalReader::open(&dir).expect("torn journal reopens");
+    let (entries, truncated) = reader.samples().expect("torn journal reads");
+    assert_eq!(entries.len() as u64, reps - 1, "all intact frames survive");
+    assert_eq!(truncated, 1, "the torn tail frame is counted, not fatal");
+    assert_eq!(entries.last().expect("entries").sample.seq, reps - 1);
+    log.push_scalar("journal.reopen_truncated_ok", 1.0);
+    println!("torn tail: {} intact frames + {truncated} torn, reopened clean", entries.len());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- 3. Rotation, compaction, retention (fixed in both modes) ----
+    let dir = temp_dir("rotate");
+    let cfg = JournalConfig {
+        max_segment_bytes: 16 * 1024,
+        max_segment_age: Duration::from_secs(3600),
+        max_total_bytes: 128 * 1024,
+        rollup_window_us: 2_000_000,
+        keep_raw_segments: 2,
+    };
+    let mut writer = JournalWriter::create(&dir, "bench", STAGES, cfg).expect("journal opens");
+    for seq in 1..=1000u64 {
+        writer.append(&busy_sample(seq)).expect("append succeeds");
+    }
+    drop(writer);
+    let (mut raws, mut rollups) = (0u64, 0u64);
+    for entry in std::fs::read_dir(&dir).expect("journal dir lists") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("seg-") {
+            raws += 1;
+        } else if name.starts_with("rollup-") {
+            rollups += 1;
+        }
+    }
+    let reader = JournalReader::open(&dir).expect("rotated journal opens");
+    let (entries, _) = reader.samples().expect("rotated journal reads");
+    let rolled = entries.iter().filter(|e| e.rollup).count();
+    println!(
+        "rotation workload: {raws} raw segments + {rollups} rollups on disk, \
+         {} merged entries ({rolled} rollup) at query time",
+        entries.len()
+    );
+    log.push_scalar("journal.raw_segments", raws as f64);
+    log.push_scalar("journal.rollup_segments", rollups as f64);
+    log.push_scalar("journal.compaction_happened", f64::from(rollups > 0));
+    assert!(rollups > 0, "the byte-capped config must compact old raw segments");
+    assert!(!entries.is_empty() && rolled > 0, "queries must see rollup history");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    match log.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write experiment log: {e}"),
+    }
+    if smoke {
+        println!("\njournal smoke OK (append median {median:.1} µs)");
+    }
+}

@@ -45,10 +45,19 @@ const INFORMATIONAL_PREFIXES: &[&str] =
 /// with one of these prefixes, the other side must have it too. The
 /// per-thread pool variants stay skippable (smoke runs sweep a single
 /// thread count), but the forced scalar/SIMD pair, the bf16 memory
-/// ratios and the serving-policy simulator outputs (`sim.*`) are the
-/// whole point of their benches — a run without them proved nothing.
-const REQUIRED_PREFIXES: &[&str] =
-    &["seconds.simd", "seconds.scalar", "dispatch.simd", "dispatch.scalar", "bf16_", "sim."];
+/// ratios, the serving-policy simulator outputs (`sim.*`) and the
+/// journal format evidence (`journal.*`: append bound, frame size,
+/// rotation/compaction counts, torn-tail recovery) are the whole point
+/// of their benches — a run without them proved nothing.
+const REQUIRED_PREFIXES: &[&str] = &[
+    "seconds.simd",
+    "seconds.scalar",
+    "dispatch.simd",
+    "dispatch.scalar",
+    "bf16_",
+    "sim.",
+    "journal.",
+];
 
 fn is_informational(key: &str) -> bool {
     INFORMATIONAL_PREFIXES.iter().any(|p| key.starts_with(p))

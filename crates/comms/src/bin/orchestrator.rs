@@ -24,26 +24,32 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pipemare_comms::{
-    channel, run_stage_worker_stats, spawn_loopback_workers, CommsError, DistConfig, DistRunReport,
-    DistributedTrainer, SparseMode, TcpTransport, Transport,
+    channel, run_stage_worker_opts, spawn_loopback_workers, CommsError, DistConfig, DistRunReport,
+    DistributedTrainer, SparseMode, TcpTransport, Transport, WorkerOptions,
 };
 use pipemare_nn::{ImageBatch, Mlp};
 use pipemare_optim::{ConstantLr, OptimizerKind, T1Rescheduler};
-use pipemare_telemetry::{write_jsonl, StatsEndpoint, StoreTicker};
+use pipemare_telemetry::{
+    default_rules, write_jsonl, AlertEngine, JournalConfig, JournalWriter, StatsEndpoint,
+    StoreTicker,
+};
 use pipemare_tensor::Tensor;
 
 const SEED: u64 = 42;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  orchestrator worker --listen <addr> [--stats <addr>]\n  orchestrator train \
+        "usage:\n  orchestrator worker --listen <addr> [--stats <addr>] [--journal <dir>]\n  \
+         orchestrator train \
          [--transport tcp|loopback] [--stages N] [--minibatches K] [--micro M] \
          [--sparse dense|dropzeros|threshold:<t>|topk:<frac>] \
-         [--stats <addr>] [--worker-stats-base <port>]\n\
+         [--stats <addr>] [--worker-stats-base <port>] [--journal <dir>]\n\
          \n\
          --stats (or PIPEMARE_STATS_ADDR) exposes a plain-TCP stats scrape\n\
          endpoint for pmtop; --worker-stats-base gives spawned TCP worker s\n\
-         the endpoint 127.0.0.1:<port>+s."
+         the endpoint 127.0.0.1:<port>+s. --journal writes durable telemetry\n\
+         journals (orchestrator/ plus worker-<s>/ for spawned TCP workers)\n\
+         that pmquery can read back after the run — or after a crash."
     );
     std::process::exit(2);
 }
@@ -74,11 +80,13 @@ fn main() {
 fn cmd_worker(args: &[String]) -> Result<(), CommsError> {
     let mut listen = "127.0.0.1:0".to_string();
     let mut stats: Option<String> = None;
+    let mut journal: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--listen" => listen = it.next().cloned().unwrap_or_else(|| usage()),
             "--stats" => stats = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--journal" => journal = Some(it.next().cloned().unwrap_or_else(|| usage()).into()),
             _ => usage(),
         }
     }
@@ -89,7 +97,8 @@ fn cmd_worker(args: &[String]) -> Result<(), CommsError> {
     let (stream, peer) = listener.accept()?;
     eprintln!("worker: serving {peer}");
     let (tx, rx) = channel(Box::new(TcpTransport::new(stream)?))?;
-    let report = run_stage_worker_stats(tx, rx, stats.as_deref())?;
+    let report =
+        run_stage_worker_opts(tx, rx, WorkerOptions { stats_addr: stats, journal_dir: journal })?;
     eprintln!(
         "worker: stage {} done, {} steps committed, sent {} B / recv {} B",
         report.stage, report.committed_steps, report.sent.bytes, report.recv.bytes
@@ -109,6 +118,7 @@ struct TrainArgs {
     sparse: SparseMode,
     stats: Option<String>,
     worker_stats_base: Option<u16>,
+    journal: Option<PathBuf>,
 }
 
 fn parse_sparse(s: &str) -> SparseMode {
@@ -136,6 +146,7 @@ fn parse_train_args(args: &[String]) -> TrainArgs {
         sparse: SparseMode::DropZeros,
         stats: None,
         worker_stats_base: None,
+        journal: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -150,6 +161,7 @@ fn parse_train_args(args: &[String]) -> TrainArgs {
             "--worker-stats-base" => {
                 out.worker_stats_base = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--journal" => out.journal = Some(val().into()),
             _ => usage(),
         }
     }
@@ -203,12 +215,53 @@ fn run_job(
     // The live stats plane: a sampling ticker over the driver's store
     // plus a plain-TCP scrape endpoint pmtop can poll. Quiet runs are
     // self-check replays — no second endpoint on the same address.
+    let store = trainer.live_store();
+    store.attach_alerts(std::sync::Arc::new(AlertEngine::new(default_rules())));
     let _stats = match a.stats.as_deref().filter(|_| !quiet) {
         Some(addr) => {
-            let store = trainer.live_store();
             let endpoint = StatsEndpoint::bind(addr, std::sync::Arc::clone(&store))?;
             println!("STATS {}", endpoint.addr());
-            Some((endpoint, StoreTicker::spawn(store, Duration::from_millis(250))))
+            Some(endpoint)
+        }
+        None => None,
+    };
+    // The durable plane: journal the driver's samples, and leave each
+    // spawned worker's handshake clock offset next to its journal so
+    // pmquery can merge everything onto the driver timebase.
+    let journal = a.journal.as_ref().filter(|_| !quiet);
+    if let Some(dir) = journal {
+        if a.transport == "tcp" {
+            for (s, off) in trainer.clock_offsets().iter().enumerate() {
+                let wdir = dir.join(format!("worker-{s}"));
+                std::fs::create_dir_all(&wdir)?;
+                std::fs::write(wdir.join("OFFSET"), off.to_string())?;
+            }
+        }
+    }
+    let _ticker = match journal {
+        Some(dir) => {
+            let mut writer = JournalWriter::create(
+                dir.join("orchestrator"),
+                "orchestrator",
+                a.stages,
+                JournalConfig::default(),
+            )?;
+            let mut warned = false;
+            Some(StoreTicker::spawn_with_hook(
+                std::sync::Arc::clone(&store),
+                Duration::from_millis(250),
+                move |sample| {
+                    if let Err(e) = writer.append(sample) {
+                        if !warned {
+                            eprintln!("orchestrator: journal append failed: {e}");
+                            warned = true;
+                        }
+                    }
+                },
+            ))
+        }
+        None if _stats.is_some() => {
+            Some(StoreTicker::spawn(std::sync::Arc::clone(&store), Duration::from_millis(250)))
         }
         None => None,
     };
@@ -235,7 +288,11 @@ fn run_job(
 /// Driver-side transports plus the spawned worker subprocesses.
 type TcpWorkers = (Vec<Box<dyn Transport>>, Vec<Child>);
 
-fn spawn_tcp_workers(stages: usize, stats_base: Option<u16>) -> Result<TcpWorkers, CommsError> {
+fn spawn_tcp_workers(
+    stages: usize,
+    stats_base: Option<u16>,
+    journal: Option<&PathBuf>,
+) -> Result<TcpWorkers, CommsError> {
     let exe = std::env::current_exe()?;
     let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(stages);
     let mut children = Vec::with_capacity(stages);
@@ -250,6 +307,10 @@ fn spawn_tcp_workers(stages: usize, stats_base: Option<u16>) -> Result<TcpWorker
             let addr = format!("127.0.0.1:{}", base + s as u16);
             println!("stage {s} stats -> {addr}");
             cmd.args(["--stats", &addr]);
+        }
+        if let Some(dir) = journal {
+            let wdir = dir.join(format!("worker-{s}"));
+            cmd.arg("--journal").arg(&wdir);
         }
         let mut child = cmd.stdout(Stdio::piped()).spawn()?;
         let stdout = child.stdout.take().expect("piped stdout");
@@ -285,7 +346,8 @@ fn cmd_train(args: &[String]) -> Result<(), CommsError> {
     );
 
     let (params, report) = if a.transport == "tcp" {
-        let (transports, children) = spawn_tcp_workers(a.stages, a.worker_stats_base)?;
+        let (transports, children) =
+            spawn_tcp_workers(a.stages, a.worker_stats_base, a.journal.as_ref())?;
         let out = run_job(&model, &a, transports, false)?;
         for mut child in children {
             let _ = child.wait();

@@ -54,4 +54,7 @@ pub use transport::{
     channel, loopback_pair, FrameRx, FrameTx, LoopbackTransport, Receiver, Sender, TcpTransport,
     Transport, WireStats,
 };
-pub use worker::{run_stage_worker, run_stage_worker_stats, StageWorkerReport};
+pub use worker::{
+    run_stage_worker, run_stage_worker_opts, run_stage_worker_stats, StageWorkerReport,
+    WorkerOptions,
+};

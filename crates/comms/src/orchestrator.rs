@@ -399,6 +399,15 @@ impl<'m, M: TrainModel> DistributedTrainer<'m, M> {
         Arc::clone(&self.registry)
     }
 
+    /// Per-stage handshake clock offsets (worker clock µs minus driver
+    /// clock µs, one per link). `pmquery` uses these — written as
+    /// `OFFSET` files next to each worker's journal — to merge
+    /// multi-process journals onto the driver timebase, the same
+    /// convention `merge_worker_events` uses for traces.
+    pub fn clock_offsets(&self) -> Vec<i64> {
+        self.links.iter().map(|l| l.offset_us).collect()
+    }
+
     /// Optimizer steps completed.
     pub fn steps_done(&self) -> usize {
         self.step

@@ -19,13 +19,15 @@
 //! back as JSONL in [`Message::Telemetry`] batches at every flush; the
 //! orchestrator re-tracks and clock-shifts them into one merged trace.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use pipemare_pipeline::{FwdOutcome, StageEvent, StageFlow};
 use pipemare_telemetry::{
-    events_to_jsonl_string, EventSource, LiveStore, MetricsRegistry, Recorder, SpanKind,
-    StatsEndpoint, StoreTicker, TraceRecorder, NO_MICROBATCH,
+    default_rules, events_to_jsonl_string, AlertEngine, EventSource, JournalConfig, JournalWriter,
+    LiveStore, MetricsRegistry, Recorder, SpanKind, StatsEndpoint, StoreTicker, TraceRecorder,
+    NO_MICROBATCH,
 };
 
 use crate::error::CommsError;
@@ -44,6 +46,18 @@ pub struct StageWorkerReport {
     pub sent: WireStats,
     /// Traffic received from the orchestrator.
     pub recv: WireStats,
+}
+
+/// Optional observability planes for [`run_stage_worker_opts`].
+#[derive(Debug, Default)]
+pub struct WorkerOptions {
+    /// Bind a plain-TCP scrape endpoint here (e.g. `"127.0.0.1:0"`) and
+    /// run the 250 ms background ticker so `pmtop` can poll the worker.
+    pub stats_addr: Option<String>,
+    /// Append every background-ticker sample to a durable telemetry
+    /// journal in this directory (created if absent), readable later
+    /// with `pmquery` even if this process is SIGKILLed mid-run.
+    pub journal_dir: Option<PathBuf>,
 }
 
 /// Best-effort error report to the peer before surfacing the failure
@@ -75,9 +89,23 @@ pub fn run_stage_worker(tx: Sender, rx: Receiver) -> Result<StageWorkerReport, C
 /// plain-TCP scrape endpoint plus a 250 ms background ticker so `pmtop`
 /// and `nc` can poll the worker while it trains.
 pub fn run_stage_worker_stats(
+    tx: Sender,
+    rx: Receiver,
+    stats_addr: Option<&str>,
+) -> Result<StageWorkerReport, CommsError> {
+    let opts = WorkerOptions { stats_addr: stats_addr.map(str::to_string), journal_dir: None };
+    run_stage_worker_opts(tx, rx, opts)
+}
+
+/// [`run_stage_worker_stats`] plus the durable plane: when
+/// [`WorkerOptions::journal_dir`] is set, the background ticker's hook
+/// appends every sample to an on-disk [`JournalWriter`]. The default
+/// alert rule pack is always attached, so scrapes (TCP or in-band)
+/// carry an `alerts` array and transitions land on the flight track.
+pub fn run_stage_worker_opts(
     mut tx: Sender,
     mut rx: Receiver,
-    stats_addr: Option<&str>,
+    opts: WorkerOptions,
 ) -> Result<StageWorkerReport, CommsError> {
     // --- Handshake -------------------------------------------------------
     let cfg = match rx.recv()? {
@@ -105,15 +133,50 @@ pub fn run_stage_worker_stats(
             .with_registry(Arc::clone(&registry))
             .with_events(Arc::clone(&recorder) as Arc<dyn EventSource + Send + Sync>),
     );
+    // Default alert pack: scrapes grow an `alerts` array and fire /
+    // resolve instants land on the recorder's extra (driver) track, so
+    // they ship home inside the normal telemetry batches.
+    let engine = Arc::new(AlertEngine::new(default_rules()));
+    engine.attach_recorder(Arc::clone(&recorder) as Arc<dyn Recorder + Send + Sync>, cfg.stages);
+    store.attach_alerts(Arc::clone(&engine));
     // Endpoint + ticker (if enabled) live exactly as long as this call.
-    let _live = match stats_addr {
-        Some(addr) => {
-            let endpoint = StatsEndpoint::bind(addr, Arc::clone(&store))?;
-            let ticker = StoreTicker::spawn(Arc::clone(&store), Duration::from_millis(250));
-            Some((endpoint, ticker))
+    let endpoint = match &opts.stats_addr {
+        Some(addr) => Some(StatsEndpoint::bind(addr, Arc::clone(&store))?),
+        None => None,
+    };
+    let journal = match &opts.journal_dir {
+        Some(dir) => Some(JournalWriter::create(
+            dir,
+            &format!("worker-{stage_id}"),
+            cfg.stages as usize,
+            JournalConfig::default(),
+        )?),
+        None => None,
+    };
+    let ticker = match journal {
+        Some(mut writer) => {
+            let mut warned = false;
+            Some(StoreTicker::spawn_with_hook(
+                Arc::clone(&store),
+                Duration::from_millis(250),
+                move |sample| {
+                    // Journal appends are best-effort: a full disk must
+                    // not kill training.
+                    if let Err(e) = writer.append(sample) {
+                        if !warned {
+                            eprintln!("worker-{stage_id}: journal append failed: {e}");
+                            warned = true;
+                        }
+                    }
+                },
+            ))
+        }
+        None if endpoint.is_some() => {
+            Some(StoreTicker::spawn(Arc::clone(&store), Duration::from_millis(250)))
         }
         None => None,
     };
+    let _live = (endpoint, ticker);
     tx.send(&Message::HelloAck {
         protocol: PROTOCOL_VERSION,
         stage: stage_id,

@@ -628,16 +628,18 @@ impl<'m, M: TrainModel> PipelineTrainer<'m, M> {
 
         let worst = events.iter().map(|e| e.severity).max();
         let hook = self.health.as_ref().expect("hook checked above");
-        let want_snapshot = !hook.snapshot_taken
-            && hook.snapshot_dir.is_some()
-            && worst.is_some_and(|w| w >= hook.snapshot_severity);
+        // A firing live alert (see `HealthHook::arm_on_alerts`) counts
+        // as hitting the snapshot gate; consume the latch either way.
+        let alert_armed = hook.alert_armed.swap(false, std::sync::atomic::Ordering::SeqCst);
+        let gate_hit = worst.is_some_and(|w| w >= hook.snapshot_severity) || alert_armed;
+        let want_snapshot = !hook.snapshot_taken && hook.snapshot_dir.is_some() && gate_hit;
         // Black-box dump rides the same severity gate as the snapshot but
         // is independently enabled, so bounded flight recording works
         // without checkpointing and vice versa.
         let want_black_box = !hook.black_box_taken
             && hook.flight.is_some()
             && hook.black_box_dir.is_some()
-            && worst.is_some_and(|w| w >= hook.snapshot_severity);
+            && gate_hit;
         let want_halt =
             hook.policy == AnomalyPolicy::Halt && worst.is_some_and(|w| w >= hook.halt_severity);
         if want_snapshot {

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -35,8 +36,8 @@ use pipemare_comms::{
 };
 use pipemare_nn::InferModel;
 use pipemare_telemetry::{
-    Counter, EventSource, Gauge, Histogram, LiveStore, MetricsRegistry, SpanKind, StatsEndpoint,
-    StoreTicker, TraceEvent,
+    AlertEngine, AlertRule, Counter, EventSource, Gauge, Histogram, JournalConfig, JournalWriter,
+    LiveStore, MetricsRegistry, Recorder, SpanKind, StatsEndpoint, StoreTicker, TraceEvent,
 };
 use pipemare_tensor::Tensor;
 
@@ -185,7 +186,8 @@ pub struct Server {
     readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     acceptors: Vec<thread::JoinHandle<()>>,
     tcp_addrs: Vec<SocketAddr>,
-    stats_plane: Option<(StatsEndpoint, StoreTicker)>,
+    stats_endpoint: Option<StatsEndpoint>,
+    ticker: Option<StoreTicker>,
 }
 
 impl Server {
@@ -262,7 +264,8 @@ impl Server {
             readers: Arc::new(Mutex::new(Vec::new())),
             acceptors: Vec::new(),
             tcp_addrs: Vec::new(),
-            stats_plane: None,
+            stats_endpoint: None,
+            ticker: None,
         })
     }
 
@@ -286,9 +289,66 @@ impl Server {
     pub fn serve_stats_tcp(&mut self, addr: &str) -> io::Result<SocketAddr> {
         let endpoint = StatsEndpoint::bind(addr, Arc::clone(&self.inner.live))?;
         let local = endpoint.addr();
-        let ticker = StoreTicker::spawn(Arc::clone(&self.inner.live), Duration::from_millis(250));
-        self.stats_plane = Some((endpoint, ticker));
+        // One sampling ticker total: a journaling ticker started by
+        // [`Server::journal_to`] already feeds the same store.
+        if self.ticker.is_none() {
+            self.ticker =
+                Some(StoreTicker::spawn(Arc::clone(&self.inner.live), Duration::from_millis(250)));
+        }
+        self.stats_endpoint = Some(endpoint);
         Ok(local)
+    }
+
+    /// Attaches an [`AlertEngine`] over `rules` to the live store:
+    /// every sample (background tick or on-demand scrape) is evaluated,
+    /// firing rules appear as an `alerts` array in the scrape JSON
+    /// (`pmtop`'s ALERTS pane), and fire/resolve instants land on the
+    /// serving recorder's driver track. Returns the engine so callers
+    /// can add an [`AlertEngine::on_firing`] hook or poll
+    /// [`AlertEngine::active`].
+    pub fn alert_rules(&self, rules: Vec<AlertRule>) -> Arc<AlertEngine> {
+        let engine = Arc::new(AlertEngine::new(rules));
+        let recorder: DynRecorder = Arc::clone(&self.inner.recorder);
+        engine.attach_recorder(
+            recorder as Arc<dyn Recorder + Send + Sync>,
+            self.inner.cfg.stages as u32,
+        );
+        self.inner.live.attach_alerts(Arc::clone(&engine));
+        engine
+    }
+
+    /// Starts journaling every background-ticker sample to a durable
+    /// telemetry journal in `dir` (created if absent), readable later
+    /// with `pmquery` even if this process dies mid-run. Replaces a
+    /// plain ticker started by [`Server::serve_stats_tcp`], so the two
+    /// planes share one 250 ms sampler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-directory creation failures.
+    pub fn journal_to(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let mut writer = JournalWriter::create(
+            dir.as_ref(),
+            "serve",
+            self.inner.cfg.stages,
+            JournalConfig::default(),
+        )?;
+        self.ticker = None;
+        let mut warned = false;
+        self.ticker = Some(StoreTicker::spawn_with_hook(
+            Arc::clone(&self.inner.live),
+            Duration::from_millis(250),
+            move |sample| {
+                // Best-effort: a full disk must not take serving down.
+                if let Err(e) = writer.append(sample) {
+                    if !warned {
+                        eprintln!("serve: journal append failed: {e}");
+                        warned = true;
+                    }
+                }
+            },
+        ));
+        Ok(())
     }
 
     /// Registers an in-process client connection, returning the client
@@ -350,9 +410,10 @@ impl Server {
     /// requests are served, in-flight batches complete and reach their
     /// clients, then every thread is joined. Returns final stats.
     pub fn shutdown(mut self) -> ServeStats {
-        // 0. Stop the stats plane first: a scrape of a half-torn-down
-        //    server is useless.
-        self.stats_plane = None;
+        // 0. Stop the stats and journal planes first: a scrape of a
+        //    half-torn-down server is useless.
+        self.stats_endpoint = None;
+        self.ticker = None;
         // 1. Refuse new work, let the batcher drain what's queued.
         self.inner.draining.store(true, Ordering::SeqCst);
         self.inner.paused.store(false, Ordering::SeqCst);

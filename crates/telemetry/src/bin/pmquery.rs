@@ -1,0 +1,418 @@
+//! `pmquery` — historical analysis over pipemare telemetry journals.
+//!
+//! Where `pmtop` answers "what is happening now" from a live scrape and
+//! `pmtrace` answers "what happened in the black box", `pmquery` reads
+//! the durable journal directories written by `--journal` /
+//! `Server::journal_to` and answers questions about whole runs:
+//!
+//! ```text
+//! pmquery range  <journal-dir>... [--from SECS] [--to SECS] [--stage N] [--json]
+//! pmquery alerts <journal-dir>... [--json]
+//! pmquery diff   <journal-dir> --baseline <journal-dir> [--json]
+//! ```
+//!
+//! `range` merges any number of journals onto the driver clock (using
+//! the handshake offsets recorded in each journal's `OFFSET` file /
+//! manifest) at the best available resolution — raw 250 ms frames where
+//! they survive, compacted rollups for older history. `alerts` replays
+//! the default alert rule pack over each journal's history, printing
+//! every fire/resolve transition hysteresis would have produced live.
+//! `diff` compares a run against a baseline run for regression hunts.
+
+use std::process::ExitCode;
+
+use pipemare_telemetry::json::Value;
+use pipemare_telemetry::{
+    default_rules, merge_journals, AlertEngine, JournalEntry, JournalReader, MetricValue,
+};
+
+const USAGE: &str = "pmquery: historical queries over pipemare telemetry journals
+
+usage:
+  pmquery range  <journal-dir>... [options]
+  pmquery alerts <journal-dir>... [options]
+  pmquery diff   <journal-dir> --baseline <journal-dir> [options]
+
+options:
+  --from SECS       drop samples before this time (driver clock seconds)
+  --to SECS         drop samples after this time
+  --stage N         only stage N's rows (range)
+  --baseline DIR    the journal to diff against (diff)
+  --json            one compact JSON object per row instead of a table
+
+a journal directory is what a process writes when started with
+--journal <dir> (orchestrator / workers) or Server::journal_to; raw
+250 ms segments serve recent history, compacted rollups the old range.
+";
+
+struct Options {
+    command: String,
+    dirs: Vec<String>,
+    from_us: Option<u64>,
+    to_us: Option<u64>,
+    stage: Option<u32>,
+    baseline: Option<String>,
+    json: bool,
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("pmquery: {flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(raw))
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn secs_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match take_opt(args, flag)? {
+        Some(raw) => raw
+            .parse::<f64>()
+            .map(|s| Some((s * 1e6) as u64))
+            .map_err(|_| format!("pmquery: bad {flag} value: {raw}")),
+        None => Ok(None),
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let from_us = secs_opt(&mut args, "--from")?;
+    let to_us = secs_opt(&mut args, "--to")?;
+    let stage = match take_opt(&mut args, "--stage")? {
+        Some(raw) => {
+            Some(raw.parse::<u32>().map_err(|_| format!("pmquery: bad --stage value: {raw}"))?)
+        }
+        None => None,
+    };
+    let baseline = take_opt(&mut args, "--baseline")?;
+    let json = take_flag(&mut args, "--json");
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--")) {
+        return Err(USAGE.to_string());
+    }
+    let command = args.remove(0);
+    if args.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(Options { command, dirs: args, from_us, to_us, stage, baseline, json })
+}
+
+fn open_all(dirs: &[String]) -> Result<Vec<JournalReader>, String> {
+    dirs.iter().map(|d| JournalReader::open(d).map_err(|e| format!("pmquery: {d}: {e}"))).collect()
+}
+
+fn in_range(opts: &Options, ts_us: u64) -> bool {
+    opts.from_us.is_none_or(|from| ts_us >= from) && opts.to_us.is_none_or(|to| ts_us <= to)
+}
+
+fn fmt(v: f64, prec: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.prec$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+fn pct(base: f64, cur: f64) -> String {
+    if !base.is_finite() || !cur.is_finite() || (base == 0.0 && cur == 0.0) {
+        "0%".to_string()
+    } else if base == 0.0 {
+        "new".to_string()
+    } else {
+        format!("{:+.1}%", 100.0 * (cur - base) / base)
+    }
+}
+
+fn cmd_range(opts: &Options) -> Result<String, String> {
+    let readers = open_all(&opts.dirs)?;
+    let (merged, truncated) = merge_journals(&readers).map_err(|e| format!("pmquery: {e}"))?;
+    let mut out = String::new();
+    let mut rows = 0usize;
+    if !opts.json {
+        out.push_str(
+            "t_s        role          res   stage   util%   fwd_µs   wait_µs   tau    events\n",
+        );
+    }
+    for (role, entry) in &merged {
+        if !in_range(opts, entry.sample.ts_us) {
+            continue;
+        }
+        let res = if entry.rollup { "roll" } else { "raw" };
+        for st in &entry.sample.stages {
+            if opts.stage.is_some_and(|want| want != st.stage) {
+                continue;
+            }
+            rows += 1;
+            if opts.json {
+                let row = Value::obj()
+                    .set("t_us", entry.sample.ts_us)
+                    .set("role", role.as_str())
+                    .set("rollup", entry.rollup)
+                    .set("seq", entry.sample.seq)
+                    .set("window_us", entry.sample.window_us)
+                    .set("stage", st.stage as u64)
+                    .set("util", st.util)
+                    .set("fwd_us", st.fwd_us)
+                    .set("bkwd_us", st.bkwd_us)
+                    .set("wait_us", st.wait_us)
+                    .set("tau", st.tau)
+                    .set("events", st.events);
+                out.push_str(&row.to_compact());
+                out.push('\n');
+            } else {
+                out.push_str(&format!(
+                    "{:<10} {:<13} {:<5} {:>5}   {:>5}   {:>6}   {:>7}   {:>5}  {:>6}\n",
+                    fmt(entry.sample.ts_us as f64 / 1e6, 2),
+                    role,
+                    res,
+                    st.stage,
+                    fmt(100.0 * st.util, 1),
+                    fmt(st.fwd_us, 1),
+                    st.wait_us,
+                    fmt(st.tau, 2),
+                    st.events,
+                ));
+            }
+        }
+        // Stage-less samples (e.g. a registry-only serve journal) still
+        // count as one row so `range` succeeds on them.
+        if entry.sample.stages.is_empty() && opts.stage.is_none() {
+            rows += 1;
+            if opts.json {
+                let row = Value::obj()
+                    .set("t_us", entry.sample.ts_us)
+                    .set("role", role.as_str())
+                    .set("rollup", entry.rollup)
+                    .set("seq", entry.sample.seq)
+                    .set("window_us", entry.sample.window_us);
+                out.push_str(&row.to_compact());
+                out.push('\n');
+            } else {
+                out.push_str(&format!(
+                    "{:<10} {:<13} {:<5} {:>5}\n",
+                    fmt(entry.sample.ts_us as f64 / 1e6, 2),
+                    role,
+                    res,
+                    "-",
+                ));
+            }
+        }
+    }
+    if !opts.json {
+        out.push_str(&format!(
+            "{rows} rows from {} journal(s){}\n",
+            readers.len(),
+            if truncated > 0 {
+                format!(", {truncated} torn tail frame(s) skipped")
+            } else {
+                String::new()
+            },
+        ));
+    }
+    if rows == 0 && merged.is_empty() {
+        return Err("pmquery: no samples in the given journals".to_string());
+    }
+    Ok(out)
+}
+
+fn cmd_alerts(opts: &Options) -> Result<String, String> {
+    let readers = open_all(&opts.dirs)?;
+    let mut out = String::new();
+    let mut transitions = 0usize;
+    let mut any_samples = false;
+    for reader in &readers {
+        // One engine per journal: hysteresis and counter deltas are
+        // per-process state, replayed on that journal's own clock.
+        let engine = AlertEngine::new(default_rules());
+        let (entries, _) = reader.samples().map_err(|e| format!("pmquery: {e}"))?;
+        any_samples |= !entries.is_empty();
+        for JournalEntry { sample, .. } in &entries {
+            for t in engine.evaluate(sample) {
+                let aligned_us = (sample.ts_us as i64 - reader.clock_offset_us).max(0) as u64;
+                if !in_range(opts, aligned_us) {
+                    continue;
+                }
+                transitions += 1;
+                if opts.json {
+                    let row = Value::obj()
+                        .set("t_us", aligned_us)
+                        .set("role", reader.role.as_str())
+                        .set("rule", t.rule.as_str())
+                        .set("label", t.label.as_str())
+                        .set("severity", t.severity.name())
+                        .set("firing", t.firing)
+                        .set("value", t.value);
+                    out.push_str(&row.to_compact());
+                    out.push('\n');
+                } else {
+                    let scope =
+                        if t.label.is_empty() { String::new() } else { format!(" [{}]", t.label) };
+                    out.push_str(&format!(
+                        "{:<10} {:<13} {:<8} {:<8} {}{}   value {}\n",
+                        fmt(aligned_us as f64 / 1e6, 2),
+                        reader.role,
+                        if t.firing { "FIRING" } else { "resolved" },
+                        t.severity.name(),
+                        t.rule,
+                        scope,
+                        fmt(t.value, 3),
+                    ));
+                }
+            }
+        }
+    }
+    if !opts.json {
+        out.push_str(&format!("{transitions} transition(s) across {} journal(s)\n", readers.len()));
+    }
+    if !any_samples {
+        return Err("pmquery: no samples in the given journals".to_string());
+    }
+    Ok(out)
+}
+
+/// Per-stage and counter aggregates over one journal's history:
+/// window-weighted mean util and τ per stage, plus each counter's final
+/// (cumulative) value.
+struct RunAggregate {
+    stages: Vec<(f64, f64)>, // (mean util, mean tau)
+    counters: Vec<(String, u64)>,
+}
+
+fn aggregate(reader: &JournalReader) -> Result<RunAggregate, String> {
+    let (entries, _) = reader.samples().map_err(|e| format!("pmquery: {e}"))?;
+    if entries.is_empty() {
+        return Err(format!("pmquery: {}: journal holds no samples", reader.dir().display()));
+    }
+    let n_stages = entries.iter().map(|e| e.sample.stages.len()).max().unwrap_or(0);
+    let mut stages = Vec::with_capacity(n_stages);
+    for s in 0..n_stages {
+        let mut util = (0.0, 0.0); // (weighted sum, weight)
+        let mut tau = (0.0, 0.0);
+        for e in &entries {
+            let Some(st) = e.sample.stages.get(s) else { continue };
+            let w = e.sample.window_us.max(1) as f64;
+            if st.util.is_finite() {
+                util = (util.0 + st.util * w, util.1 + w);
+            }
+            if st.tau.is_finite() {
+                tau = (tau.0 + st.tau * w, tau.1 + w);
+            }
+        }
+        let mean = |(num, den): (f64, f64)| if den > 0.0 { num / den } else { f64::NAN };
+        stages.push((mean(util), mean(tau)));
+    }
+    let last = &entries.last().expect("nonempty").sample;
+    let counters = last
+        .metrics
+        .metrics
+        .iter()
+        .filter_map(|(name, v)| match v {
+            MetricValue::Counter(c) => Some((name.clone(), *c)),
+            _ => None,
+        })
+        .collect();
+    Ok(RunAggregate { stages, counters })
+}
+
+fn cmd_diff(opts: &Options) -> Result<String, String> {
+    let Some(baseline_dir) = &opts.baseline else {
+        return Err("pmquery: diff needs --baseline <journal-dir>".to_string());
+    };
+    let [dir] = opts.dirs.as_slice() else {
+        return Err("pmquery: diff takes exactly one journal plus --baseline".to_string());
+    };
+    let cur = aggregate(&JournalReader::open(dir).map_err(|e| format!("pmquery: {dir}: {e}"))?)?;
+    let base = aggregate(
+        &JournalReader::open(baseline_dir).map_err(|e| format!("pmquery: {baseline_dir}: {e}"))?,
+    )?;
+    if opts.json {
+        let mut stage_rows = Vec::new();
+        for i in 0..cur.stages.len().max(base.stages.len()) {
+            let c = cur.stages.get(i).copied().unwrap_or((f64::NAN, f64::NAN));
+            let b = base.stages.get(i).copied().unwrap_or((f64::NAN, f64::NAN));
+            stage_rows.push(
+                Value::obj()
+                    .set("stage", i as u64)
+                    .set("util_base", b.0)
+                    .set("util_cur", c.0)
+                    .set("tau_base", b.1)
+                    .set("tau_cur", c.1),
+            );
+        }
+        let mut counters = Value::obj();
+        for (name, c) in &cur.counters {
+            let b = base.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            if let Some(b) = b {
+                counters = counters.set(name.as_str(), Value::obj().set("base", b).set("cur", *c));
+            }
+        }
+        return Ok(Value::obj()
+            .set("stages", Value::Arr(stage_rows))
+            .set("counters", counters)
+            .to_compact()
+            + "\n");
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== pmquery diff: {baseline_dir} (base) -> {dir} (cur) ==\n"));
+    if !cur.stages.is_empty() || !base.stages.is_empty() {
+        out.push_str("stage   util base->cur        tau base->cur\n");
+        for i in 0..cur.stages.len().max(base.stages.len()) {
+            let c = cur.stages.get(i).copied().unwrap_or((f64::NAN, f64::NAN));
+            let b = base.stages.get(i).copied().unwrap_or((f64::NAN, f64::NAN));
+            out.push_str(&format!(
+                "{i:>5}   {:>5} -> {:<5} ({})   {:>5} -> {:<5} ({})\n",
+                fmt(b.0, 3),
+                fmt(c.0, 3),
+                pct(b.0, c.0),
+                fmt(b.1, 2),
+                fmt(c.1, 2),
+                pct(b.1, c.1),
+            ));
+        }
+    }
+    let mut any = false;
+    for (name, c) in &cur.counters {
+        let Some(b) = base.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v) else {
+            continue;
+        };
+        if !any {
+            out.push_str("counter                      base -> cur\n");
+            any = true;
+        }
+        out.push_str(&format!("{name:<26} {b:>7} -> {c:<7} ({})\n", pct(b as f64, *c as f64),));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let out = match opts.command.as_str() {
+        "range" => cmd_range(&opts)?,
+        "alerts" => cmd_alerts(&opts)?,
+        "diff" => cmd_diff(&opts)?,
+        other => return Err(format!("pmquery: unknown command {other:?}\n\n{USAGE}")),
+    };
+    print!("{out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

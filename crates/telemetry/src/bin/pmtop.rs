@@ -102,6 +102,13 @@ fn render_round(opts: &Options, baseline: Option<&Value>) -> Result<String, Stri
             out.push_str(&v.to_compact());
             out.push('\n');
         }
+        // With a baseline, append one extra object holding the
+        // first endpoint's run-vs-run comparison.
+        if let Some(base) = baseline {
+            let delta = top::delta_json(&snaps[0].1, base);
+            out.push_str(&Value::obj().set("baseline_delta", delta).to_compact());
+            out.push('\n');
+        }
         return Ok(out);
     }
     let mut out = top::render_many(&snaps);

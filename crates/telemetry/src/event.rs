@@ -40,6 +40,11 @@ pub enum SpanKind {
     /// A serving batcher's coalescing window: from popping the first
     /// queued request to dispatching the assembled batch.
     Coalesce,
+    /// Instant: an alert rule transitioned to firing (the `microbatch`
+    /// field carries the rule index within its engine).
+    AlertFiring,
+    /// Instant: a firing alert rule resolved.
+    AlertResolved,
 }
 
 impl SpanKind {
@@ -55,6 +60,8 @@ impl SpanKind {
             SpanKind::Flush => "flush",
             SpanKind::Step => "step",
             SpanKind::Coalesce => "coalesce",
+            SpanKind::AlertFiring => "alert_firing",
+            SpanKind::AlertResolved => "alert_resolved",
         }
     }
 
@@ -70,6 +77,8 @@ impl SpanKind {
             "flush" => SpanKind::Flush,
             "step" => SpanKind::Step,
             "coalesce" => SpanKind::Coalesce,
+            "alert_firing" => SpanKind::AlertFiring,
+            "alert_resolved" => SpanKind::AlertResolved,
             _ => return None,
         })
     }
@@ -77,7 +86,7 @@ impl SpanKind {
     /// Whether events of this kind are instants (zero duration) rather
     /// than spans.
     pub fn is_instant(&self) -> bool {
-        matches!(self, SpanKind::Inject)
+        matches!(self, SpanKind::Inject | SpanKind::AlertFiring | SpanKind::AlertResolved)
     }
 }
 

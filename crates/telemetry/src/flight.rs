@@ -63,6 +63,8 @@ fn pack_kind(kind: SpanKind) -> u64 {
         SpanKind::Flush => 6,
         SpanKind::Step => 7,
         SpanKind::Coalesce => 8,
+        SpanKind::AlertFiring => 9,
+        SpanKind::AlertResolved => 10,
     }
 }
 
@@ -76,6 +78,8 @@ fn unpack_kind(code: u64) -> SpanKind {
         5 => SpanKind::Inject,
         6 => SpanKind::Flush,
         8 => SpanKind::Coalesce,
+        9 => SpanKind::AlertFiring,
+        10 => SpanKind::AlertResolved,
         _ => SpanKind::Step,
     }
 }
@@ -334,6 +338,8 @@ mod tests {
             SpanKind::Flush,
             SpanKind::Step,
             SpanKind::Coalesce,
+            SpanKind::AlertFiring,
+            SpanKind::AlertResolved,
         ] {
             assert_eq!(unpack_kind(pack_kind(kind)), kind);
         }

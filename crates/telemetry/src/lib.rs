@@ -37,6 +37,17 @@
 //!   periodic snapshots (counter deltas, per-stage utilization and τ
 //!   drift folded incrementally from a flight recorder) sampled by the
 //!   background [`StoreTicker`].
+//! * [`journal`]: the durable plane — [`JournalWriter`] appends every
+//!   ticker sample as a length-prefixed binary frame to rotating
+//!   on-disk segments, compacts old raw segments into downsampled
+//!   rollups, and caps total bytes; [`JournalReader`] reads journals
+//!   back crash-tolerantly (a truncated tail frame is clean EOF) for
+//!   the `pmquery` CLI.
+//! * [`alert`]: the [`AlertEngine`] — declarative [`AlertRule`]s
+//!   (threshold / rate-of-change / absence / burn-rate with
+//!   `for`-duration hysteresis) evaluated against each live sample;
+//!   transitions land on a flight-recorder track, in the scrape JSON
+//!   (`pmtop`'s ALERTS pane), and on an optional firing hook.
 //! * [`scrape`]: the plain-TCP stats endpoint serving one JSON line
 //!   per connection, plus the [`scrape_once`] polling client `pmtop`
 //!   is built on.
@@ -67,11 +78,13 @@
 //! assert!(reg.snapshot().to_text().contains("steps 1"));
 //! ```
 
+pub mod alert;
 pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod flight;
 pub mod health;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod scrape;
@@ -79,6 +92,10 @@ pub mod store;
 pub mod summary;
 pub mod top;
 
+pub use alert::{
+    default_rules, ActiveAlert, AlertCmp, AlertCondition, AlertEngine, AlertRule, AlertTransition,
+    Signal,
+};
 pub use event::{
     EventSource, NullRecorder, Recorder, SpanKind, TraceEvent, TraceRecorder, NO_MICROBATCH,
     NO_TRACE,
@@ -92,6 +109,10 @@ pub use flight::{FlightRecorder, DEFAULT_CAPACITY as FLIGHT_DEFAULT_CAPACITY};
 pub use health::{
     HealthConfig, HealthEvent, HealthEventKind, HealthMonitor, RunReport, Severity,
     StageObservation, StageVerdict, StepObservation,
+};
+pub use journal::{
+    merge_journals, JournalConfig, JournalEntry, JournalReader, JournalWriter,
+    JOURNAL_APPEND_BOUND_US,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,

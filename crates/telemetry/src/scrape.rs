@@ -13,12 +13,17 @@
 //! threads.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::store::LiveStore;
+
+/// How long the endpoint will wait for a scraper to drain one reply
+/// before dropping the connection: one stalled peer (a never-reading
+/// socket filling its receive window) must not block later scrapes.
+const REPLY_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// A background TCP listener answering each connection with one JSON
 /// scrape line. Dropping the handle stops it.
@@ -49,10 +54,16 @@ impl StatsEndpoint {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((mut conn, _)) => {
+                            // A bounded write: on timeout the reply is
+                            // abandoned and the connection dropped, so
+                            // a stalled scraper costs at most one
+                            // timeout, never the whole endpoint.
+                            let _ = conn.set_write_timeout(Some(REPLY_WRITE_TIMEOUT));
                             let line = store.scrape_line();
-                            let _ = conn.write_all(line.as_bytes());
-                            let _ = conn.write_all(b"\n");
-                            let _ = conn.flush();
+                            let _ = conn
+                                .write_all(line.as_bytes())
+                                .and_then(|()| conn.write_all(b"\n"))
+                                .and_then(|()| conn.flush());
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(10));
@@ -87,14 +98,38 @@ impl Drop for StatsEndpoint {
 
 /// Polls one endpoint: connects to `addr`, reads the JSON line, closes.
 ///
+/// `addr` may be a socket address (`127.0.0.1:9100`) or a
+/// `host:port` name (`localhost:9100`): it is resolved through
+/// [`ToSocketAddrs`] and every resolved candidate is tried in order
+/// (so `localhost` resolving to `::1` first still reaches an endpoint
+/// bound on `127.0.0.1`).
+///
 /// # Errors
 ///
-/// Propagates connect/read failures; an empty reply is an error.
+/// Propagates resolution/connect/read failures; an empty reply is an
+/// error.
 pub fn scrape_once(addr: &str, timeout: Duration) -> io::Result<String> {
-    let sock_addr: SocketAddr = addr
-        .parse()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad address: {e}")))?;
-    let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    let candidates: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if candidates.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("address {addr:?} resolved to nothing"),
+        ));
+    }
+    let mut last_err = None;
+    let mut connected = None;
+    for candidate in &candidates {
+        match TcpStream::connect_timeout(candidate, timeout) {
+            Ok(stream) => {
+                connected = Some(stream);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let Some(stream) = connected else {
+        return Err(last_err.expect("at least one candidate was tried"));
+    };
     stream.set_read_timeout(Some(timeout))?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line)?;
@@ -143,5 +178,41 @@ mod tests {
     #[test]
     fn scrape_once_rejects_bad_addresses() {
         assert!(scrape_once("not-an-addr", Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn scrape_once_resolves_hostnames() {
+        let store = Arc::new(LiveStore::new("hostname-test", 0));
+        store.sample();
+        let mut ep = StatsEndpoint::bind("127.0.0.1:0", Arc::clone(&store)).unwrap();
+        // "localhost:<port>" is not a parseable SocketAddr; it must be
+        // resolved — and may resolve to ::1 first, so every candidate
+        // gets tried before giving up.
+        let addr = format!("localhost:{}", ep.addr().port());
+        let line = scrape_once(&addr, Duration::from_secs(2)).unwrap();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("role").unwrap().as_str(), Some("hostname-test"));
+        ep.stop();
+    }
+
+    #[test]
+    fn stalled_scraper_does_not_block_later_scrapes() {
+        let store = Arc::new(LiveStore::new("stall-test", 0));
+        store.sample();
+        let mut ep = StatsEndpoint::bind("127.0.0.1:0", Arc::clone(&store)).unwrap();
+        let addr = ep.addr();
+        // A connected peer that never reads. A tiny receive window
+        // cannot be forced portably, so this exercises the drop-on-
+        // completion path; the write-timeout guard is what bounds the
+        // pathological case where the reply exceeds the socket buffers.
+        let stalled = TcpStream::connect(addr).unwrap();
+        // Subsequent scrapes must keep answering promptly while the
+        // stalled connection is still open.
+        for _ in 0..3 {
+            let line = scrape_once(&addr.to_string(), Duration::from_secs(2)).unwrap();
+            assert!(!line.is_empty());
+        }
+        drop(stalled);
+        ep.stop();
     }
 }

@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::alert::AlertEngine;
 use crate::event::{EventSource, SpanKind, TraceEvent};
 use crate::json::Value;
 use crate::metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
@@ -111,6 +112,7 @@ pub struct LiveStore {
     capacity: usize,
     registry: Option<Arc<MetricsRegistry>>,
     events: Option<Arc<dyn EventSource + Send + Sync>>,
+    alerts: Mutex<Option<Arc<AlertEngine>>>,
     origin: Instant,
     inner: Mutex<StoreInner>,
 }
@@ -136,6 +138,7 @@ impl LiveStore {
             capacity,
             registry: None,
             events: None,
+            alerts: Mutex::new(None),
             origin: Instant::now(),
             inner: Mutex::new(StoreInner {
                 ring: VecDeque::new(),
@@ -159,6 +162,24 @@ impl LiveStore {
     pub fn with_events(mut self, events: Arc<dyn EventSource + Send + Sync>) -> Self {
         self.events = Some(events);
         self
+    }
+
+    /// Attaches an alert engine: every [`LiveStore::sample`] evaluates
+    /// it against the fresh sample, and scrapes carry its `"alerts"`
+    /// payload.
+    pub fn with_alerts(self, engine: Arc<AlertEngine>) -> Self {
+        self.attach_alerts(engine);
+        self
+    }
+
+    /// [`LiveStore::with_alerts`] for a store already behind an `Arc`.
+    pub fn attach_alerts(&self, engine: Arc<AlertEngine>) {
+        *self.alerts.lock().unwrap() = Some(engine);
+    }
+
+    /// The attached alert engine, if any.
+    pub fn alerts(&self) -> Option<Arc<AlertEngine>> {
+        self.alerts.lock().unwrap().clone()
     }
 
     /// The process identity reported in scrapes.
@@ -221,14 +242,20 @@ impl LiveStore {
         if inner.ring.len() == self.capacity {
             inner.ring.pop_front();
         }
-        inner.ring.push_back(LiveSample {
-            seq,
-            ts_us: now_us,
-            window_us,
-            stages,
-            metrics,
-            sample_cost_us,
-        });
+        let sample = LiveSample { seq, ts_us: now_us, window_us, stages, metrics, sample_cost_us };
+        let engine = self.alerts.lock().unwrap().clone();
+        if let Some(engine) = engine {
+            inner.ring.push_back(sample);
+            let latest = inner.ring.back().cloned();
+            drop(inner);
+            // Evaluated outside the store lock: a slow firing hook must
+            // not block scrapes.
+            if let Some(latest) = latest {
+                engine.evaluate(&latest);
+            }
+        } else {
+            inner.ring.push_back(sample);
+        }
         seq
     }
 
@@ -308,6 +335,10 @@ impl LiveStore {
             if any {
                 obj = obj.set("counters_delta", deltas);
             }
+        }
+        drop(inner);
+        if let Some(engine) = self.alerts.lock().unwrap().as_ref() {
+            obj = obj.set("alerts", engine.to_json());
         }
         obj
     }
@@ -406,6 +437,20 @@ pub struct StoreTicker {
 impl StoreTicker {
     /// Spawns the ticker: one [`LiveStore::sample`] every `period`.
     pub fn spawn(store: Arc<LiveStore>, period: Duration) -> Self {
+        Self::spawn_with_hook(store, period, |_| {})
+    }
+
+    /// [`StoreTicker::spawn`] plus a per-tick hook called with the
+    /// fresh sample — the journal append path. The hook runs on the
+    /// ticker thread, so its cost delays the next tick, never a
+    /// recording thread; it sees ticker samples only (on-demand samples
+    /// taken by in-band scrapes are not replayed through it, which is
+    /// why journal appends dedupe by seq).
+    pub fn spawn_with_hook(
+        store: Arc<LiveStore>,
+        period: Duration,
+        mut hook: impl FnMut(&LiveSample) + Send + 'static,
+    ) -> Self {
         let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
         let handle = std::thread::Builder::new()
             .name("pm-live-ticker".into())
@@ -416,6 +461,9 @@ impl StoreTicker {
                     stop_rx.recv_timeout(period)
                 {
                     store.sample();
+                    if let Some(sample) = store.latest() {
+                        hook(&sample);
+                    }
                 }
             })
             .expect("spawning the ticker thread cannot fail");
@@ -570,6 +618,43 @@ mod tests {
         assert!(n >= 2, "ticker took only {n} samples in 40 ms at 5 ms period");
         std::thread::sleep(Duration::from_millis(15));
         assert_eq!(store.len(), n, "ticker kept sampling after stop");
+    }
+
+    #[test]
+    fn attached_alert_engine_evaluates_on_sample_and_scrapes() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.gauge("health.stage0.alpha_margin").set(0.5);
+        let engine = Arc::new(crate::alert::AlertEngine::new(crate::alert::default_rules()));
+        let store =
+            LiveStore::new("test", 1).with_registry(reg.clone()).with_alerts(Arc::clone(&engine));
+        store.sample();
+        assert_eq!(engine.active().len(), 1, "sampling evaluated the engine");
+        let v = store.scrape_json();
+        let alerts = v.get("alerts").unwrap().as_arr().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("rule").unwrap().as_str(), Some("alpha_margin_floor"));
+        assert_eq!(alerts[0].get("label").unwrap().as_str(), Some("stage0"));
+        // Margin recovers: the alert leaves the scrape.
+        reg.gauge("health.stage0.alpha_margin").set(1.5);
+        store.sample();
+        let v = store.scrape_json();
+        assert_eq!(v.get("alerts").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn hooked_ticker_passes_fresh_samples_to_the_hook() {
+        let store = Arc::new(LiveStore::new("hooked", 0));
+        let seen = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut ticker =
+            StoreTicker::spawn_with_hook(Arc::clone(&store), Duration::from_millis(5), move |s| {
+                seen2.lock().unwrap().push(s.seq);
+            });
+        std::thread::sleep(Duration::from_millis(40));
+        ticker.stop();
+        let seen = seen.lock().unwrap();
+        assert!(seen.len() >= 2, "hook ran on only {} ticks", seen.len());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "hook sees monotone seqs: {seen:?}");
     }
 
     #[test]

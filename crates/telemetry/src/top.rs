@@ -88,6 +88,32 @@ pub fn render(label: &str, snap: &Value) -> String {
     }
     out.push_str(&serve_line(snap));
     out.push_str(&wire_line(snap));
+    out.push_str(&alerts_pane(snap));
+    out
+}
+
+/// The ALERTS pane from the payload's `"alerts"` array; empty when the
+/// endpoint has no alert engine or nothing is firing.
+fn alerts_pane(snap: &Value) -> String {
+    let Some(Value::Arr(alerts)) = snap.get("alerts") else {
+        return String::new();
+    };
+    if alerts.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("ALERTS ({} firing)\n", alerts.len());
+    for a in alerts {
+        let rule = a.get("rule").and_then(Value::as_str).unwrap_or("?");
+        let label = a.get("label").and_then(Value::as_str).unwrap_or("");
+        let severity = a.get("severity").and_then(Value::as_str).unwrap_or("?");
+        let scope = if label.is_empty() { String::new() } else { format!(" [{label}]") };
+        out.push_str(&format!(
+            "  {:<8} {rule}{scope}   value {}   since {} s\n",
+            severity.to_uppercase(),
+            fmt(num(a.get("value")), 3),
+            fmt(num(a.get("since_ts_us")) / 1e6, 1),
+        ));
+    }
     out
 }
 
@@ -215,6 +241,43 @@ pub fn render_delta(label: &str, cur: &Value, base: &Value) -> String {
     out
 }
 
+/// Machine-readable variant of [`render_delta`]: the same per-stage
+/// and shared-counter comparison as a JSON object, emitted by
+/// `pmtop --json --baseline` for scripted regression checks.
+pub fn delta_json(cur: &Value, base: &Value) -> Value {
+    let empty: &[Value] = &[];
+    let cur_stages = cur.get("stages").and_then(Value::as_arr).unwrap_or(empty);
+    let base_stages = base.get("stages").and_then(Value::as_arr).unwrap_or(empty);
+    let mut stages = Vec::new();
+    for i in 0..cur_stages.len().max(base_stages.len()) {
+        let u = |side: &[Value]| num(side.get(i).and_then(|s| s.get("util")));
+        let t = |side: &[Value]| num(side.get(i).and_then(|s| s.get("tau")));
+        stages.push(
+            Value::obj()
+                .set("stage", i as u64)
+                .set("util_base", u(base_stages))
+                .set("util_cur", u(cur_stages))
+                .set("tau_base", t(base_stages))
+                .set("tau_cur", t(cur_stages)),
+        );
+    }
+    let mut counters = Value::obj();
+    if let (Some(Value::Obj(cm)), Some(bm)) = (cur.get("metrics"), base.get("metrics")) {
+        for (name, m) in cm {
+            if m.get("type").and_then(Value::as_str) != Some("counter") {
+                continue;
+            }
+            let b = num(bm.get(name).and_then(|v| v.get("value")));
+            if !b.is_finite() {
+                continue;
+            }
+            counters = counters
+                .set(name.as_str(), Value::obj().set("base", b).set("cur", num(m.get("value"))));
+        }
+    }
+    Value::obj().set("stages", Value::Arr(stages)).set("counters", counters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +343,33 @@ mod tests {
         assert!(text.contains("no sample yet"), "{text}");
         assert!(!text.contains("serve:"), "{text}");
         assert!(!text.contains("wire:"), "{text}");
+    }
+
+    #[test]
+    fn alerts_pane_lists_firing_rules() {
+        let mut p = sample_payload();
+        p = p.set(
+            "alerts",
+            Value::Arr(vec![
+                json::parse(
+                    r#"{"rule":"alpha_margin_floor","label":"stage1",
+                        "severity":"critical","since_ts_us":750000,"value":0.42}"#,
+                )
+                .unwrap(),
+                json::parse(
+                    r#"{"rule":"shed_burn","label":"",
+                        "severity":"warn","since_ts_us":500000,"value":0.31}"#,
+                )
+                .unwrap(),
+            ]),
+        );
+        let text = render("w", &p);
+        assert!(text.contains("ALERTS (2 firing)"), "{text}");
+        assert!(text.contains("CRITICAL alpha_margin_floor [stage1]"), "{text}");
+        assert!(text.contains("WARN     shed_burn   value 0.310"), "{text}");
+        // Empty array → no pane at all.
+        let quiet = sample_payload().set("alerts", Value::Arr(Vec::new()));
+        assert!(!render("w", &quiet).contains("ALERTS"), "quiet payload renders no pane");
     }
 
     #[test]

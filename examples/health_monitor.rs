@@ -34,7 +34,8 @@ use pipemare::nn::LinearRegression;
 use pipemare::optim::{ConstantLr, OptimizerKind, T1Rescheduler};
 use pipemare::pipeline::{run_threaded_pipeline_health, Method};
 use pipemare::telemetry::{
-    HealthConfig, HealthEventKind, HealthMonitor, MetricsRegistry, Severity, TraceRecorder,
+    default_rules, AlertEngine, HealthConfig, HealthEventKind, HealthMonitor, JournalConfig,
+    JournalWriter, LiveStore, MetricsRegistry, Severity, TraceRecorder,
 };
 use pipemare::tensor::{StoragePrecision, BF16_REL_EPS};
 use pipemare::theory::lemma1_max_alpha_frac;
@@ -59,7 +60,7 @@ fn main() {
     // shallower stages (τ = 5, 3, 1) are still inside their bounds.
     let alpha_bad = (1.3 * bound) as f32;
     println!("\n=== run A: naive async at α = 1.3 α* = {alpha_bad:.5} ===");
-    let registry_a = MetricsRegistry::new();
+    let registry_a = Arc::new(MetricsRegistry::new());
     let monitor_a = Arc::new(HealthMonitor::with_registry(HealthConfig::default(), p, &registry_a));
     let hook = HealthHook::new(Arc::clone(&monitor_a))
         .snapshot_on(Severity::Warn, out.join("health_snapshots"));
@@ -103,6 +104,35 @@ fn main() {
     println!("\n{}", report_a.to_text());
     let (json_a, text_a) = report_a.save(&out, "health_naive_async").expect("write run A report");
     println!("wrote {} and {}", json_a.display(), text_a.display());
+
+    // --- The live alert plane over run A's registry ------------------
+    // The monitor left stage 0's `health.stage0.alpha_margin` gauge
+    // below 1.0; one live-store sample through the default alert pack
+    // must fire the critical α-margin floor rule. The sample is also
+    // journaled so `pmquery alerts` re-derives the same firing from
+    // disk after the process is gone.
+    let live = Arc::new(LiveStore::new("train-a", p).with_registry(Arc::clone(&registry_a)));
+    let engine = Arc::new(AlertEngine::new(default_rules()));
+    live.attach_alerts(Arc::clone(&engine));
+    let journal_dir = out.join("health_journal");
+    let mut journal = JournalWriter::create(&journal_dir, "train-a", p, JournalConfig::default())
+        .expect("journal opens");
+    live.sample();
+    journal.append(&live.latest().expect("one sample")).expect("journal append");
+    let active = engine.active();
+    assert!(
+        active.iter().any(|a| a.rule == "alpha_margin_floor" && a.label == "stage0"),
+        "run A's margin collapse must fire the alpha_margin_floor alert (active: {:?})",
+        active.iter().map(|a| format!("{}[{}]", a.rule, a.label)).collect::<Vec<_>>(),
+    );
+    for a in &active {
+        println!("ALERT {} {} [{}]   value {:.4}", a.severity.name(), a.rule, a.label, a.value);
+    }
+    println!(
+        "journal -> {}   (replay with: pmquery alerts {})",
+        journal_dir.display(),
+        journal_dir.display()
+    );
 
     // --- Run B: PipeMare T1 + T2 at α = 0.3 α* — same problem, same
     // pipeline shape, but inside the stability envelope.

@@ -32,6 +32,7 @@ cargo bench -p pipemare-bench --bench flight_recorder "${smoke_flag[@]}"
 cargo bench -p pipemare-bench --bench comms "${smoke_flag[@]}"
 cargo bench -p pipemare-bench --bench serving "${smoke_flag[@]}"
 cargo bench -p pipemare-bench --bench live_metrics "${smoke_flag[@]}"
+cargo bench -p pipemare-bench --bench journal "${smoke_flag[@]}"
 
 echo
 echo "=== diffing against checked-in baselines ==="
@@ -48,6 +49,8 @@ cargo run --release -p pipemare-bench --bin check_bench -- \
   BENCH_serving.json "$out/bench_serving.json" || status=1
 cargo run --release -p pipemare-bench --bin check_bench -- \
   BENCH_live_metrics.json "$out/bench_live_metrics.json" || status=1
+cargo run --release -p pipemare-bench --bin check_bench -- \
+  BENCH_journal.json "$out/bench_journal.json" || status=1
 
 if [[ $status -eq 0 ]]; then
   echo "bench check: PASS"
